@@ -1,0 +1,108 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md for the experiment index), plus a
+   Bechamel microbenchmark section for the simulator's own hot
+   primitives.
+
+   Usage:
+     bench/main.exe               run everything
+     bench/main.exe <name>...     run selected experiments
+   Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
+          fig13 fig14 boottime q1 q4 micro *)
+
+module T = Mir_experiments.Exp_tables
+module F = Mir_experiments.Exp_figs
+
+let experiments =
+  [
+    ("table1", fun () -> T.table1 ());
+    ("table2", fun () -> T.table2 ());
+    ("table3", fun () -> T.table3 ());
+    ("table4", fun () -> T.table4 ());
+    ("table5", fun () -> T.table5 ());
+    ("fig3", fun () -> F.fig3 ());
+    ("fig10", fun () -> F.fig10 ());
+    ("fig11", fun () -> F.fig11 ());
+    ("fig12", fun () -> F.fig12 ());
+    ("fig13", fun () -> F.fig13 ());
+    ("fig14", fun () -> F.fig14 ());
+    ("boottime", fun () -> F.boot_time ());
+    ("sstc", fun () -> F.sstc_projection ());
+    ("q1", fun () -> F.q1 ());
+    ("q4", fun () -> F.q4 ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator's primitives              *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "\nSimulator microbenchmarks (Bechamel)";
+  print_endline "====================================";
+  let open Bechamel in
+  let open Toolkit in
+  let decode_word = 0x34011173 (* csrrw sp, mscratch, sp *) in
+  let machine = Mir_rv.Machine.create Mir_rv.Machine.default_config in
+  let hart = machine.Mir_rv.Machine.harts.(0) in
+  let image, _ =
+    Mir_asm.Asm.assemble ~base:0x80000000L
+      Mir_asm.Asm.I.
+        [ label "loop"; addi Mir_asm.Asm.Reg.a0 Mir_asm.Asm.Reg.a0 1L;
+          xor Mir_asm.Asm.Reg.a1 Mir_asm.Asm.Reg.a1 Mir_asm.Asm.Reg.a0;
+          j "loop" ]
+  in
+  Mir_rv.Machine.load_program machine 0x80000000L image;
+  Mir_rv.Hart.reset hart ~pc:0x80000000L;
+  let ranges = Mir_rv.Csr_file.pmp_ranges hart.Mir_rv.Hart.csr in
+  let tests =
+    [
+      Test.make ~name:"decode" (Staged.stage (fun () ->
+          ignore (Mir_rv.Decode.decode decode_word)));
+      Test.make ~name:"hart-step" (Staged.stage (fun () ->
+          Mir_rv.Machine.step machine hart));
+      Test.make ~name:"pmp-check" (Staged.stage (fun () ->
+          ignore
+            (Mir_rv.Pmp.check_ranges ranges ~priv:Mir_rv.Priv.S
+               Mir_rv.Pmp.Read ~addr:0x80001000L ~size:8)));
+      Test.make ~name:"csr-read" (Staged.stage (fun () ->
+          ignore
+            (Mir_rv.Csr_file.read hart.Mir_rv.Hart.csr
+               Mir_rv.Csr_addr.mstatus)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+    Benchmark.all cfg instances test
+  in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      Instance.monotonic_clock
+      (benchmark (Test.make_grouped ~name:"sim" tests))
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-24s %8.1f ns/op\n" name est
+      | _ -> ())
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) experiments;
+      micro ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then micro ()
+          else
+            match List.assoc_opt name experiments with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s micro\n" name
+                  (String.concat " " (List.map fst experiments)))
+        names);
+  Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,277 @@
+(* miralis-sim: the command-line front end.
+
+   Subcommands:
+     run          boot a firmware natively or under Miralis
+     verify       run the lightweight-formal-methods checkers
+     experiments  regenerate the paper's tables and figures
+     platforms    list the platform models *)
+
+open Cmdliner
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let platform_arg =
+  let parse s =
+    match Platform.by_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown platform %S (known: %s)" s
+               (String.concat ", "
+                  (List.map (fun p -> p.Platform.name) Platform.all))))
+  in
+  let print fmt p = Format.pp_print_string fmt p.Platform.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Platform.visionfive2
+    & info [ "p"; "platform" ] ~docv:"NAME" ~doc:"Platform model to simulate.")
+
+let mode_arg =
+  let modes =
+    [
+      ("native", Setup.Native);
+      ("miralis", Setup.Virtualized);
+      ("no-offload", Setup.Virtualized_no_offload);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Setup.Virtualized
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Execution mode: $(b,native), $(b,miralis) or $(b,no-offload).")
+
+let firmware_choices =
+  [
+    ("minisbi", `Minisbi); ("rustsbi", `Rustsbi); ("zephyr", `Zephyr);
+    ("star64", `Star64); ("evil-read", `Evil Mir_firmware.Evil.Read_os_memory);
+    ("evil-write", `Evil Mir_firmware.Evil.Write_os_memory);
+    ("evil-miralis", `Evil Mir_firmware.Evil.Read_miralis_memory);
+    ("evil-pmp", `Evil Mir_firmware.Evil.Pmp_escape);
+    ("evil-dma", `Evil Mir_firmware.Evil.Dma_attack);
+  ]
+
+let firmware_arg =
+  Arg.(
+    value
+    & opt (enum firmware_choices) `Minisbi
+    & info [ "f"; "firmware" ] ~docv:"FW"
+        ~doc:
+          "Firmware image: $(b,minisbi), $(b,rustsbi), $(b,zephyr), \
+           $(b,star64) or an $(b,evil-*) attack image.")
+
+let firmware_image = function
+  | `Minisbi -> Mir_firmware.Minisbi.image
+  | `Rustsbi -> Mir_firmware.Rustsbi_like.image
+  | `Zephyr -> Mir_firmware.Zephyr_like.image
+  | `Star64 -> Mir_firmware.Star64.image
+  | `Evil a -> Mir_firmware.Evil.image a
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("sandbox", `Sandbox) ]) `None
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Isolation policy: $(b,none) or $(b,sandbox).")
+
+let max_instrs_arg =
+  Arg.(
+    value
+    & opt int64 50_000_000L
+    & info [ "max-instrs" ] ~docv:"N" ~doc:"Instruction budget.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print every trap that reaches M-mode.")
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let smoke_script =
+  [
+    Script.Putchar 'o'; Script.Rdtime; Script.Set_timer 200L;
+    Script.Tick_wfi 100L; Script.Ipi_self; Script.Misaligned_load;
+    Script.Putchar 'k'; Script.Putchar '\n'; Script.End;
+  ]
+
+let run_cmd platform mode fw policy max_instrs trace =
+  let policy, pmp_slots =
+    match policy with
+    | `None -> (None, 1)
+    | `Sandbox ->
+        let p, _ = Mir_policies.Policy_sandbox.create () in
+        (Some p, Mir_policies.Policy_sandbox.pmp_slots)
+  in
+  let sys =
+    match policy with
+    | None -> Setup.create ~firmware:(firmware_image fw) platform mode
+    | Some p ->
+        (* the sandbox needs extra policy PMP slots *)
+        let m = Machine.create platform.Platform.machine in
+        let fw_img, _ =
+          (firmware_image fw) ~nharts:platform.Platform.nharts
+            ~kernel_entry:Mir_kernel.Interp_kernel.entry
+        in
+        Machine.load_program m Mir_firmware.Layout.fw_base fw_img;
+        Machine.load_program m Mir_kernel.Interp_kernel.entry
+          (fst (Mir_kernel.Interp_kernel.image ()));
+        let config =
+          Miralis.Config.make ~policy_pmp_slots:pmp_slots
+            ~cost:platform.Platform.cost ~machine:platform.Platform.machine ()
+        in
+        let mir = Miralis.Monitor.create ~policy:p config m in
+        Miralis.Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+        { Setup.platform; mode; machine = m; miralis = Some mir }
+  in
+  if trace then
+    sys.Setup.machine.Machine.on_trap <-
+      Some
+        (fun _ hart cause ~from_priv ~to_m ->
+          Printf.printf "[trap] hart%d pc=%Lx %s from=%s -> %s\n"
+            hart.Mir_rv.Hart.id hart.Mir_rv.Hart.pc
+            (Mir_rv.Cause.to_string cause)
+            (Mir_rv.Priv.to_string from_priv)
+            (if to_m then "M" else "S"));
+  Setup.run_scripts ~max_instrs sys [ smoke_script ];
+  Printf.printf "console: %s" (Setup.uart_output sys);
+  Printf.printf "simulated: %.3f ms on %s (%s)\n"
+    (Setup.seconds sys *. 1e3)
+    platform.Platform.name (Setup.mode_name sys.Setup.mode);
+  (match Setup.stats sys with
+  | Some stats -> Format.printf "%a@." Miralis.Vfm_stats.pp stats
+  | None -> ());
+  match sys.Setup.miralis with
+  | Some { Miralis.Monitor.violation = Some v; _ } ->
+      Printf.printf "policy violation: %s\n" v
+  | _ -> ()
+
+let run_term =
+  Term.(
+    const run_cmd $ platform_arg $ mode_arg $ firmware_arg $ policy_arg
+    $ max_instrs_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd quick bug =
+  let inject_bug =
+    match bug with
+    | "" -> None
+    | "mpp" -> Some Miralis.Config.Mpp_not_legalized
+    | "pmp-wr" -> Some Miralis.Config.Pmp_w_without_r
+    | "vpmp-overrun" -> Some Miralis.Config.Vpmp_overrun
+    | "irq-priority" -> Some Miralis.Config.Interrupt_priority_swapped
+    | "mret-mpie" -> Some Miralis.Config.Mret_skips_mpie
+    | other -> failwith ("unknown bug injection: " ^ other)
+  in
+  let s n = if quick then max 1 (n / 10) else n in
+  let reports =
+    [
+      Mir_verif.Tasks.mret ~samples:(s 3000) ?inject_bug ();
+      Mir_verif.Tasks.sret ~samples:(s 3000) ?inject_bug ();
+      Mir_verif.Tasks.wfi ~samples:(s 3000) ?inject_bug ();
+      Mir_verif.Tasks.decoder ~words:(s 400_000) ();
+      Mir_verif.Tasks.csr_read ~samples:(s 40) ?inject_bug ();
+      Mir_verif.Tasks.csr_write ~samples:(s 60) ?inject_bug ();
+      Mir_verif.Tasks.virtual_interrupt ?inject_bug ();
+      Mir_verif.Tasks.end_to_end ~samples:(s 25) ?inject_bug ();
+      Mir_verif.Faithful_execution.run ~configs:(s 400) ?inject_bug ();
+    ]
+  in
+  List.iter (fun r -> Format.printf "%a@." Mir_verif.Tasks.pp_report r) reports;
+  let bad = List.exists (fun r -> r.Mir_verif.Tasks.mismatches > 0) reports in
+  if inject_bug <> None then
+    Printf.printf "\nbug injection %s %s\n" bug
+      (if bad then "DETECTED (as expected)" else "NOT detected: checker gap!")
+  else if bad then exit 1
+
+let verify_term =
+  Term.(
+    const verify_cmd
+    $ Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sample counts.")
+    $ Arg.(
+        value & opt string ""
+        & info [ "inject-bug" ] ~docv:"BUG"
+            ~doc:
+              "Inject a §6.5 bug class: $(b,mpp), $(b,pmp-wr), \
+               $(b,vpmp-overrun), $(b,irq-priority), $(b,mret-mpie)."))
+
+(* ------------------------------------------------------------------ *)
+(* experiments / platforms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd names =
+  let all =
+    [
+      ("table1", fun () -> Mir_experiments.Exp_tables.table1 ());
+      ("table2", fun () -> Mir_experiments.Exp_tables.table2 ());
+      ("table3", fun () -> Mir_experiments.Exp_tables.table3 ());
+      ("table4", fun () -> Mir_experiments.Exp_tables.table4 ());
+      ("table5", fun () -> Mir_experiments.Exp_tables.table5 ());
+      ("fig3", fun () -> Mir_experiments.Exp_figs.fig3 ());
+      ("fig10", fun () -> Mir_experiments.Exp_figs.fig10 ());
+      ("fig11", fun () -> Mir_experiments.Exp_figs.fig11 ());
+      ("fig12", fun () -> Mir_experiments.Exp_figs.fig12 ());
+      ("fig13", fun () -> Mir_experiments.Exp_figs.fig13 ());
+      ("fig14", fun () -> Mir_experiments.Exp_figs.fig14 ());
+      ("boottime", fun () -> Mir_experiments.Exp_figs.boot_time ());
+      ("sstc", fun () -> Mir_experiments.Exp_figs.sstc_projection ());
+      ("q1", fun () -> Mir_experiments.Exp_figs.q1 ());
+      ("q4", fun () -> Mir_experiments.Exp_figs.q4 ());
+    ]
+  in
+  match names with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n all with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown experiment %S\n" n)
+        names
+
+let experiments_term =
+  Term.(
+    const experiments_cmd
+    $ Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"))
+
+let platforms_cmd () = Mir_experiments.Exp_tables.table3 ()
+
+(* ------------------------------------------------------------------ *)
+(* command tree                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run" ~doc:"Boot a firmware natively or under Miralis")
+      run_term;
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Run the faithful-emulation and faithful-execution checkers")
+      verify_term;
+    Cmd.v
+      (Cmd.info "experiments"
+         ~doc:"Regenerate the paper's tables and figures")
+      experiments_term;
+    Cmd.v
+      (Cmd.info "platforms" ~doc:"List the platform models")
+      Term.(const platforms_cmd $ const ());
+  ]
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "miralis-sim" ~version:"1.0.0"
+             ~doc:"A virtual firmware monitor on a simulated RISC-V machine")
+          cmds))

@@ -1,0 +1,1 @@
+examples/enclave_demo.ml: Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_policies Mir_rv Miralis Option Printf

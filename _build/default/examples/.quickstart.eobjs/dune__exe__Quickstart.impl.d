@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mir_harness Mir_kernel Mir_platform Miralis Printf

@@ -1,0 +1,1 @@
+examples/sandbox_demo.ml: List Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_policies Mir_rv Miralis Printf String

@@ -1,0 +1,65 @@
+(* Enclave demo: Keystone-style enclaves on Miralis (paper §5.3).
+
+   Creates an enclave from a staged application image, runs it to
+   completion (riding out a timer interruption and resume), verifies
+   the computed checksum, and shows that the enclave's memory is
+   scrubbed on destroy — all with the vendor firmware *outside* the
+   TCB, which is the paper's improvement over stock Keystone.
+
+     dune exec examples/enclave_demo.exe *)
+
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+module Monitor = Miralis.Monitor
+module Keystone = Mir_policies.Policy_keystone
+module Uapp = Mir_kernel.Uapp
+
+let vf2 = Platform.visionfive2
+let enclave_base = 0x80800000L
+let iters = 30_000L
+
+let () =
+  print_endline "Keystone enclaves as a Miralis policy module\n";
+  let policy, state = Keystone.create () in
+  let m = Machine.create vf2.Platform.machine in
+  Machine.load_program m Mir_firmware.Layout.fw_base
+    (fst
+       (Mir_firmware.Minisbi.image ~nharts:4
+          ~kernel_entry:Mir_kernel.Interp_kernel.entry));
+  Machine.load_program m Mir_kernel.Interp_kernel.entry
+    (fst (Mir_kernel.Interp_kernel.image ()));
+  let config =
+    Miralis.Config.make ~policy_pmp_slots:Keystone.pmp_slots
+      ~cost:vf2.Platform.cost ~machine:vf2.Platform.machine ()
+  in
+  let mir = Monitor.create ~policy config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  (* Stage the enclave application and its descriptor. *)
+  Machine.load_program m enclave_base (Uapp.image ~base:enclave_base ~iters);
+  Script.write_descriptor m ~index:0 ~base:enclave_base ~size:4096L
+    ~entry:enclave_base;
+  (* The host kernel arms a timer (so the enclave gets interrupted and
+     resumed) and runs one full enclave lifecycle. *)
+  Script.write m ~hart:0
+    [ Script.Set_timer 400L; Script.Enclave_round 0L; Script.End ];
+  for h = 1 to 3 do
+    Script.write m ~hart:h [ Script.Halt ]
+  done;
+  Machine.run ~max_instrs:20_000_000L m;
+  let result = Script.result_value m ~hart:0 in
+  let expected = Uapp.expected_checksum ~iters in
+  Printf.printf "enclave entries (incl. resumes): %d\n"
+    state.Keystone.entries_count;
+  Printf.printf "enclave exits:                   %d\n" state.Keystone.exits_count;
+  Printf.printf "timer ticks taken by the OS:     %Ld\n"
+    (Script.sti_count m ~hart:0);
+  Printf.printf "enclave checksum: %Lx (expected %Lx) %s\n" result expected
+    (if result = expected then "OK" else "MISMATCH");
+  let after_destroy = Option.get (Machine.phys_load m enclave_base 8) in
+  Printf.printf "enclave memory after destroy: %Lx %s\n" after_destroy
+    (if after_destroy = 0L then "(scrubbed)" else "(LEAKED)");
+  print_endline
+    "\nThe enclave survived an interrupt+resume and its memory was \
+     protected from the OS and the firmware throughout."

@@ -1,0 +1,73 @@
+(* Sandbox demo: malicious firmware vs. the firmware sandbox policy.
+
+   Boots each attack firmware from the evil suite under Miralis with
+   the sandbox policy (paper §5.2) and shows every attack being
+   stopped: reading/writing OS memory, reading Miralis's own memory,
+   escaping through the virtual PMP, and DMA exfiltration through the
+   block device.
+
+     dune exec examples/sandbox_demo.exe *)
+
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+module Monitor = Miralis.Monitor
+module Sandbox = Mir_policies.Policy_sandbox
+
+let vf2 = Platform.visionfive2
+
+let boot_with ~firmware =
+  let policy, state = Sandbox.create () in
+  let m = Machine.create vf2.Platform.machine in
+  ignore (Machine.attach_blockdev m ~capacity_sectors:256 ~latency_ticks:50L);
+  let fw, _ = firmware ~nharts:4 ~kernel_entry:Mir_kernel.Interp_kernel.entry in
+  Machine.load_program m Mir_firmware.Layout.fw_base fw;
+  Machine.load_program m Mir_kernel.Interp_kernel.entry
+    (fst (Mir_kernel.Interp_kernel.image ()));
+  let config =
+    Miralis.Config.make ~policy_pmp_slots:Sandbox.pmp_slots
+      ~cost:vf2.Platform.cost ~machine:vf2.Platform.machine ()
+  in
+  let mir = Monitor.create ~policy config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  (m, mir, state)
+
+let provoke m =
+  (* any SBI call from the OS triggers the staged attack *)
+  Script.write m ~hart:0 [ Script.Putchar 'A'; Script.End ];
+  for h = 1 to 3 do
+    Script.write m ~hart:h [ Script.Halt ]
+  done;
+  Machine.run ~max_instrs:3_000_000L m
+
+let () =
+  print_endline "Firmware sandbox policy vs. a hostile firmware\n";
+  (* First, the honest case. *)
+  let m, mir, state = boot_with ~firmware:Mir_firmware.Minisbi.image in
+  provoke m;
+  Printf.printf "%-28s -> %s (boot image hash %Lx)\n" "honest MiniSBI"
+    (match mir.Monitor.violation with
+    | None -> "runs cleanly"
+    | Some v -> "UNEXPECTED: " ^ v)
+    state.Sandbox.boot_image_hash;
+  (* Then every attack. *)
+  List.iter
+    (fun attack ->
+      let m, mir, _ = boot_with ~firmware:(Mir_firmware.Evil.image attack) in
+      provoke m;
+      let verdict =
+        match mir.Monitor.violation with
+        | Some v -> "BLOCKED: " ^ v
+        | None ->
+            if String.contains (Mir_rv.Uart.output m.Machine.uart) 'X' then
+              "!!! ATTACK SUCCEEDED"
+            else "no violation recorded (attack did not fire)"
+      in
+      Printf.printf "%-28s -> %s\n"
+        (Mir_firmware.Evil.attack_name attack)
+        verdict)
+    Mir_firmware.Evil.all_attacks;
+  print_endline
+    "\nEvery attack faulted on the sandbox's PMP entries and stopped the \
+     machine — the OS was never compromised."

@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Bytes Hashtbl Int32 Int64 List Mir_rv Mir_util Printf String

@@ -1,0 +1,1 @@
+lib/asm/asm.mli: Mir_rv

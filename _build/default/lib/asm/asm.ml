@@ -1,0 +1,278 @@
+module Instr = Mir_rv.Instr
+module Encode = Mir_rv.Encode
+module Bits = Mir_util.Bits
+
+type item =
+  | Ins of Instr.t
+  | Label of string
+  | Word32 of int64
+  | Word64 of int64
+  | Word_label of string
+  | Ascii of string
+  | Align of int
+  | Space of int
+  | La of int * string
+  | Jump of string
+  | Jal_to of int * string
+  | Branch_to of Instr.branch_op * int * int * string
+  | Call of string
+  | Li of int * int64
+
+type program = item list
+
+exception Unknown_label of string
+
+(* Expand a 64-bit constant load into at most 5 real instructions.
+   The item occupies a fixed 5-slot so that label offsets are
+   computable in one sizing pass; unused slots become nops. *)
+let li_sequence rd v =
+  let nop = Instr.Op_imm (Instr.Addi, 0, 0, 0L) in
+  let fits12 x = x >= -2048L && x <= 2047L in
+  let fits32 x = x >= -2147483648L && x <= 2147483647L in
+  (* Recursive expansion: materialize the upper bits, shift left 12 and
+     add the low 12-bit chunk. 64-bit constants take <= 8 instructions
+     (lui+addiw plus three shift/add pairs). *)
+  let rec expand v =
+    if fits12 v then [ Instr.Op_imm (Instr.Addi, rd, 0, v) ]
+    else if fits32 v then begin
+      let lo = Bits.sext (Int64.logand v 0xFFFL) ~width:12 in
+      let hi32 = Bits.sext32 (Int64.sub v lo) in
+      let lui = Instr.Lui (rd, hi32) in
+      if lo = 0L then [ lui ]
+      else [ lui; Instr.Op_imm32 (Instr.Addiw, rd, rd, lo) ]
+    end
+    else begin
+      let lo = Bits.sext (Int64.logand v 0xFFFL) ~width:12 in
+      let hi = Int64.shift_right (Int64.sub v lo) 12 in
+      expand hi
+      @ (Instr.Op_imm (Instr.Slli, rd, rd, 12L)
+         ::
+         (if lo = 0L then [] else [ Instr.Op_imm (Instr.Addi, rd, rd, lo) ]))
+    end
+  in
+  let seq = expand v in
+  let pad = 8 - List.length seq in
+  assert (pad >= 0);
+  seq @ List.init pad (fun _ -> nop)
+
+let li_slot_bytes = 8 * 4
+
+let item_size = function
+  | Ins _ -> 4
+  | Label _ -> 0
+  | Word32 _ -> 4
+  | Word64 _ -> 8
+  | Word_label _ -> 8
+  | Ascii s -> String.length s
+  | Align _ -> -1 (* depends on position; handled in sizing pass *)
+  | Space n -> n
+  | La _ -> 8
+  | Jump _ | Jal_to _ | Branch_to _ | Call _ -> 4
+  | Li _ -> li_slot_bytes
+
+let layout ~base items =
+  let tbl = Hashtbl.create 64 in
+  let pos = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label l ->
+          if Hashtbl.mem tbl l then
+            invalid_arg (Printf.sprintf "Asm: duplicate label %s" l);
+          Hashtbl.add tbl l (Int64.add base (Int64.of_int !pos))
+      | _ -> ());
+      match item with
+      | Align n ->
+          let rem = !pos mod n in
+          if rem <> 0 then pos := !pos + (n - rem)
+      | it -> pos := !pos + item_size it)
+    items;
+  (tbl, !pos)
+
+let label_addr labels l =
+  match List.assoc_opt l labels with
+  | Some a -> a
+  | None -> raise (Unknown_label l)
+
+let assemble ~base items =
+  let tbl, total = layout ~base items in
+  let find l =
+    match Hashtbl.find_opt tbl l with
+    | Some a -> a
+    | None -> raise (Unknown_label l)
+  in
+  let buf = Bytes.make total '\000' in
+  let pos = ref 0 in
+  let emit_ins i =
+    Bytes.set_int32_le buf !pos (Int32.of_int (Encode.encode i));
+    pos := !pos + 4
+  in
+  List.iter
+    (fun item ->
+      let pc () = Int64.add base (Int64.of_int !pos) in
+      match item with
+      | Ins i -> emit_ins i
+      | Label _ -> ()
+      | Word32 v ->
+          Bytes.set_int32_le buf !pos (Int64.to_int32 v);
+          pos := !pos + 4
+      | Word64 v ->
+          Bytes.set_int64_le buf !pos v;
+          pos := !pos + 8
+      | Word_label l ->
+          Bytes.set_int64_le buf !pos (find l);
+          pos := !pos + 8
+      | Ascii s ->
+          Bytes.blit_string s 0 buf !pos (String.length s);
+          pos := !pos + String.length s
+      | Align n ->
+          let rem = !pos mod n in
+          if rem <> 0 then pos := !pos + (n - rem)
+      | Space n -> pos := !pos + n
+      | La (rd, l) ->
+          let target = find l in
+          let off = Int64.sub target (pc ()) in
+          let lo = Bits.sext (Int64.logand off 0xFFFL) ~width:12 in
+          let hi = Bits.sext32 (Int64.sub off lo) in
+          emit_ins (Instr.Auipc (rd, hi));
+          emit_ins (Instr.Op_imm (Instr.Addi, rd, rd, lo))
+      | Jump l ->
+          emit_ins (Instr.Jal (0, Int64.sub (find l) (pc ())))
+      | Jal_to (rd, l) ->
+          emit_ins (Instr.Jal (rd, Int64.sub (find l) (pc ())))
+      | Branch_to (op, rs1, rs2, l) ->
+          emit_ins (Instr.Branch (op, rs1, rs2, Int64.sub (find l) (pc ())))
+      | Call l -> emit_ins (Instr.Jal (1, Int64.sub (find l) (pc ())))
+      | Li (rd, v) -> List.iter emit_ins (li_sequence rd v))
+    items;
+  let labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  (buf, labels)
+
+module Reg = struct
+  let zero = 0
+  let ra = 1
+  let sp = 2
+  let gp = 3
+  let tp = 4
+  let t0 = 5
+  let t1 = 6
+  let t2 = 7
+  let s0 = 8
+  let s1 = 9
+  let a0 = 10
+  let a1 = 11
+  let a2 = 12
+  let a3 = 13
+  let a4 = 14
+  let a5 = 15
+  let a6 = 16
+  let a7 = 17
+  let s2 = 18
+  let s3 = 19
+  let s4 = 20
+  let s5 = 21
+  let s6 = 22
+  let s7 = 23
+  let s8 = 24
+  let s9 = 25
+  let s10 = 26
+  let s11 = 27
+  let t3 = 28
+  let t4 = 29
+  let t5 = 30
+  let t6 = 31
+end
+
+module I = struct
+  let nop = Ins (Instr.Op_imm (Instr.Addi, 0, 0, 0L))
+  let mv rd rs = Ins (Instr.Op_imm (Instr.Addi, rd, rs, 0L))
+  let li rd v = Li (rd, v)
+  let la rd l = La (rd, l)
+  let add rd rs1 rs2 = Ins (Instr.Op (Instr.Add, rd, rs1, rs2))
+  let addi rd rs1 imm = Ins (Instr.Op_imm (Instr.Addi, rd, rs1, imm))
+  let sub rd rs1 rs2 = Ins (Instr.Op (Instr.Sub, rd, rs1, rs2))
+  let and_ rd rs1 rs2 = Ins (Instr.Op (Instr.And, rd, rs1, rs2))
+  let andi rd rs1 imm = Ins (Instr.Op_imm (Instr.Andi, rd, rs1, imm))
+  let or_ rd rs1 rs2 = Ins (Instr.Op (Instr.Or, rd, rs1, rs2))
+  let ori rd rs1 imm = Ins (Instr.Op_imm (Instr.Ori, rd, rs1, imm))
+  let xor rd rs1 rs2 = Ins (Instr.Op (Instr.Xor, rd, rs1, rs2))
+  let xori rd rs1 imm = Ins (Instr.Op_imm (Instr.Xori, rd, rs1, imm))
+  let slli rd rs1 n = Ins (Instr.Op_imm (Instr.Slli, rd, rs1, Int64.of_int n))
+  let srli rd rs1 n = Ins (Instr.Op_imm (Instr.Srli, rd, rs1, Int64.of_int n))
+  let srai rd rs1 n = Ins (Instr.Op_imm (Instr.Srai, rd, rs1, Int64.of_int n))
+  let sll rd rs1 rs2 = Ins (Instr.Op (Instr.Sll, rd, rs1, rs2))
+  let srl rd rs1 rs2 = Ins (Instr.Op (Instr.Srl, rd, rs1, rs2))
+  let sra rd rs1 rs2 = Ins (Instr.Op (Instr.Sra, rd, rs1, rs2))
+  let mul rd rs1 rs2 = Ins (Instr.Op (Instr.Mul, rd, rs1, rs2))
+  let div rd rs1 rs2 = Ins (Instr.Op (Instr.Div, rd, rs1, rs2))
+  let rem rd rs1 rs2 = Ins (Instr.Op (Instr.Rem, rd, rs1, rs2))
+  let sltu rd rs1 rs2 = Ins (Instr.Op (Instr.Sltu, rd, rs1, rs2))
+  let slt rd rs1 rs2 = Ins (Instr.Op (Instr.Slt, rd, rs1, rs2))
+  let seqz rd rs = Ins (Instr.Op_imm (Instr.Sltiu, rd, rs, 1L))
+  let snez rd rs = Ins (Instr.Op (Instr.Sltu, rd, 0, rs))
+
+  let load width unsigned rd imm rs1 =
+    Ins (Instr.Load { width; unsigned; rd; rs1; imm })
+
+  let ld rd imm rs1 = load Instr.D false rd imm rs1
+  let lw rd imm rs1 = load Instr.W false rd imm rs1
+  let lwu rd imm rs1 = load Instr.W true rd imm rs1
+  let lh rd imm rs1 = load Instr.H false rd imm rs1
+  let lhu rd imm rs1 = load Instr.H true rd imm rs1
+  let lb rd imm rs1 = load Instr.B false rd imm rs1
+  let lbu rd imm rs1 = load Instr.B true rd imm rs1
+  let store width rs2 imm rs1 = Ins (Instr.Store { width; rs2; rs1; imm })
+  let sd rs2 imm rs1 = store Instr.D rs2 imm rs1
+  let sw rs2 imm rs1 = store Instr.W rs2 imm rs1
+  let sh rs2 imm rs1 = store Instr.H rs2 imm rs1
+  let sb rs2 imm rs1 = store Instr.B rs2 imm rs1
+  let j l = Jump l
+  let jal rd l = Jal_to (rd, l)
+  let jr rs = Ins (Instr.Jalr (0, rs, 0L))
+  let jalr rd rs imm = Ins (Instr.Jalr (rd, rs, imm))
+  let call l = Call l
+  let ret = Ins (Instr.Jalr (0, 1, 0L))
+  let beq a b l = Branch_to (Instr.Beq, a, b, l)
+  let bne a b l = Branch_to (Instr.Bne, a, b, l)
+  let blt a b l = Branch_to (Instr.Blt, a, b, l)
+  let bge a b l = Branch_to (Instr.Bge, a, b, l)
+  let bltu a b l = Branch_to (Instr.Bltu, a, b, l)
+  let bgeu a b l = Branch_to (Instr.Bgeu, a, b, l)
+  let beqz a l = Branch_to (Instr.Beq, a, 0, l)
+  let bnez a l = Branch_to (Instr.Bne, a, 0, l)
+
+  let csr_op op rd csr src =
+    Ins (Instr.Csr { op; rd; src = Instr.Reg src; csr })
+
+  let csrrw rd csr rs1 = csr_op Instr.Csrrw rd csr rs1
+  let csrrs rd csr rs1 = csr_op Instr.Csrrs rd csr rs1
+  let csrrc rd csr rs1 = csr_op Instr.Csrrc rd csr rs1
+  let csrr rd csr = csr_op Instr.Csrrs rd csr 0
+  let csrw csr rs1 = csr_op Instr.Csrrw 0 csr rs1
+  let csrs csr rs1 = csr_op Instr.Csrrs 0 csr rs1
+  let csrc csr rs1 = csr_op Instr.Csrrc 0 csr rs1
+
+  let csr_imm op csr z =
+    Ins (Instr.Csr { op; rd = 0; src = Instr.Imm z; csr })
+
+  let csrwi csr z = csr_imm Instr.Csrrw csr z
+  let csrsi csr z = csr_imm Instr.Csrrs csr z
+  let csrci csr z = csr_imm Instr.Csrrc csr z
+  let ecall = Ins Instr.Ecall
+  let ebreak = Ins Instr.Ebreak
+  let mret = Ins Instr.Mret
+  let sret = Ins Instr.Sret
+  let wfi = Ins Instr.Wfi
+  let fence = Ins Instr.Fence
+  let fence_i = Ins Instr.Fence_i
+  let sfence_vma = Ins (Instr.Sfence_vma (0, 0))
+
+  let amo op wide rd rs2 rs1 =
+    Ins (Instr.Amo { op; wide; aq = false; rl = false; rd; rs1; rs2 })
+
+  let lr_d rd rs1 = amo Instr.Lr true rd 0 rs1
+  let sc_d rd rs2 rs1 = amo Instr.Sc true rd rs2 rs1
+  let amoadd_d rd rs2 rs1 = amo Instr.Amoadd true rd rs2 rs1
+  let amoswap_w rd rs2 rs1 = amo Instr.Swap false rd rs2 rs1
+  let label l = Label l
+end

@@ -1,0 +1,173 @@
+(** A two-pass assembler for authoring guest programs.
+
+    Firmware images and S-mode kernels in this reproduction are real
+    RV64 instruction streams produced by this module and executed by
+    the simulated harts — which is what lets the same unmodified image
+    run either natively in M-mode or deprivileged under the VFM.
+
+    Programs are lists of {!item}s. Labels give symbolic targets for
+    branches, jumps and address materialization. *)
+
+type item =
+  | Ins of Mir_rv.Instr.t  (** one concrete instruction *)
+  | Label of string
+  | Word32 of int64
+  | Word64 of int64
+  | Word_label of string  (** 8-byte absolute address of a label *)
+  | Ascii of string
+  | Align of int  (** pad to a multiple of [n] bytes *)
+  | Space of int  (** reserve zeroed bytes *)
+  | La of int * string  (** load a label's address (auipc+addi, 8 B) *)
+  | Jump of string  (** j label *)
+  | Jal_to of int * string  (** jal rd, label *)
+  | Branch_to of Mir_rv.Instr.branch_op * int * int * string
+  | Call of string  (** jal ra, label *)
+  | Li of int * int64
+      (** load a 64-bit constant; occupies a fixed 8-instruction slot
+          (padded with nops) so label layout stays one-pass *)
+
+type program = item list
+
+exception Unknown_label of string
+
+val assemble : base:int64 -> program -> bytes * (string * int64) list
+(** [assemble ~base items] lays the program out at [base] and returns
+    the image and the label table. Raises {!Unknown_label} on dangling
+    references and [Invalid_argument] on out-of-range offsets. *)
+
+val label_addr : (string * int64) list -> string -> int64
+
+(** Register aliases (ABI names). *)
+module Reg : sig
+  val zero : int
+  val ra : int
+  val sp : int
+  val gp : int
+  val tp : int
+  val t0 : int
+  val t1 : int
+  val t2 : int
+  val s0 : int
+  val s1 : int
+  val a0 : int
+  val a1 : int
+  val a2 : int
+  val a3 : int
+  val a4 : int
+  val a5 : int
+  val a6 : int
+  val a7 : int
+  val s2 : int
+  val s3 : int
+  val s4 : int
+  val s5 : int
+  val s6 : int
+  val s7 : int
+  val s8 : int
+  val s9 : int
+  val s10 : int
+  val s11 : int
+  val t3 : int
+  val t4 : int
+  val t5 : int
+  val t6 : int
+end
+
+(** Instruction-building helpers (thin sugar over {!Mir_rv.Instr}). *)
+module I : sig
+  val nop : item
+  val mv : int -> int -> item
+  val li : int -> int64 -> item
+  val la : int -> string -> item
+  val add : int -> int -> int -> item
+  val addi : int -> int -> int64 -> item
+  val sub : int -> int -> int -> item
+  val and_ : int -> int -> int -> item
+  val andi : int -> int -> int64 -> item
+  val or_ : int -> int -> int -> item
+  val ori : int -> int -> int64 -> item
+  val xor : int -> int -> int -> item
+  val xori : int -> int -> int64 -> item
+  val slli : int -> int -> int -> item
+  val srli : int -> int -> int -> item
+  val srai : int -> int -> int -> item
+  val sll : int -> int -> int -> item
+  val srl : int -> int -> int -> item
+  val sra : int -> int -> int -> item
+  val mul : int -> int -> int -> item
+  val div : int -> int -> int -> item
+  val rem : int -> int -> int -> item
+  val sltu : int -> int -> int -> item
+  val slt : int -> int -> int -> item
+  val seqz : int -> int -> item
+  val snez : int -> int -> item
+  val ld : int -> int64 -> int -> item
+  (** rd, offset, base *)
+
+  val lw : int -> int64 -> int -> item
+  val lwu : int -> int64 -> int -> item
+  val lh : int -> int64 -> int -> item
+  val lhu : int -> int64 -> int -> item
+  val lb : int -> int64 -> int -> item
+  val lbu : int -> int64 -> int -> item
+  val sd : int -> int64 -> int -> item
+  (** rs2, offset, base *)
+
+  val sw : int -> int64 -> int -> item
+  val sh : int -> int64 -> int -> item
+  val sb : int -> int64 -> int -> item
+  val j : string -> item
+  val jal : int -> string -> item
+  val jr : int -> item
+  val jalr : int -> int -> int64 -> item
+  val call : string -> item
+  val ret : item
+  val beq : int -> int -> string -> item
+  val bne : int -> int -> string -> item
+  val blt : int -> int -> string -> item
+  val bge : int -> int -> string -> item
+  val bltu : int -> int -> string -> item
+  val bgeu : int -> int -> string -> item
+  val beqz : int -> string -> item
+  val bnez : int -> string -> item
+  val csrrw : int -> int -> int -> item
+  (** rd, csr, rs1 *)
+
+  val csrrs : int -> int -> int -> item
+  val csrrc : int -> int -> int -> item
+  val csrr : int -> int -> item
+  (** rd, csr *)
+
+  val csrw : int -> int -> item
+  (** csr, rs1 *)
+
+  val csrs : int -> int -> item
+  val csrc : int -> int -> item
+  val csrwi : int -> int -> item
+  (** csr, zimm *)
+
+  val csrsi : int -> int -> item
+  val csrci : int -> int -> item
+  val ecall : item
+  val ebreak : item
+  val mret : item
+  val sret : item
+  val wfi : item
+  val fence : item
+  val fence_i : item
+  val sfence_vma : item
+
+  val lr_d : int -> int -> item
+  (** rd, rs1 *)
+
+  val sc_d : int -> int -> int -> item
+  (** rd, rs2, rs1 *)
+
+  val amoadd_d : int -> int -> int -> item
+  (** rd, rs2, rs1 *)
+
+  val amoswap_w : int -> int -> int -> item
+  (** rd, rs2, rs1 *)
+
+  val label : string -> item
+end

@@ -1,0 +1,1 @@
+lib/core/config.ml: Cost Int64 Mir_rv Option

@@ -1,0 +1,1 @@
+lib/core/emulator.mli: Config Mir_rv Vhart

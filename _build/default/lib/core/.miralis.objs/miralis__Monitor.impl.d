@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Config Cost Emulator Int64 Logs Mir_rv Mir_util Offload Option Policy Printf Vclint Vfm_stats Vhart Vplic Vpmp World

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Config Mir_rv Policy Vclint Vfm_stats Vhart Vplic

@@ -1,0 +1,1 @@
+lib/core/offload.ml: Array Config Cost Fun Int64 List Mir_rv Mir_sbi Mir_util Vclint Vfm_stats

@@ -1,0 +1,1 @@
+lib/core/offload.mli: Config Mir_rv Vclint Vfm_stats

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Config Int64 Mir_rv Vhart

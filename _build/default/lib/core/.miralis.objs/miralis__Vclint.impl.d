@@ -1,0 +1,1 @@
+lib/core/vclint.ml: Array Int64 Mir_rv Mir_util

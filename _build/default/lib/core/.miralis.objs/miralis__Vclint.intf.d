@@ -1,0 +1,1 @@
+lib/core/vclint.mli: Mir_rv

@@ -1,0 +1,1 @@
+lib/core/vfm_stats.mli: Format

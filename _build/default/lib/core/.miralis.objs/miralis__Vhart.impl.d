@@ -1,0 +1,1 @@
+lib/core/vhart.ml: Config Mir_rv

@@ -1,0 +1,1 @@
+lib/core/vhart.mli: Config Mir_rv

@@ -1,0 +1,1 @@
+lib/core/vplic.ml: Array Int64 Mir_rv

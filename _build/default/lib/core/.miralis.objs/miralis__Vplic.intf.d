@@ -1,0 +1,1 @@
+lib/core/vplic.mli: Mir_rv

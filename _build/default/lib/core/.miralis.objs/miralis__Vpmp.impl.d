@@ -1,0 +1,1 @@
+lib/core/vpmp.ml: Array Config Int64 List Mir_rv Mir_util Vhart

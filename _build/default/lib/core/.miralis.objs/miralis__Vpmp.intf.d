@@ -1,0 +1,1 @@
+lib/core/vpmp.mli: Config Mir_rv Vhart

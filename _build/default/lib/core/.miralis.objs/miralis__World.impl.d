@@ -1,0 +1,1 @@
+lib/core/world.ml: Config Cost Int64 List Mir_rv Mir_util Vhart Vpmp

@@ -1,0 +1,1 @@
+lib/core/world.mli: Config Mir_rv Vhart

@@ -1,0 +1,69 @@
+type bug =
+  | Mpp_not_legalized
+  | Pmp_w_without_r
+  | Vpmp_overrun
+  | Interrupt_priority_swapped
+  | Mret_skips_mpie
+
+type t = {
+  offload : bool;
+  miralis_base : int64;
+  miralis_size : int64;
+  policy_pmp_slots : int;
+  virtualize_plic : bool;
+  allowed_custom_csrs : int list;
+  cost : Cost.t;
+  vcsr_config : Mir_rv.Csr_spec.config;
+  inject_bug : bug option;
+}
+
+(* Fixed reserved entries: Miralis memory, virtual-device window,
+   zero-anchor, catch-all (Fig. 5); the experimental virtual PLIC
+   claims one more. *)
+let fixed_reserved ~virtualize_plic = if virtualize_plic then 5 else 4
+
+let make ?(offload = true) ?(policy_pmp_slots = 1) ?(virtualize_plic = false)
+    ?(allowed_custom_csrs = []) ?cost ?inject_bug
+    ~(machine : Mir_rv.Machine.config) () =
+  let cost = Option.value cost ~default:Cost.default in
+  let phys_pmp = machine.Mir_rv.Machine.csr_config.Mir_rv.Csr_spec.pmp_count in
+  let vpmp =
+    phys_pmp - fixed_reserved ~virtualize_plic - policy_pmp_slots
+  in
+  if vpmp < 1 then
+    invalid_arg "Config.make: not enough physical PMP entries";
+  (* Reserve the top of RAM for Miralis: 1 MiB on full-size machines,
+     a quarter of RAM (power of two) on small ones like the verifier's
+     reference machine. *)
+  let miralis_size =
+    let quarter = machine.Mir_rv.Machine.ram_size / 4 in
+    let rec pow2 p = if 2 * p > quarter then p else pow2 (2 * p) in
+    Int64.of_int (min 0x100000 (pow2 4096))
+  in
+  let miralis_base =
+    Int64.sub
+      (Int64.add machine.Mir_rv.Machine.ram_base
+         (Int64.of_int machine.Mir_rv.Machine.ram_size))
+      miralis_size
+  in
+  {
+    offload;
+    miralis_base;
+    miralis_size;
+    policy_pmp_slots;
+    virtualize_plic;
+    allowed_custom_csrs;
+    cost;
+    vcsr_config =
+      {
+        machine.Mir_rv.Machine.csr_config with
+        Mir_rv.Csr_spec.pmp_count = vpmp;
+        custom_csrs = allowed_custom_csrs;
+        force_s_interrupt_delegation = true;
+      };
+    inject_bug;
+  }
+
+let reserved_pmp_slots t =
+  fixed_reserved ~virtualize_plic:t.virtualize_plic + t.policy_pmp_slots
+let vpmp_count t = t.vcsr_config.Mir_rv.Csr_spec.pmp_count

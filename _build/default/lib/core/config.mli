@@ -1,0 +1,54 @@
+(** Miralis build-time configuration.
+
+    Mirrors the knobs of the real system: fast-path offload on/off
+    (the paper's headline ablation), the PMP budget split between
+    Miralis-reserved and virtual entries (Fig. 5), the set of
+    platform-specific CSRs the firmware is allowed to touch (like the
+    P550's speculation-control CSRs), and — for the verification
+    experiments — switchable *bug injections* reproducing classes of
+    defects the paper's checker caught (§6.5). *)
+
+(** Deliberate defects for checker-effectiveness experiments. Each
+    reproduces a bug class from §6.5 of the paper. *)
+type bug =
+  | Mpp_not_legalized  (** accept the reserved MPP encoding *)
+  | Pmp_w_without_r  (** accept the reserved W=1/R=0 combination *)
+  | Vpmp_overrun  (** allow one vPMP index past the implemented count *)
+  | Interrupt_priority_swapped  (** MSI before MEI *)
+  | Mret_skips_mpie  (** mret forgets to restore MIE from MPIE *)
+
+type t = {
+  offload : bool;  (** fast-path offload of the five hot traps *)
+  miralis_base : int64;  (** reserved VFM memory (protected by PMP 0) *)
+  miralis_size : int64;
+  policy_pmp_slots : int;  (** physical entries reserved for policies *)
+  virtualize_plic : bool;
+      (** experimental: trap-and-emulate firmware PLIC accesses (§4.3);
+          consumes one extra physical PMP entry *)
+  allowed_custom_csrs : int list;
+  cost : Cost.t;
+  vcsr_config : Mir_rv.Csr_spec.config;
+      (** the *virtual* hart configuration exposed to the firmware
+          (Definition 2's reference configuration [c_r]) *)
+  inject_bug : bug option;
+}
+
+val make :
+  ?offload:bool ->
+  ?policy_pmp_slots:int ->
+  ?virtualize_plic:bool ->
+  ?allowed_custom_csrs:int list ->
+  ?cost:Cost.t ->
+  ?inject_bug:bug ->
+  machine:Mir_rv.Machine.config ->
+  unit ->
+  t
+(** Derive a configuration from the host machine: Miralis reserves the
+    top MiB of RAM, and the virtual PMP count is the physical count
+    minus the reserved entries (2 fixed + policy slots + zero-anchor +
+    catch-all), per Fig. 5. *)
+
+val reserved_pmp_slots : t -> int
+(** Entries not available to the virtual firmware. *)
+
+val vpmp_count : t -> int

@@ -1,0 +1,49 @@
+type t = {
+  trap_entry : int;
+  trap_exit : int;
+  emulate_instr : int;
+  world_switch : int;
+  tlb_flush : int;
+  vclint_access : int;
+  offload_time_read : int;
+  offload_set_timer : int;
+  offload_ipi : int;
+  offload_rfence : int;
+  offload_misaligned : int;
+}
+
+(* Table 4 (VisionFive 2): emulating "csrw mscratch, x0" costs 483
+   cycles including the M-mode round trip; a full world-switch round
+   trip costs 2704 cycles. The emulation figure decomposes as
+   trap_entry + emulate_instr + trap_exit; the world switch adds the
+   CSR install and TLB flush in both directions. *)
+let default =
+  {
+    trap_entry = 140;
+    trap_exit = 113;
+    emulate_instr = 230;
+    world_switch = 620;
+    tlb_flush = 180;
+    vclint_access = 260;
+    offload_time_read = 170;
+    offload_set_timer = 260;
+    offload_ipi = 320;
+    offload_rfence = 360;
+    offload_misaligned = 420;
+  }
+
+let scale t f =
+  let s x = int_of_float (Float.round (float_of_int x *. f)) in
+  {
+    trap_entry = s t.trap_entry;
+    trap_exit = s t.trap_exit;
+    emulate_instr = s t.emulate_instr;
+    world_switch = s t.world_switch;
+    tlb_flush = s t.tlb_flush;
+    vclint_access = s t.vclint_access;
+    offload_time_read = s t.offload_time_read;
+    offload_set_timer = s t.offload_set_timer;
+    offload_ipi = s t.offload_ipi;
+    offload_rfence = s t.offload_rfence;
+    offload_misaligned = s t.offload_misaligned;
+  }

@@ -1,0 +1,30 @@
+(** Cycle-cost model for VFM operations.
+
+    The real Miralis executes on the hart it virtualizes; in this
+    reproduction the VFM logic runs at meta level, so its execution
+    time is charged to the simulated hart through this model. The
+    per-platform constants are calibrated so the microbenchmark
+    results (paper Tables 4 and 5) land in the published range; every
+    macrobenchmark figure then *emerges* from the same constants. *)
+
+type t = {
+  trap_entry : int;  (** hardware trap + VFM dispatch *)
+  trap_exit : int;  (** state restore + mret *)
+  emulate_instr : int;  (** decode + one privileged-instruction emulation *)
+  world_switch : int;  (** CSR save/install on a world transition *)
+  tlb_flush : int;  (** PMP rewrite forces a TLB flush *)
+  vclint_access : int;  (** virtual CLINT MMIO emulation *)
+  offload_time_read : int;
+  offload_set_timer : int;
+  offload_ipi : int;
+  offload_rfence : int;
+  offload_misaligned : int;
+}
+
+val default : t
+(** Constants in the range measured on the VisionFive 2 (Table 4:
+    483-cycle emulated instruction, ~2.7k-cycle world-switch round
+    trip). *)
+
+val scale : t -> float -> t
+(** Scale every constant (used to derive platform variants). *)

@@ -1,0 +1,56 @@
+(** The privileged-instruction emulator — the [vfm : S × I_p → S]
+    function of the paper's Definition 1.
+
+    When the deprivileged firmware executes a privileged instruction it
+    traps (illegal instruction in U-mode) and lands here. The emulator
+    applies the instruction's architectural semantics to the *virtual*
+    CSR file, exactly as the reference machine would apply them to
+    physical state in M-mode. {!Mir_verif.Faithful_emulation} checks
+    this equivalence by exhaustive enumeration.
+
+    The emulator is written against an abstract context (register
+    accessors and counter values) so the verifier can drive it on
+    synthetic states without a machine. *)
+
+type ctx = {
+  read_gpr : int -> int64;
+  write_gpr : int -> int64 -> unit;
+  pc : int64;  (** virtual PC of the trapping instruction *)
+  cycles : int64;  (** hart cycle counter (mcycle) *)
+  instret : int64;
+  phys_custom_read : int -> int64;
+      (** pass-through reads of allowed platform CSRs *)
+  phys_custom_write : int -> int64 -> unit;
+}
+
+(** What the VFM must do after emulating one instruction. *)
+type action =
+  | Next  (** resume the firmware at pc+4 *)
+  | Jump of int64  (** resume the firmware elsewhere (mret to vM) *)
+  | Exit_to_os of { pc : int64; priv : Mir_rv.Priv.t }
+      (** world switch: mret/sret left virtual M-mode *)
+  | Vtrap of Mir_rv.Cause.exc * int64
+      (** inject a trap into the virtual firmware *)
+  | Wfi  (** firmware waits for a virtual interrupt *)
+  | Unsupported  (** not a privileged instruction: VFM bug *)
+
+type outcome = {
+  action : action;
+  pmp_dirty : bool;
+      (** a vPMP register or mstatus.MPRV changed: the physical PMP
+          must be reinstalled *)
+}
+
+val emulate :
+  Config.t -> Vhart.t -> ctx -> bits:int -> Mir_rv.Instr.t -> outcome
+(** Emulate one privileged instruction against the virtual state.
+    [bits] is the raw encoding (for the mtval of injected illegal
+    instruction traps). *)
+
+val check_virtual_interrupt :
+  Config.t -> Vhart.t -> Mir_rv.Cause.intr option
+(** The virtual-interrupt injection decision (paper §4.1): a virtual
+    M-level interrupt must be injected if it is pending and enabled —
+    evaluated after each emulation since traps and privileged
+    instructions can mask or unmask interrupts. The caller must first
+    sync the virtual mip's M-level bits from the virtual CLINT. *)

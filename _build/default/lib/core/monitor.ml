@@ -1,0 +1,611 @@
+module Bits = Mir_util.Bits
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Clint = Mir_rv.Clint
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Csr_spec = Mir_rv.Csr_spec
+module Cause = Mir_rv.Cause
+module Priv = Mir_rv.Priv
+module Instr = Mir_rv.Instr
+module Vmem = Mir_rv.Vmem
+module Pmp = Mir_rv.Pmp
+module Ms = Csr_spec.Mstatus
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  vharts : Vhart.t array;
+  vclint : Vclint.t;
+  vplic : Vplic.t;
+  mutable policy : Policy.t;
+  stats : Vfm_stats.t;
+  mutable violation : string option;
+}
+
+let charge t hart n = ignore t; Machine.charge hart n
+let vhart t (hart : Hart.t) = t.vharts.(hart.Hart.id)
+
+(* ------------------------------------------------------------------ *)
+(* Resuming the hart                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Miralis leaves its handler with an mret; emulate the physical
+   mstatus pop. *)
+let phys_mret (hart : Hart.t) =
+  let csr = hart.Hart.csr in
+  let m = Csr_file.read_raw csr Csr_addr.mstatus in
+  let new_priv = Ms.get_mpp m in
+  let m = Bits.write m Ms.mie (Bits.test m Ms.mpie) in
+  let m = Bits.set m Ms.mpie in
+  let m = Ms.set_mpp m Priv.U in
+  let m = if new_priv <> Priv.M then Bits.clear m Ms.mprv else m in
+  Csr_file.write_raw csr Csr_addr.mstatus m;
+  new_priv
+
+let return_to_os t (hart : Hart.t) ~pc =
+  let priv = phys_mret hart in
+  (* A trap that interrupted M-mode cannot belong to the OS world;
+     downgrade to S defensively. *)
+  let priv = if priv = Priv.M then Priv.S else priv in
+  ignore t;
+  Machine.resume hart ~pc ~priv
+
+let enter_firmware t (hart : Hart.t) ~pc =
+  ignore (phys_mret hart);
+  ignore t;
+  Machine.resume hart ~pc ~priv:Priv.U
+
+(* ------------------------------------------------------------------ *)
+(* Policy context                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec policy_ctx t hart =
+  {
+    Policy.machine = t.machine;
+    hart;
+    vhart = vhart t hart;
+    config = t.config;
+    report_violation =
+      (fun msg ->
+        t.violation <- Some msg;
+        Logs.err (fun m -> m "miralis: policy violation: %s" msg);
+        t.machine.Machine.poweroff <- true);
+    reinstall_pmp = (fun () -> reinstall_pmp t hart);
+    return_to_os = (fun ~pc -> return_to_os t hart ~pc);
+  }
+
+and policy_pmp_entries t hart =
+  t.policy.Policy.pmp_entries (policy_ctx t hart)
+
+and reinstall_pmp t hart =
+  Vpmp.install t.config (vhart t hart) hart ~policy:(policy_pmp_entries t hart)
+
+(* ------------------------------------------------------------------ *)
+(* World switches                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let switch_to_fw t hart vh =
+  assert (vh.Vhart.world = Vhart.Os);
+  t.policy.Policy.on_switch_to_fw (policy_ctx t hart);
+  (* The world flips before the PMP layout is derived: both the Vpmp
+     builder and the policy's pmp_entries must see the new world. *)
+  vh.Vhart.world <- Vhart.Firmware;
+  World.to_fw t.config vh hart ~policy:(policy_pmp_entries t hart);
+  t.stats.Vfm_stats.world_switches <- t.stats.Vfm_stats.world_switches + 1
+
+let switch_to_os t hart vh =
+  assert (vh.Vhart.world = Vhart.Firmware);
+  t.policy.Policy.on_switch_to_os (policy_ctx t hart);
+  vh.Vhart.world <- Vhart.Os;
+  World.to_os t.config vh hart ~policy:(policy_pmp_entries t hart)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual trap injection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let vtvec_target vtvec cause =
+  let base = Int64.logand vtvec (Int64.lognot 3L) in
+  match cause with
+  | Cause.Interrupt i when Int64.logand vtvec 3L = 1L ->
+      Int64.add base (Int64.of_int (4 * Cause.intr_code i))
+  | _ -> base
+
+let inject_vtrap t hart (vh : Vhart.t) cause ~tval ~epc ~mpp =
+  assert (vh.Vhart.world = Vhart.Firmware);
+  let v = vh.Vhart.csr in
+  Csr_file.write_raw v Csr_addr.mepc epc;
+  Csr_file.write_raw v Csr_addr.mcause (Cause.to_xcause cause);
+  Csr_file.write_raw v Csr_addr.mtval tval;
+  let m = Csr_file.read_raw v Csr_addr.mstatus in
+  let m = Bits.write m Ms.mpie (Bits.test m Ms.mie) in
+  let m = Bits.clear m Ms.mie in
+  let m = Ms.set_mpp m mpp in
+  Csr_file.write_raw v Csr_addr.mstatus m;
+  t.stats.Vfm_stats.vtraps <- t.stats.Vfm_stats.vtraps + 1;
+  enter_firmware t hart
+    ~pc:(vtvec_target (Csr_file.read_raw v Csr_addr.mtvec) cause)
+
+(* Re-inject an OS trap into the virtual firmware: world switch, then
+   deliver with the privilege level hardware recorded in MPP. *)
+let reinject_from_os t hart vh cause ~tval =
+  let epc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+  let mpp = Ms.get_mpp (Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus) in
+  switch_to_fw t hart vh;
+  inject_vtrap t hart vh cause ~tval ~epc ~mpp
+
+(* ------------------------------------------------------------------ *)
+(* Virtual interrupt state                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sync_vmip t (vh : Vhart.t) =
+  let h = vh.Vhart.id in
+  let clint = t.machine.Machine.clint in
+  let mtip = Vclint.vmtip t.vclint clint h in
+  if mtip then begin
+    (* Latch: stop the physical comparator from re-firing for the
+       virtual deadline while the firmware leaves it pending. *)
+    Vclint.disarm_virtual t.vclint h;
+    Vclint.program_physical t.vclint clint h
+  end;
+  Csr_file.set_mip_bits vh.Vhart.csr Csr_spec.Irq.mtip mtip;
+  Csr_file.set_mip_bits vh.Vhart.csr Csr_spec.Irq.msip
+    (Vclint.vmsip t.vclint h)
+
+(* ------------------------------------------------------------------ *)
+(* Firmware-world trap handling                                        *)
+(* ------------------------------------------------------------------ *)
+
+let halt t msg =
+  t.violation <- Some msg;
+  Logs.err (fun m -> m "miralis: %s" msg);
+  t.machine.Machine.poweroff <- true
+
+let fetch_fw_instr t (hart : Hart.t) =
+  (* The firmware executes with bare addressing: its pc is physical. *)
+  let epc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+  match Machine.phys_load t.machine epc 4 with
+  | None -> None
+  | Some w -> Mir_rv.Decode.decode (Int64.to_int w)
+
+let apply_emulator_outcome t hart vh epc (out : Emulator.outcome) =
+  if out.Emulator.pmp_dirty then reinstall_pmp t hart;
+  t.stats.Vfm_stats.emulated_instrs <- t.stats.Vfm_stats.emulated_instrs + 1;
+  charge t hart t.config.Config.cost.Cost.emulate_instr;
+  match out.Emulator.action with
+  | Emulator.Next -> enter_firmware t hart ~pc:(Int64.add epc 4L)
+  | Emulator.Jump pc -> enter_firmware t hart ~pc
+  | Emulator.Exit_to_os { pc; priv } ->
+      switch_to_os t hart vh;
+      if not vh.Vhart.entered_s then vh.Vhart.entered_s <- true;
+      ignore (phys_mret hart);
+      Machine.resume hart ~pc ~priv
+  | Emulator.Vtrap (exc, tval) ->
+      inject_vtrap t hart vh (Cause.Exception exc) ~tval ~epc ~mpp:Priv.M
+  | Emulator.Wfi -> begin
+      sync_vmip t vh;
+      match Emulator.check_virtual_interrupt t.config vh with
+      | Some _ ->
+          (* an interrupt is already pending: wfi completes at once *)
+          enter_firmware t hart ~pc:(Int64.add epc 4L)
+      | None ->
+          hart.Hart.wfi <- true;
+          enter_firmware t hart ~pc:(Int64.add epc 4L)
+    end
+  | Emulator.Unsupported ->
+      halt t "emulator invoked on a non-privileged instruction"
+
+let emulator_ctx _t (hart : Hart.t) epc =
+  {
+    Emulator.read_gpr = Hart.get hart;
+    write_gpr = Hart.set hart;
+    pc = epc;
+    cycles = hart.Hart.cycles;
+    instret = hart.Hart.instret;
+    phys_custom_read = (fun a -> Csr_file.read_raw hart.Hart.csr a);
+    phys_custom_write = (fun a v -> Csr_file.write_raw hart.Hart.csr a v);
+  }
+
+(* A memory fault by the firmware: virtual-device emulation, the MPRV
+   trick, or (by default) re-injection as the firmware's own fault. *)
+let handle_fw_memory_fault t hart vh cause =
+  let csr = hart.Hart.csr in
+  let epc = Csr_file.read_raw csr Csr_addr.mepc in
+  let vaddr = Csr_file.read_raw csr Csr_addr.mtval in
+  let in_vdev =
+    Bits.ule Vpmp.vdev_base vaddr
+    && Bits.ult vaddr (Int64.add Vpmp.vdev_base Vpmp.vdev_size)
+  in
+  let in_vplic =
+    t.config.Config.virtualize_plic
+    && Bits.ule Vpmp.plic_base vaddr
+    && Bits.ult vaddr (Int64.add Vpmp.plic_base Vpmp.plic_size)
+  in
+  let vtrap () =
+    match cause with
+    | Cause.Exception e ->
+        inject_vtrap t hart vh (Cause.Exception e) ~tval:vaddr ~epc ~mpp:Priv.M
+    | Cause.Interrupt _ -> assert false
+  in
+  let resume_next () = enter_firmware t hart ~pc:(Int64.add epc 4L) in
+  match fetch_fw_instr t hart with
+  | None -> vtrap ()
+  | Some instr -> begin
+      if in_vplic then begin
+        (* experimental virtual PLIC emulation *)
+        let offset = Int64.sub vaddr Vpmp.plic_base in
+        let h = hart.Hart.id in
+        charge t hart t.config.Config.cost.Cost.vclint_access;
+        match instr with
+        | Instr.Load { rd; _ } -> begin
+            match
+              Vplic.emulate_access t.vplic t.machine.Machine.plic ~hart:h
+                ~offset ~size:4 ~write:None
+            with
+            | Some v ->
+                Hart.set hart rd (Bits.sext v ~width:32);
+                resume_next ()
+            | None -> vtrap ()
+          end
+        | Instr.Store { rs2; _ } -> begin
+            match
+              Vplic.emulate_access t.vplic t.machine.Machine.plic ~hart:h
+                ~offset ~size:4 ~write:(Some (Hart.get hart rs2))
+            with
+            | Some _ -> resume_next ()
+            | None -> vtrap ()
+          end
+        | _ -> vtrap ()
+      end
+      else if in_vdev then begin
+        (* Virtual CLINT access. *)
+        let offset v = Int64.sub v Vpmp.vdev_base in
+        t.stats.Vfm_stats.vclint_accesses <-
+          t.stats.Vfm_stats.vclint_accesses + 1;
+        charge t hart t.config.Config.cost.Cost.vclint_access;
+        match instr with
+        | Instr.Load { width; unsigned; rd; _ } -> begin
+            let size =
+              match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8
+            in
+            match
+              Vclint.emulate_access t.vclint t.machine.Machine.clint
+                ~offset:(offset vaddr) ~size ~write:None
+            with
+            | Some v ->
+                let v =
+                  if unsigned || size = 8 then v
+                  else Bits.sext v ~width:(8 * size)
+                in
+                Hart.set hart rd v;
+                resume_next ()
+            | None -> vtrap ()
+          end
+        | Instr.Store { width; rs2; _ } -> begin
+            let size =
+              match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8
+            in
+            match
+              Vclint.emulate_access t.vclint t.machine.Machine.clint
+                ~offset:(offset vaddr) ~size ~write:(Some (Hart.get hart rs2))
+            with
+            | Some _ ->
+                sync_vmip t vh;
+                resume_next ()
+            | None -> vtrap ()
+          end
+        | _ -> vtrap ()
+      end
+      else if vh.Vhart.mprv_active then begin
+        (* MPRV emulation: perform the access through the OS page
+           tables on the firmware's behalf (paper §4.2). *)
+        let v = vh.Vhart.csr in
+        let satp = Csr_file.read_raw v Csr_addr.satp in
+        let vms = Csr_file.read_raw v Csr_addr.mstatus in
+        let priv = Ms.get_mpp vms in
+        let translate access =
+          Vmem.translate
+            ~read:(fun a -> Machine.phys_load t.machine a 8)
+            ~write:(fun a w -> ignore (Machine.phys_store t.machine a 8 w))
+            ~satp ~priv ~sum:(Bits.test vms Ms.sum)
+            ~mxr:(Bits.test vms Ms.mxr) access vaddr
+        in
+        (* MPRV accesses are protection-checked at MPP's privilege
+           against the *virtual* PMP, as architected. *)
+        let vpmp_ok access phys =
+          Pmp.check
+            ~entries:(Csr_file.pmp_entries v)
+            ~priv access ~addr:phys ~size:1
+        in
+        match instr with
+        | Instr.Load { width; unsigned; rd; _ } -> begin
+            let size =
+              match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8
+            in
+            match translate Vmem.Load with
+            | Error e ->
+                inject_vtrap t hart vh (Cause.Exception e) ~tval:vaddr ~epc
+                  ~mpp:Priv.M
+            | Ok phys when not (vpmp_ok Pmp.Read phys) ->
+                inject_vtrap t hart vh
+                  (Cause.Exception Cause.Load_access_fault) ~tval:vaddr ~epc
+                  ~mpp:Priv.M
+            | Ok phys -> begin
+                match Machine.phys_load t.machine phys size with
+                | None ->
+                    inject_vtrap t hart vh
+                      (Cause.Exception Cause.Load_access_fault) ~tval:vaddr
+                      ~epc ~mpp:Priv.M
+                | Some value ->
+                    let value =
+                      if unsigned || size = 8 then value
+                      else Bits.sext value ~width:(8 * size)
+                    in
+                    Hart.set hart rd value;
+                    resume_next ()
+              end
+          end
+        | Instr.Store { width; rs2; _ } -> begin
+            let size =
+              match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8
+            in
+            match translate Vmem.Store with
+            | Error e ->
+                inject_vtrap t hart vh (Cause.Exception e) ~tval:vaddr ~epc
+                  ~mpp:Priv.M
+            | Ok phys when not (vpmp_ok Pmp.Write phys) ->
+                inject_vtrap t hart vh
+                  (Cause.Exception Cause.Store_access_fault) ~tval:vaddr ~epc
+                  ~mpp:Priv.M
+            | Ok phys ->
+                if Machine.phys_store t.machine phys size (Hart.get hart rs2)
+                then resume_next ()
+                else
+                  inject_vtrap t hart vh
+                    (Cause.Exception Cause.Store_access_fault) ~tval:vaddr
+                    ~epc ~mpp:Priv.M
+          end
+        | _ -> vtrap ()
+      end
+      else begin
+        match t.policy.Policy.on_trap_from_fw (policy_ctx t hart) cause with
+        | Policy.Handled -> ()
+        | Policy.Pass -> vtrap ()
+      end
+    end
+
+let handle_from_fw t hart vh cause =
+  let csr = hart.Hart.csr in
+  let epc = Csr_file.read_raw csr Csr_addr.mepc in
+  match cause with
+  | Cause.Exception Cause.Illegal_instr -> begin
+      let bits = Csr_file.read_raw csr Csr_addr.mtval in
+      match Mir_rv.Decode.decode (Int64.to_int (Int64.logand bits 0xFFFFFFFFL)) with
+      | Some instr when Instr.is_privileged instr ->
+          let out =
+            Emulator.emulate t.config vh (emulator_ctx t hart epc)
+              ~bits:(Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+              instr
+          in
+          apply_emulator_outcome t hart vh epc out
+      | Some _ | None ->
+          (* A genuinely illegal instruction in the firmware: deliver
+             the firmware its own illegal-instruction trap. *)
+          inject_vtrap t hart vh cause ~tval:bits ~epc ~mpp:Priv.M
+    end
+  | Cause.Exception Cause.Ecall_from_u -> begin
+      (* The firmware's own ecall: virtually this is ecall-from-M. *)
+      match t.policy.Policy.on_ecall_from_fw (policy_ctx t hart) with
+      | Policy.Handled -> ()
+      | Policy.Pass ->
+          inject_vtrap t hart vh (Cause.Exception Cause.Ecall_from_m) ~tval:0L
+            ~epc ~mpp:Priv.M
+    end
+  | Cause.Exception (Cause.Load_access_fault | Cause.Store_access_fault) ->
+      handle_fw_memory_fault t hart vh cause
+  | Cause.Exception
+      ( Cause.Load_misaligned | Cause.Store_misaligned | Cause.Breakpoint
+      | Cause.Instr_misaligned | Cause.Instr_access_fault ) -> begin
+      match t.policy.Policy.on_trap_from_fw (policy_ctx t hart) cause with
+      | Policy.Handled -> ()
+      | Policy.Pass ->
+          let tval = Csr_file.read_raw csr Csr_addr.mtval in
+          inject_vtrap t hart vh cause ~tval ~epc ~mpp:Priv.M
+    end
+  | Cause.Exception
+      ( Cause.Ecall_from_s | Cause.Ecall_from_m | Cause.Instr_page_fault
+      | Cause.Load_page_fault | Cause.Store_page_fault ) ->
+      halt t
+        (Printf.sprintf "unexpected trap from firmware world: %s"
+           (Cause.to_string cause))
+  | Cause.Interrupt _ ->
+      (* handled by the shared interrupt path in [handle] *)
+      assert false
+
+(* ------------------------------------------------------------------ *)
+(* OS-world trap handling                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_from_os t hart vh cause =
+  let csr = hart.Hart.csr in
+  match cause with
+  | Cause.Exception (Cause.Ecall_from_s | Cause.Ecall_from_u) -> begin
+      match t.policy.Policy.on_ecall_from_os (policy_ctx t hart) with
+      | Policy.Handled -> ()
+      | Policy.Pass -> begin
+          match Offload.try_ecall t.config t.machine t.vclint t.stats hart with
+          | Offload.Resume_at pc -> return_to_os t hart ~pc
+          | Offload.Not_handled -> reinject_from_os t hart vh cause ~tval:0L
+        end
+    end
+  | Cause.Exception Cause.Illegal_instr -> begin
+      let bits = Csr_file.read_raw csr Csr_addr.mtval in
+      match Offload.try_illegal t.config t.machine t.stats hart ~bits with
+      | Offload.Resume_at pc -> return_to_os t hart ~pc
+      | Offload.Not_handled -> reinject_from_os t hart vh cause ~tval:bits
+    end
+  | Cause.Exception Cause.Load_misaligned -> begin
+      match Offload.try_misaligned t.config t.machine t.stats hart ~store:false
+      with
+      | Offload.Resume_at pc -> return_to_os t hart ~pc
+      | Offload.Not_handled ->
+          reinject_from_os t hart vh cause
+            ~tval:(Csr_file.read_raw csr Csr_addr.mtval)
+    end
+  | Cause.Exception Cause.Store_misaligned -> begin
+      match Offload.try_misaligned t.config t.machine t.stats hart ~store:true
+      with
+      | Offload.Resume_at pc -> return_to_os t hart ~pc
+      | Offload.Not_handled ->
+          reinject_from_os t hart vh cause
+            ~tval:(Csr_file.read_raw csr Csr_addr.mtval)
+    end
+  | Cause.Exception _ -> begin
+      match t.policy.Policy.on_trap_from_os (policy_ctx t hart) cause with
+      | Policy.Handled -> ()
+      | Policy.Pass ->
+          reinject_from_os t hart vh cause
+            ~tval:(Csr_file.read_raw csr Csr_addr.mtval)
+    end
+  | Cause.Interrupt _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* M-level interrupts (shared between worlds)                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_interrupt t hart vh (i : Cause.intr) =
+  let csr = hart.Hart.csr in
+  (* mepc is read at resume time: a policy hook may retarget it (the
+     Keystone policy does, when an interrupt lands mid-enclave). *)
+  let resume () =
+    let epc = Csr_file.read_raw csr Csr_addr.mepc in
+    match vh.Vhart.world with
+    | Vhart.Os -> return_to_os t hart ~pc:epc
+    | Vhart.Firmware -> enter_firmware t hart ~pc:epc
+  in
+  match t.policy.Policy.on_interrupt (policy_ctx t hart) i with
+  | Policy.Handled -> ()
+  | Policy.Pass -> begin
+      let h = hart.Hart.id in
+      let clint = t.machine.Machine.clint in
+      match i with
+      | Cause.Machine_timer ->
+          let now = Clint.mtime clint in
+          (if Bits.ule (Vclint.offload_deadline t.vclint h) now then begin
+             (* The fast-path deadline fired: deliver STIP to the OS. *)
+             Vclint.set_offload_deadline t.vclint h (-1L);
+             Vclint.program_physical t.vclint clint h;
+             match vh.Vhart.world with
+             | Vhart.Os -> Csr_file.set_mip_bits csr Csr_spec.Irq.stip true
+             | Vhart.Firmware ->
+                 Csr_file.set_mip_bits vh.Vhart.csr Csr_spec.Irq.stip true
+           end);
+          (* A virtual deadline is latched into vmip by sync_vmip; the
+             injection check after this handler delivers it. *)
+          resume ()
+      | Cause.Machine_software ->
+          Clint.set_msip clint h false;
+          (if Vclint.os_ipi_pending t.vclint h then begin
+             Vclint.set_os_ipi_pending t.vclint h false;
+             match vh.Vhart.world with
+             | Vhart.Os -> Csr_file.set_mip_bits csr Csr_spec.Irq.ssip true
+             | Vhart.Firmware ->
+                 Csr_file.set_mip_bits vh.Vhart.csr Csr_spec.Irq.ssip true
+           end);
+          (if Vclint.rfence_pending t.vclint h then begin
+             Vclint.set_rfence_pending t.vclint h false;
+             Machine.flush_icache t.machine
+           end);
+          resume ()
+      | Cause.Machine_external | Cause.Supervisor_external
+      | Cause.Supervisor_software | Cause.Supervisor_timer ->
+          (* S-level interrupts are force-delegated and never reach
+             Miralis; M-external is not enabled. *)
+          resume ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Top-level dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let handle t (hart : Hart.t) cause =
+  let vh = vhart t hart in
+  charge t hart t.config.Config.cost.Cost.trap_entry;
+  sync_vmip t vh;
+  (match cause with
+  | Cause.Interrupt i -> begin
+      (match vh.Vhart.world with
+      | Vhart.Os ->
+          t.stats.Vfm_stats.traps_from_os <-
+            t.stats.Vfm_stats.traps_from_os + 1
+      | Vhart.Firmware ->
+          t.stats.Vfm_stats.traps_from_fw <-
+            t.stats.Vfm_stats.traps_from_fw + 1);
+      handle_interrupt t hart vh i
+    end
+  | Cause.Exception _ -> begin
+      match vh.Vhart.world with
+      | Vhart.Os ->
+          t.stats.Vfm_stats.traps_from_os <-
+            t.stats.Vfm_stats.traps_from_os + 1;
+          handle_from_os t hart vh cause
+      | Vhart.Firmware ->
+          t.stats.Vfm_stats.traps_from_fw <-
+            t.stats.Vfm_stats.traps_from_fw + 1;
+          handle_from_fw t hart vh cause
+    end);
+  (* Check for virtual interrupts: a pending-and-enabled virtual
+     M-level interrupt preempts whichever world we were about to
+     resume (paper §4.1). *)
+  (if not t.machine.Machine.poweroff then begin
+     sync_vmip t vh;
+     match Emulator.check_virtual_interrupt t.config vh with
+     | Some i -> begin
+         let epc = hart.Hart.pc in
+         match vh.Vhart.world with
+         | Vhart.Firmware ->
+             inject_vtrap t hart vh (Cause.Interrupt i) ~tval:0L ~epc
+               ~mpp:Priv.M
+         | Vhart.Os ->
+             let mpp = hart.Hart.priv in
+             switch_to_fw t hart vh;
+             inject_vtrap t hart vh (Cause.Interrupt i) ~tval:0L ~epc ~mpp
+       end
+     | None -> ()
+   end);
+  charge t hart t.config.Config.cost.Cost.trap_exit
+
+let create ?policy config machine =
+  let nharts = Array.length machine.Machine.harts in
+  let t =
+    {
+      config;
+      machine;
+      vharts = Array.init nharts (fun id -> Vhart.create config ~id);
+      vclint = Vclint.create ~nharts;
+      vplic = Vplic.create ~nharts ~nsources:8;
+      policy = Option.value policy ~default:(Policy.default "none");
+      stats = Vfm_stats.create ();
+      violation = None;
+    }
+  in
+  machine.Machine.mmode_hook <- Some (fun _m hart cause -> handle t hart cause);
+  t
+
+let boot t ~fw_entry =
+  Array.iter
+    (fun hart ->
+      let vh = vhart t hart in
+      vh.Vhart.world <- Vhart.Firmware;
+      Hart.reset hart ~pc:fw_entry;
+      Hart.set hart 10 (Int64.of_int hart.Hart.id);
+      Hart.set hart 11 0L;
+      hart.Hart.priv <- Priv.U;
+      (* Well-defined physical state for vM-mode execution. *)
+      let p = hart.Hart.csr in
+      Csr_file.write_raw p Csr_addr.satp 0L;
+      Csr_file.write_raw p Csr_addr.medeleg 0L;
+      Csr_file.write_raw p Csr_addr.mideleg 0L;
+      Csr_file.write_raw p Csr_addr.mie World.miralis_mie;
+      reinstall_pmp t hart)
+    t.machine.Machine.harts

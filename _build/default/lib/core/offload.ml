@@ -1,0 +1,164 @@
+module Bits = Mir_util.Bits
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Clint = Mir_rv.Clint
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Csr_spec = Mir_rv.Csr_spec
+module Instr = Mir_rv.Instr
+module Cause = Mir_rv.Cause
+module Vmem = Mir_rv.Vmem
+module Ms = Csr_spec.Mstatus
+
+type result = Not_handled | Resume_at of int64
+
+let mepc hart = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc
+let charge = Machine.charge
+
+(* Expand an SBI hart mask (mask in a0, base hartid in a1; base = -1
+   means "all harts") into a hart-id list. *)
+let hart_targets (m : Machine.t) ~mask ~base =
+  let n = Array.length m.Machine.harts in
+  if base = -1L then List.init n Fun.id
+  else
+    List.filter_map
+      (fun i ->
+        let h = Int64.to_int base + i in
+        if h < n && Bits.test mask i then Some h else None)
+      (List.init 64 Fun.id)
+
+let kick_with (m : Machine.t) vclint flag targets =
+  List.iter
+    (fun h ->
+      flag vclint h true;
+      Clint.set_msip m.Machine.clint h true)
+    targets
+
+let set_timer (config : Config.t) (m : Machine.t) vclint stats hart deadline =
+  let h = hart.Hart.id in
+  Vclint.set_offload_deadline vclint h deadline;
+  Vclint.program_physical vclint m.Machine.clint h;
+  (* Arming the timer clears any pending supervisor timer interrupt,
+     as OpenSBI's handler does. *)
+  Csr_file.set_mip_bits hart.Hart.csr Csr_spec.Irq.stip false;
+  stats.Vfm_stats.offload_set_timer <- stats.Vfm_stats.offload_set_timer + 1;
+  charge hart config.Config.cost.Cost.offload_set_timer
+
+let try_ecall config (m : Machine.t) vclint stats hart =
+  if not config.Config.offload then Not_handled
+  else begin
+    let ext = Hart.get hart 17 and fid = Hart.get hart 16 in
+    let a0 = Hart.get hart 10 and a1 = Hart.get hart 11 in
+    let ret () =
+      Hart.set hart 10 Mir_sbi.Sbi.success;
+      Hart.set hart 11 0L;
+      Resume_at (Int64.add (mepc hart) 4L)
+    in
+    if
+      (ext = Mir_sbi.Sbi.ext_time && fid = Mir_sbi.Sbi.fid_time_set_timer)
+      || ext = Mir_sbi.Sbi.ext_legacy_set_timer
+    then begin
+      set_timer config m vclint stats hart a0;
+      ret ()
+    end
+    else if ext = Mir_sbi.Sbi.ext_ipi && fid = Mir_sbi.Sbi.fid_ipi_send_ipi
+    then begin
+      kick_with m vclint Vclint.set_os_ipi_pending
+        (hart_targets m ~mask:a0 ~base:a1);
+      stats.Vfm_stats.offload_ipi <- stats.Vfm_stats.offload_ipi + 1;
+      charge hart config.Config.cost.Cost.offload_ipi;
+      ret ()
+    end
+    else if ext = Mir_sbi.Sbi.ext_rfence then begin
+      kick_with m vclint Vclint.set_rfence_pending
+        (hart_targets m ~mask:a0 ~base:a1);
+      stats.Vfm_stats.offload_rfence <- stats.Vfm_stats.offload_rfence + 1;
+      charge hart config.Config.cost.Cost.offload_rfence;
+      ret ()
+    end
+    else Not_handled
+  end
+
+let try_illegal config (m : Machine.t) stats hart ~bits =
+  if not config.Config.offload then Not_handled
+  else
+    match Mir_rv.Decode.decode (Int64.to_int (Int64.logand bits 0xFFFFFFFFL)) with
+    | Some (Instr.Csr { op = Instr.Csrrs | Instr.Csrrc; rd; src; csr })
+      when csr = Csr_addr.time
+           && (src = Instr.Reg 0 || src = Instr.Imm 0) ->
+        Hart.set hart rd (Clint.mtime m.Machine.clint);
+        stats.Vfm_stats.offload_time_read <-
+          stats.Vfm_stats.offload_time_read + 1;
+        charge hart config.Config.cost.Cost.offload_time_read;
+        Resume_at (Int64.add (mepc hart) 4L)
+    | _ -> Not_handled
+
+(* Emulate one misaligned load/store on behalf of the OS: fetch and
+   decode the faulting instruction, translate byte-by-byte through the
+   OS page tables, and perform the access. *)
+let try_misaligned config (m : Machine.t) stats hart ~store =
+  if not config.Config.offload then Not_handled
+  else begin
+    let csr = hart.Hart.csr in
+    let epc = mepc hart in
+    let vaddr = Csr_file.read_raw csr Csr_addr.mtval in
+    (* Effective privilege of the interrupted access. *)
+    let priv = Ms.get_mpp (Csr_file.read_raw csr Csr_addr.mstatus) in
+    let fetch_instr () =
+      match Machine.translate m hart ~priv Vmem.Fetch epc with
+      | Error _ -> None
+      | Ok phys -> begin
+          match Machine.phys_load m phys 4 with
+          | None -> None
+          | Some w -> Mir_rv.Decode.decode (Int64.to_int w)
+        end
+    in
+    let byte_at a =
+      match Machine.translate m hart ~priv Vmem.Load a with
+      | Error _ -> None
+      | Ok phys -> Machine.phys_load m phys 1
+    in
+    let write_byte a v =
+      match Machine.translate m hart ~priv Vmem.Store a with
+      | Error _ -> false
+      | Ok phys -> Machine.phys_store m phys 1 v
+    in
+    let finish () =
+      stats.Vfm_stats.offload_misaligned <-
+        stats.Vfm_stats.offload_misaligned + 1;
+      charge hart config.Config.cost.Cost.offload_misaligned;
+      Resume_at (Int64.add epc 4L)
+    in
+    match fetch_instr () with
+    | Some (Instr.Load { width; unsigned; rd; _ }) when not store ->
+        let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+        let rec read i acc =
+          if i < 0 then Some acc
+          else
+            match byte_at (Int64.add vaddr (Int64.of_int i)) with
+            | Some b -> read (i - 1) (Int64.logor (Int64.shift_left acc 8) b)
+            | None -> None
+        in
+        (match read (size - 1) 0L with
+        | Some v ->
+            let v =
+              if unsigned then v else Bits.sext v ~width:(8 * size)
+            in
+            Hart.set hart rd v;
+            finish ()
+        | None -> Not_handled)
+    | Some (Instr.Store { width; rs2; _ }) when store ->
+        let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+        let v = Hart.get hart rs2 in
+        let rec write i =
+          if i >= size then true
+          else if
+            write_byte
+              (Int64.add vaddr (Int64.of_int i))
+              (Bits.extract v ~lo:(8 * i) ~hi:((8 * i) + 7))
+          then write (i + 1)
+          else false
+        in
+        if write 0 then finish () else Not_handled
+    | _ -> Not_handled
+  end

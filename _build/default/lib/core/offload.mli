@@ -1,0 +1,40 @@
+(** Fast-path offloading (paper §3.4).
+
+    The five trap causes that account for 99.98% of OS→firmware traps
+    — reading [time], programming the supervisor timer, IPIs, remote
+    fences and misaligned accesses — are software emulations of
+    unimplemented-but-standard hardware features, so Miralis can
+    handle them directly, bypassing the virtualized firmware entirely.
+    Each handler is a few dozen lines, as the paper reports (10–100
+    LoC per operation). *)
+
+type result =
+  | Not_handled  (** defer to the virtualized firmware *)
+  | Resume_at of int64  (** handled; resume the OS at this pc *)
+
+val try_ecall :
+  Config.t ->
+  Mir_rv.Machine.t ->
+  Vclint.t ->
+  Vfm_stats.t ->
+  Mir_rv.Hart.t ->
+  result
+(** SBI set_timer / send_ipi / remote fences (and nothing else). *)
+
+val try_illegal :
+  Config.t ->
+  Mir_rv.Machine.t ->
+  Vfm_stats.t ->
+  Mir_rv.Hart.t ->
+  bits:int64 ->
+  result
+(** Reads of the [time] CSR on platforms without one. *)
+
+val try_misaligned :
+  Config.t ->
+  Mir_rv.Machine.t ->
+  Vfm_stats.t ->
+  Mir_rv.Hart.t ->
+  store:bool ->
+  result
+(** Misaligned load/store emulation on behalf of the OS. *)

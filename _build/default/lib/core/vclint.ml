@@ -1,0 +1,103 @@
+module Clint = Mir_rv.Clint
+module Bits = Mir_util.Bits
+
+type t = {
+  vmtimecmp : int64 array;
+  varmed : bool array;
+      (* physical comparator should consider the virtual deadline;
+         cleared once the virtual MTI has been latched so the physical
+         timer does not re-fire while the firmware leaves it pending *)
+  offload_deadline : int64 array;
+  vmsip : bool array;
+  os_ipi : bool array;
+  rfence : bool array;
+}
+
+let create ~nharts =
+  {
+    vmtimecmp = Array.make nharts (-1L);
+    varmed = Array.make nharts false;
+    offload_deadline = Array.make nharts (-1L);
+    vmsip = Array.make nharts false;
+    os_ipi = Array.make nharts false;
+    rfence = Array.make nharts false;
+  }
+
+let vmtimecmp t h = t.vmtimecmp.(h)
+
+let set_vmtimecmp t h v =
+  t.vmtimecmp.(h) <- v;
+  t.varmed.(h) <- true
+
+let disarm_virtual t h = t.varmed.(h) <- false
+let offload_deadline t h = t.offload_deadline.(h)
+let set_offload_deadline t h v = t.offload_deadline.(h) <- v
+let vmsip t h = t.vmsip.(h)
+let set_vmsip t h b = t.vmsip.(h) <- b
+let os_ipi_pending t h = t.os_ipi.(h)
+let set_os_ipi_pending t h b = t.os_ipi.(h) <- b
+let rfence_pending t h = t.rfence.(h)
+let set_rfence_pending t h b = t.rfence.(h) <- b
+
+let umin a b = if Bits.ult a b then a else b
+
+let program_physical t clint h =
+  let virt = if t.varmed.(h) then t.vmtimecmp.(h) else -1L in
+  Clint.set_mtimecmp clint h (umin virt t.offload_deadline.(h))
+
+let vmtip t clint h = Bits.ule t.vmtimecmp.(h) (Clint.mtime clint)
+
+let nharts t = Array.length t.vmtimecmp
+
+let emulate_access t clint ~offset ~size ~write =
+  let n = nharts t in
+  let off = Int64.to_int offset in
+  if off < 4 * n && size = 4 then begin
+    let h = off / 4 in
+    match write with
+    | Some v ->
+        t.vmsip.(h) <- Int64.logand v 1L <> 0L;
+        Some 0L
+    | None -> Some (if t.vmsip.(h) then 1L else 0L)
+  end
+  else if off >= 0x4000 && off < 0x4000 + (8 * n) && (size = 8 || size = 4)
+  then begin
+    let h = (off - 0x4000) / 8 in
+    let lo_half = off land 4 = 0 in
+    match write with
+    | Some v ->
+        (if size = 8 then set_vmtimecmp t h v
+         else
+           let old = t.vmtimecmp.(h) in
+           set_vmtimecmp t h
+             (if lo_half then
+                Int64.logor
+                  (Int64.logand old 0xFFFFFFFF00000000L)
+                  (Int64.logand v 0xFFFFFFFFL)
+              else
+                Int64.logor (Int64.logand old 0xFFFFFFFFL)
+                  (Int64.shift_left v 32)));
+        program_physical t clint h;
+        Some 0L
+    | None ->
+        let v = t.vmtimecmp.(h) in
+        Some
+          (if size = 8 then v
+           else if lo_half then Int64.logand v 0xFFFFFFFFL
+           else Int64.shift_right_logical v 32)
+  end
+  else if off = Int64.to_int Clint.mtime_offset && (size = 8 || size = 4)
+  then begin
+    match write with
+    | Some _ -> Some 0L (* mtime writes by firmware are dropped *)
+    | None ->
+        let v = Clint.mtime clint in
+        Some
+          (if size = 8 then v else Int64.logand v 0xFFFFFFFFL)
+  end
+  else if off = Int64.to_int Clint.mtime_offset + 4 && size = 4 then begin
+    match write with
+    | Some _ -> Some 0L
+    | None -> Some (Int64.shift_right_logical (Clint.mtime clint) 32)
+  end
+  else None

@@ -1,0 +1,61 @@
+(** The virtual CLINT and the VFM's timer multiplexing.
+
+    The only MMIO device Miralis must emulate (paper §4.3): the
+    firmware's accesses to the CLINT window trap (the window is
+    PMP-protected) and are served from this virtual state. The single
+    physical timer per hart is shared between two clients —
+    the virtual firmware's [mtimecmp] and the VFM's own fast-path
+    deadline (armed on behalf of the OS by the set_timer offload) — by
+    programming the physical comparator to the earlier of the two. *)
+
+type t
+
+val create : nharts:int -> t
+
+val vmtimecmp : t -> int -> int64
+val set_vmtimecmp : t -> int -> int64 -> unit
+(** The virtual firmware's timer deadline (from vCLINT writes);
+    setting it re-arms the physical comparator contribution. *)
+
+val disarm_virtual : t -> int -> unit
+(** Latch the virtual MTI: stop the physical comparator from re-firing
+    for the virtual deadline until it is reprogrammed. *)
+
+val offload_deadline : t -> int -> int64
+val set_offload_deadline : t -> int -> int64 -> unit
+(** The fast path's deadline (from SBI set_timer offload). *)
+
+val vmsip : t -> int -> bool
+val set_vmsip : t -> int -> bool -> unit
+(** Virtual software-interrupt pending, set by vCLINT msip writes. *)
+
+val os_ipi_pending : t -> int -> bool
+val set_os_ipi_pending : t -> int -> bool -> unit
+(** An offloaded SBI IPI destined for the OS on this hart: the sending
+    hart raises the physical msip; the receiving hart's VFM converts it
+    to SSIP. *)
+
+val rfence_pending : t -> int -> bool
+val set_rfence_pending : t -> int -> bool -> unit
+(** An offloaded remote-fence request for this hart. *)
+
+val program_physical : t -> Mir_rv.Clint.t -> int -> unit
+(** Program hart [h]'s physical comparator to
+    [min vmtimecmp offload_deadline]. *)
+
+val vmtip : t -> Mir_rv.Clint.t -> int -> bool
+(** Virtual timer-interrupt line: physical mtime past the *virtual*
+    deadline. *)
+
+val emulate_access :
+  t ->
+  Mir_rv.Clint.t ->
+  offset:int64 ->
+  size:int ->
+  write:int64 option ->
+  int64 option
+(** Serve one firmware access to the CLINT window. [write = Some v]
+    stores, [None] loads; the result is the loaded value (0 for
+    stores), or [None] if the offset/size is not a valid CLINT
+    register access. mtime reads pass through to the physical clock;
+    msip and mtimecmp hit the virtual state. *)

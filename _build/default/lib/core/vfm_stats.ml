@@ -1,0 +1,53 @@
+type t = {
+  mutable traps_from_os : int;
+  mutable traps_from_fw : int;
+  mutable world_switches : int;
+  mutable emulated_instrs : int;
+  mutable vtraps : int;
+  mutable offload_time_read : int;
+  mutable offload_set_timer : int;
+  mutable offload_ipi : int;
+  mutable offload_rfence : int;
+  mutable offload_misaligned : int;
+  mutable vclint_accesses : int;
+}
+
+let create () =
+  {
+    traps_from_os = 0;
+    traps_from_fw = 0;
+    world_switches = 0;
+    emulated_instrs = 0;
+    vtraps = 0;
+    offload_time_read = 0;
+    offload_set_timer = 0;
+    offload_ipi = 0;
+    offload_rfence = 0;
+    offload_misaligned = 0;
+    vclint_accesses = 0;
+  }
+
+let offload_hits t =
+  t.offload_time_read + t.offload_set_timer + t.offload_ipi + t.offload_rfence
+  + t.offload_misaligned
+
+let reset t =
+  t.traps_from_os <- 0;
+  t.traps_from_fw <- 0;
+  t.world_switches <- 0;
+  t.emulated_instrs <- 0;
+  t.vtraps <- 0;
+  t.offload_time_read <- 0;
+  t.offload_set_timer <- 0;
+  t.offload_ipi <- 0;
+  t.offload_rfence <- 0;
+  t.offload_misaligned <- 0;
+  t.vclint_accesses <- 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "traps: os=%d fw=%d | world switches=%d | emulated=%d vtraps=%d | \
+     offload: time=%d timer=%d ipi=%d rfence=%d misaligned=%d | vclint=%d"
+    t.traps_from_os t.traps_from_fw t.world_switches t.emulated_instrs
+    t.vtraps t.offload_time_read t.offload_set_timer t.offload_ipi
+    t.offload_rfence t.offload_misaligned t.vclint_accesses

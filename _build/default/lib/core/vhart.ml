@@ -1,0 +1,23 @@
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Csr_spec = Mir_rv.Csr_spec
+
+type world = Firmware | Os
+
+type t = {
+  id : int;
+  csr : Csr_file.t;
+  mutable world : world;
+  mutable mprv_active : bool;
+  mutable entered_s : bool;
+}
+
+let vmideleg_forced = Csr_spec.Irq.s_mask
+
+let create (config : Config.t) ~id =
+  (* the virtual configuration's mideleg spec hardwires the S bits, so
+     the reset value already reflects forced delegation *)
+  let csr = Csr_file.create config.Config.vcsr_config ~hart_id:id in
+  { id; csr; world = Firmware; mprv_active = false; entered_s = false }
+
+let world_name = function Firmware -> "firmware" | Os -> "os"

@@ -1,0 +1,32 @@
+(** Per-hart virtual state owned by Miralis.
+
+    The shadow CSR file is the virtual hart the firmware believes it
+    is running on: the emulator operates on it, and its contents are
+    exchanged with the physical registers on world switches. General
+    purpose registers are *not* duplicated — they flow through worlds
+    in the physical hart (which is why the sandbox policy scrubs
+    them). *)
+
+(** Which world the hart currently executes: the deprivileged firmware
+    (vM-mode, physically U) or the OS (direct execution). *)
+type world = Firmware | Os
+
+type t = {
+  id : int;
+  csr : Mir_rv.Csr_file.t;  (** virtual CSRs (reference configuration) *)
+  mutable world : world;
+  mutable mprv_active : bool;
+      (** the MPRV-emulation PMP trick is currently engaged *)
+  mutable entered_s : bool;
+      (** the firmware performed its first return to S-mode (used by
+          the sandbox policy to lock down OS memory) *)
+}
+
+val create : Config.t -> id:int -> t
+(** Fresh virtual hart. The virtual [mideleg] is initialized with all
+    S-level bits hardwired to one (§4.3). *)
+
+val world_name : world -> string
+
+val vmideleg_forced : int64
+(** The bits hardwired to 1 in the virtual mideleg. *)

@@ -1,0 +1,88 @@
+module Plic = Mir_rv.Plic
+
+type t = {
+  nsources : int;
+  vpriority : int64 array;
+  venable : int64 array; (* per hart: the firmware's M-context enables *)
+  vthreshold : int64 array;
+}
+
+let create ~nharts ~nsources =
+  {
+    nsources;
+    vpriority = Array.make (nsources + 1) 0L;
+    venable = Array.make nharts 0L;
+    vthreshold = Array.make nharts 0L;
+  }
+
+let venable t ~hart = t.venable.(hart)
+let vthreshold t ~hart = t.vthreshold.(hart)
+let vpriority t src = t.vpriority.(src)
+
+let emulate_access t plic ~hart ~offset ~size ~write =
+  let off = Int64.to_int offset in
+  if size <> 4 then None
+  else if off < 0x1000 then begin
+    (* source priorities: shadowed, and mirrored to the physical PLIC
+       so pass-through claims see consistent ordering *)
+    let src = off / 4 in
+    if src > t.nsources then None
+    else
+      match write with
+      | Some v ->
+          t.vpriority.(src) <- Int64.logand v 0x7L;
+          (* keep the physical priority in sync for the M contexts *)
+          let d = Plic.device plic ~base:0L in
+          d.Mir_rv.Device.store offset 4 v;
+          Some 0L
+      | None -> Some t.vpriority.(src)
+  end
+  else if off = 0x1000 then begin
+    (* pending word: pass-through (read-only) *)
+    match write with
+    | Some _ -> Some 0L
+    | None ->
+        let d = Plic.device plic ~base:0L in
+        Some (d.Mir_rv.Device.load offset 4)
+  end
+  else if off >= 0x2000 && off < 0x200000 then begin
+    (* enables: the firmware only sees its own M context's word 0 *)
+    let ctx = (off - 0x2000) / 0x80 in
+    if ctx <> 2 * hart || (off - 0x2000) mod 0x80 <> 0 then
+      (* other contexts (the OS's!) are invisible to the firmware *)
+      Some 0L
+    else begin
+      match write with
+      | Some v ->
+          t.venable.(hart) <- Int64.logand v 0xFFFFFFFFL;
+          let d = Plic.device plic ~base:0L in
+          d.Mir_rv.Device.store offset 4 v;
+          Some 0L
+      | None -> Some t.venable.(hart)
+    end
+  end
+  else if off >= 0x200000 then begin
+    let ctx = (off - 0x200000) / 0x1000 in
+    if ctx <> 2 * hart then Some 0L
+    else
+      match (off - 0x200000) mod 0x1000 with
+      | 0 -> begin
+          match write with
+          | Some v ->
+              t.vthreshold.(hart) <- Int64.logand v 0x7L;
+              let d = Plic.device plic ~base:0L in
+              d.Mir_rv.Device.store offset 4 v;
+              Some 0L
+          | None -> Some t.vthreshold.(hart)
+        end
+      | 4 -> begin
+          (* claim/complete passes through to the physical M context *)
+          match write with
+          | Some v ->
+              Plic.complete plic ~ctx (Int64.to_int v);
+              Some 0L
+          | None -> Some (Int64.of_int (Plic.claim plic ~ctx))
+        end
+      | _ -> None
+  end
+  else None

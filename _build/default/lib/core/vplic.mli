@@ -1,0 +1,33 @@
+(** Experimental virtual PLIC (paper §4.3).
+
+    Miralis "has experimental support for virtualizing M-mode external
+    interrupts through a virtual PLIC, although it is not needed on the
+    platforms we support" — vendor firmware delegates all external
+    interrupts to the OS. This module mirrors that status: when
+    {!Config.t.virtualize_plic} is set, the PLIC window is
+    PMP-protected and firmware accesses are emulated here. Priorities,
+    the firmware's enables and its threshold are shadowed; pending
+    reads and claim/complete pass through to the physical M-mode
+    context of the accessing hart, so a firmware interrupt dance works
+    without giving it control of the OS's S-mode contexts. *)
+
+type t
+
+val create : nharts:int -> nsources:int -> t
+
+val emulate_access :
+  t ->
+  Mir_rv.Plic.t ->
+  hart:int ->
+  offset:int64 ->
+  size:int ->
+  write:int64 option ->
+  int64 option
+(** Serve one firmware access to the PLIC window; [None] if the offset
+    is not a register this model implements. *)
+
+val venable : t -> hart:int -> int64
+(** The firmware's shadowed enable word (tests/inspection). *)
+
+val vthreshold : t -> hart:int -> int64
+val vpriority : t -> int -> int64

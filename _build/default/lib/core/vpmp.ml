@@ -1,0 +1,114 @@
+module Pmp = Mir_rv.Pmp
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Hart = Mir_rv.Hart
+module Clint = Mir_rv.Clint
+
+let vdev_base = Clint.default_base
+let vdev_size = Clint.window_size
+let plic_base = Mir_rv.Plic.default_base
+let plic_size = Mir_rv.Plic.window_size
+
+let deny_napot ~base ~size =
+  {
+    Pmp.r = false;
+    w = false;
+    x = false;
+    a = Pmp.Napot;
+    l = false;
+    addr = Pmp.napot_encode ~base ~size;
+  }
+
+let all_memory ~r ~w ~x =
+  { Pmp.r; w; x; a = Pmp.Napot; l = false; addr = -1L }
+
+let virtual_entries (config : Config.t) (vh : Vhart.t) =
+  let entries = Csr_file.pmp_entries vh.Vhart.csr in
+  match config.Config.inject_bug with
+  | Some Config.Vpmp_overrun ->
+      (* Deliberately expose one entry past the implemented count,
+         reading the (nonexistent) next pmpaddr as raw storage. This
+         reproduces the out-of-bounds write bug the paper's checker
+         found: the extra entry lands on the physical catch-all
+         slot. *)
+      let n = Array.length entries in
+      let extra =
+        Pmp.entry_of_cfg_byte 0x1F
+          ~addr:
+            (Csr_file.read_raw vh.Vhart.csr (Csr_addr.pmpaddr n))
+      in
+      Array.append entries [| extra |]
+  | _ -> entries
+
+let build (config : Config.t) (vh : Vhart.t) ~policy =
+  let phys_count =
+    (* physical slots available *)
+    Config.reserved_pmp_slots config + Config.vpmp_count config
+  in
+  let fw = vh.Vhart.world = Vhart.Firmware in
+  let miralis =
+    deny_napot ~base:config.Config.miralis_base ~size:config.Config.miralis_size
+  in
+  let vdev = deny_napot ~base:vdev_base ~size:vdev_size in
+  let vdev_plic =
+    if config.Config.virtualize_plic then
+      [ deny_napot ~base:plic_base ~size:plic_size ]
+    else []
+  in
+  let policy_entries =
+    let l = List.filteri (fun i _ -> i < config.Config.policy_pmp_slots) policy in
+    l @ List.init (config.Config.policy_pmp_slots - List.length l)
+          (fun _ -> Pmp.off_entry)
+  in
+  let anchor = { Pmp.off_entry with addr = 0L } in
+  let mprv = vh.Vhart.mprv_active in
+  let ventries =
+    virtual_entries config vh
+    |> Array.map (fun (e : Pmp.entry) ->
+           if not fw then e
+           else if not e.Pmp.l then
+             (* In M-mode, unlocked entries do not constrain: grant
+                RWX while preserving region geometry (TOR chains use
+                the address of OFF entries too). During MPRV
+                emulation, loads and stores must trap even inside
+                these regions — the access has to be translated on the
+                firmware's behalf — so only execute passes through.
+                (This was caught by the faithful-execution checker.) *)
+             if mprv then { e with Pmp.r = false; w = false; x = true }
+             else { e with Pmp.r = true; w = true; x = true }
+           else if mprv then
+             (* locked entries constrain fetches (real M privilege)
+                but data accesses use MPP's privilege and must trap *)
+             { e with Pmp.r = false; w = false }
+           else e)
+    |> Array.to_list
+  in
+  let catch_all =
+    if not fw then Pmp.off_entry
+    else if vh.Vhart.mprv_active then all_memory ~r:false ~w:false ~x:true
+    else all_memory ~r:true ~w:true ~x:true
+  in
+  let all =
+    (miralis :: vdev :: vdev_plic) @ policy_entries
+    @ (anchor :: ventries) @ [ catch_all ]
+  in
+  (* The Vpmp_overrun bug makes the list one longer than the physical
+     budget; clamp like hardware would (the extra entry displaces the
+     catch-all — the actual security consequence of the bug). *)
+  let all = Array.of_list all in
+  if Array.length all > phys_count then Array.sub all 0 phys_count else all
+
+let install config vh (hart : Hart.t) ~policy =
+  let entries = build config vh ~policy in
+  let csr = hart.Hart.csr in
+  (* Serialize into the physical pmpcfg/pmpaddr registers. *)
+  Array.iteri
+    (fun i (e : Pmp.entry) ->
+      Csr_file.write_raw csr (Csr_addr.pmpaddr i) e.Pmp.addr;
+      let reg = Csr_addr.pmpcfg (i / 8 * 2) in
+      let old = Csr_file.read_raw csr reg in
+      let shift = 8 * (i mod 8) in
+      Csr_file.write_raw csr reg
+        (Mir_util.Bits.insert old ~lo:shift ~hi:(shift + 7)
+           ~value:(Int64.of_int (Pmp.cfg_byte_of_entry e))))
+    entries

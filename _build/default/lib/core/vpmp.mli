@@ -1,0 +1,44 @@
+(** Virtual PMP multiplexing (paper §4.2, Fig. 5).
+
+    Miralis shares the physical PMP between four clients, in priority
+    order:
+
+    + entry 0 — Miralis's own memory (deny),
+    + entry 1 — the virtual-device MMIO window (deny, so firmware
+      accesses trap for emulation),
+    + [policy_pmp_slots] entries for the active isolation policy,
+    + one zero-anchor entry (address 0, OFF) so that vPMP 0 in TOR
+      mode starts at address 0 as architected,
+    + the virtual entries, transformed per world (in vM-mode, unlocked
+      entries are granted RWX to mimic M-mode semantics; locked ones
+      are installed verbatim),
+    + a final catch-all entry: RWX over the whole address space during
+      firmware execution (M-mode sees all memory), execute-only when
+      MPRV emulation is engaged (so firmware loads/stores trap), and
+      disabled during OS execution (S/U default-deny semantics). *)
+
+val virtual_entries : Config.t -> Vhart.t -> Mir_rv.Pmp.entry array
+(** The firmware-visible entries decoded from the virtual CSRs. When
+    the [Vpmp_overrun] bug is injected, one extra (out-of-bounds)
+    entry is included — the defect class of §6.5. *)
+
+val build :
+  Config.t ->
+  Vhart.t ->
+  policy:Mir_rv.Pmp.entry list ->
+  Mir_rv.Pmp.entry array
+(** The complete physical entry array for the hart's current world. *)
+
+val install :
+  Config.t -> Vhart.t -> Mir_rv.Hart.t -> policy:Mir_rv.Pmp.entry list -> unit
+(** Write the built entries into the hart's physical pmpcfg/pmpaddr
+    registers. *)
+
+val vdev_base : int64
+val vdev_size : int64
+(** The PMP-protected virtual-device window (the CLINT). *)
+
+val plic_base : int64
+val plic_size : int64
+(** The PLIC window, PMP-protected when the experimental virtual PLIC
+    is enabled. *)

@@ -1,0 +1,114 @@
+module Bits = Mir_util.Bits
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Csr_spec = Mir_rv.Csr_spec
+module Hart = Mir_rv.Hart
+module Ms = Csr_spec.Mstatus
+
+let miralis_mie = Int64.logor Csr_spec.Irq.mtip Csr_spec.Irq.msip
+
+let swap_csrs (cfg : Csr_spec.config) =
+  let base =
+    [
+      Csr_addr.stvec;
+      Csr_addr.sscratch;
+      Csr_addr.sepc;
+      Csr_addr.scause;
+      Csr_addr.stval;
+      Csr_addr.satp;
+      Csr_addr.scounteren;
+      Csr_addr.senvcfg;
+    ]
+  in
+  let sstc = if cfg.Csr_spec.has_sstc then [ Csr_addr.stimecmp ] else [] in
+  let h =
+    if cfg.Csr_spec.has_h then
+      [
+        Csr_addr.hstatus; Csr_addr.hedeleg; Csr_addr.hideleg; Csr_addr.hie;
+        Csr_addr.hcounteren; Csr_addr.hgeie; Csr_addr.htval; Csr_addr.hip;
+        Csr_addr.hvip; Csr_addr.htinst; Csr_addr.hgatp; Csr_addr.vsstatus;
+        Csr_addr.vsie; Csr_addr.vstvec; Csr_addr.vsscratch; Csr_addr.vsepc;
+        Csr_addr.vscause; Csr_addr.vstval; Csr_addr.vsip; Csr_addr.vsatp;
+      ]
+    else []
+  in
+  base @ sstc @ h
+
+let charge_switch (config : Config.t) hart =
+  Mir_rv.Machine.charge hart
+    (config.Config.cost.Cost.world_switch + config.Config.cost.Cost.tlb_flush)
+
+let to_os config (vh : Vhart.t) (hart : Hart.t) ~policy =
+  let v = vh.Vhart.csr and p = hart.Hart.csr in
+  (* mstatus: install the virtual S-level fields; MPRV must be off
+     while the OS runs (it is an M-mode-only facility Miralis
+     emulates). *)
+  let mask = Ms.sstatus_mask in
+  let pm = Csr_file.read_raw p Csr_addr.mstatus in
+  let vm = Csr_file.read_raw v Csr_addr.mstatus in
+  let pm' =
+    Int64.logor (Int64.logand pm (Int64.lognot mask)) (Int64.logand vm mask)
+  in
+  let pm' = Bits.clear pm' Ms.mprv in
+  Csr_file.write_raw p Csr_addr.mstatus pm';
+  List.iter
+    (fun a -> Csr_file.write_raw p a (Csr_file.read_raw v a))
+    (swap_csrs (Csr_file.config v));
+  (* Delegation becomes live: non-delegated traps keep coming to
+     Miralis, delegated ones go straight to the OS. *)
+  Csr_file.write_raw p Csr_addr.medeleg (Csr_file.read_raw v Csr_addr.medeleg);
+  Csr_file.write_raw p Csr_addr.mideleg (Csr_file.read_raw v Csr_addr.mideleg);
+  (* mie: Miralis's M-level bits plus the virtual S-level bits. *)
+  Csr_file.write_raw p Csr_addr.mie
+    (Int64.logor miralis_mie
+       (Int64.logand (Csr_file.read_raw v Csr_addr.mie) Csr_spec.Irq.s_mask));
+  (* mip: restore the OS-visible S-level pending bits (this is how the
+     virtualized firmware delivers STIP/SSIP to the OS). *)
+  let pmip = Csr_file.read_raw p Csr_addr.mip in
+  Csr_file.write_raw p Csr_addr.mip
+    (Int64.logor
+       (Int64.logand pmip (Int64.lognot Csr_spec.Irq.s_mask))
+       (Int64.logand (Csr_file.read_raw v Csr_addr.mip) Csr_spec.Irq.s_mask));
+  Csr_file.write_raw p Csr_addr.mcounteren
+    (Csr_file.read_raw v Csr_addr.mcounteren);
+  Csr_file.write_raw p Csr_addr.menvcfg (Csr_file.read_raw v Csr_addr.menvcfg);
+  Vpmp.install config vh hart ~policy;
+  charge_switch config hart
+
+let to_fw config (vh : Vhart.t) (hart : Hart.t) ~policy =
+  let v = vh.Vhart.csr and p = hart.Hart.csr in
+  (* Save the OS's S-level state into the virtual copies. *)
+  let mask = Ms.sstatus_mask in
+  let pm = Csr_file.read_raw p Csr_addr.mstatus in
+  let vm = Csr_file.read_raw v Csr_addr.mstatus in
+  Csr_file.write_raw v Csr_addr.mstatus
+    (Int64.logor (Int64.logand vm (Int64.lognot mask)) (Int64.logand pm mask));
+  List.iter
+    (fun a -> Csr_file.write_raw v a (Csr_file.read_raw p a))
+    (swap_csrs (Csr_file.config v));
+  Csr_file.write_raw v Csr_addr.mie
+    (Int64.logor
+       (Int64.logand (Csr_file.read_raw v Csr_addr.mie)
+          (Int64.lognot Csr_spec.Irq.s_mask))
+       (Int64.logand (Csr_file.read_raw p Csr_addr.mie) Csr_spec.Irq.s_mask));
+  Csr_file.write_raw v Csr_addr.mip
+    (Int64.logor
+       (Int64.logand (Csr_file.read_raw v Csr_addr.mip)
+          (Int64.lognot Csr_spec.Irq.s_mask))
+       (Int64.logand (Csr_file.read_raw p Csr_addr.mip) Csr_spec.Irq.s_mask));
+  (* Well-defined physical values while the firmware executes: bare
+     addressing, no delegation (every trap must reach Miralis), no
+     S-level state leakage. *)
+  Csr_file.write_raw p Csr_addr.satp 0L;
+  Csr_file.write_raw p Csr_addr.medeleg 0L;
+  Csr_file.write_raw p Csr_addr.mideleg 0L;
+  Csr_file.write_raw p Csr_addr.mie miralis_mie;
+  Csr_file.write_raw p Csr_addr.mip
+    (Int64.logand (Csr_file.read_raw p Csr_addr.mip)
+       (Int64.lognot Csr_spec.Irq.s_mask));
+  let pm = Csr_file.read_raw p Csr_addr.mstatus in
+  let pm = Int64.logand pm (Int64.lognot Ms.sstatus_mask) in
+  let pm = Bits.clear pm Ms.mprv in
+  Csr_file.write_raw p Csr_addr.mstatus pm;
+  Vpmp.install config vh hart ~policy;
+  charge_switch config hart

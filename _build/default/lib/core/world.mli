@@ -1,0 +1,37 @@
+(** World switches: the CSR exchange between virtual and physical
+    state (paper §4.1).
+
+    From firmware to the OS, Miralis installs the virtual CSRs into
+    the physical registers — except those required for emulation or
+    isolation (PMP, the M-level mie bits). From the OS to firmware it
+    loads the physical CSRs into the virtual copies and installs
+    well-defined values physically. Both directions rewrite the PMP
+    and therefore imply a TLB flush, charged through the cost model. *)
+
+val miralis_mie : int64
+(** The M-level interrupt enables Miralis keeps for itself (timer and
+    software; externals are delegated to the OS's PLIC context). *)
+
+val to_os :
+  Config.t ->
+  Vhart.t ->
+  Mir_rv.Hart.t ->
+  policy:Mir_rv.Pmp.entry list ->
+  unit
+(** Install the virtual S-level state into the physical registers and
+    switch the PMP to the OS layout. Does not touch pc/priv. *)
+
+val to_fw :
+  Config.t ->
+  Vhart.t ->
+  Mir_rv.Hart.t ->
+  policy:Mir_rv.Pmp.entry list ->
+  unit
+(** Save the physical S-level state into the virtual copies and
+    install well-defined physical values (bare satp, no delegation,
+    Miralis's mie) plus the firmware PMP layout. *)
+
+val swap_csrs : Mir_rv.Csr_spec.config -> int list
+(** The S-level CSRs exchanged on a world switch for a given
+    configuration (includes Sstc and hypervisor CSRs when present) —
+    exposed for tests. *)

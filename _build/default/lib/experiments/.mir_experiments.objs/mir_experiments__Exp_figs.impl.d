@@ -1,0 +1,1 @@
+lib/experiments/exp_figs.ml: Array Exp_common Int64 List Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_policies Mir_rv Mir_util Mir_workloads Printf

@@ -1,0 +1,34 @@
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let paper_note s =
+  (* collapse whitespace runs from multi-line string literals *)
+  let b = Buffer.create (String.length s) in
+  let last_space = ref false in
+  String.iter
+    (fun c ->
+      let is_sp = c = ' ' || c = '\n' || c = '\t' in
+      if is_sp then begin
+        if not !last_space then Buffer.add_char b ' ';
+        last_space := true
+      end
+      else begin
+        Buffer.add_char b c;
+        last_space := false
+      end)
+    s;
+  Printf.printf "paper reports: %s\n" (Buffer.contents b)
+
+let modes =
+  Mir_harness.Setup.[ Native; Virtualized; Virtualized_no_offload ]
+
+let mode_name = Mir_harness.Setup.mode_name
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+let ns v =
+  if v >= 10_000.0 then Printf.sprintf "%.2f us" (v /. 1000.0)
+  else Printf.sprintf "%.0f ns" v
+
+let rel v = Printf.sprintf "%.3fx" v

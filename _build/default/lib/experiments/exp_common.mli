@@ -1,0 +1,26 @@
+(** Shared helpers for the experiment drivers.
+
+    Every experiment prints a paper-style table plus a "paper reports"
+    reference line so the output can be compared to the published
+    numbers directly (EXPERIMENTS.md records both). *)
+
+val section : string -> unit
+(** Print an experiment header. *)
+
+val paper_note : string -> unit
+(** Print the "paper reports: ..." reference line. *)
+
+val modes : Mir_harness.Setup.mode list
+(** Native, Miralis, Miralis no-offload — the paper's three
+    configurations. *)
+
+val mode_name : Mir_harness.Setup.mode -> string
+
+val f2 : float -> string
+val f1 : float -> string
+val f3 : float -> string
+val ns : float -> string
+(** Format a nanosecond quantity (switches to µs when large). *)
+
+val rel : float -> string
+(** Format a relative score like "0.98x". *)

@@ -1,0 +1,357 @@
+module Tablefmt = Mir_util.Tablefmt
+module Stats = Mir_util.Stats
+module Setup = Mir_harness.Setup
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+module Script = Mir_kernel.Script
+module Models = Mir_workloads.Models
+module Engine = Mir_workloads.Engine
+module Boot_trace = Mir_workloads.Boot_trace
+open Exp_common
+
+let vf2 = Platform.visionfive2
+let p550 = Platform.premier_p550
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: trap causes over boot windows                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Figure 3: M-mode trap causes during boot (VisionFive 2)";
+  paper_note
+    "five causes account for 99.98% of traps; ~5500 traps/s during boot; \
+     1.17 world switches/s with offload";
+  let trace = Boot_trace.run vf2 Setup.Native ~window_ms:1.0 in
+  let headers =
+    "window (1 ms)"
+    :: List.map Boot_trace.cause_name Boot_trace.causes
+    @ [ "total" ]
+  in
+  let rows =
+    List.filter_map
+      (fun (w : Boot_trace.window) ->
+        if w.Boot_trace.total = 0 && w.Boot_trace.index > 0 then None
+        else
+          Some
+            (string_of_int w.Boot_trace.index
+             :: List.map (fun (_, n) -> string_of_int n) w.Boot_trace.counts
+            @ [ string_of_int w.Boot_trace.total ]))
+      trace.Boot_trace.windows
+  in
+  Tablefmt.print ~headers rows;
+  let totals =
+    List.map
+      (fun c ->
+        ( c,
+          List.fold_left
+            (fun acc (w : Boot_trace.window) ->
+              acc + List.assoc c w.Boot_trace.counts)
+            0 trace.Boot_trace.windows ))
+      Boot_trace.causes
+  in
+  let all = List.fold_left (fun a (_, n) -> a + n) 0 totals in
+  let five =
+    List.fold_left
+      (fun a (c, n) -> if c = Boot_trace.Other then a else a + n)
+      0 totals
+  in
+  Printf.printf
+    "top-five causes: %.2f%% of %d traps | %.0f traps/s during boot\n"
+    (100. *. float_of_int five /. float_of_int (max 1 all))
+    all trace.Boot_trace.traps_per_sec;
+  (* offload ablation: world switches during the same boot *)
+  let t_off = Boot_trace.run vf2 Setup.Virtualized ~window_ms:1.0 in
+  let t_no = Boot_trace.run vf2 Setup.Virtualized_no_offload ~window_ms:1.0 in
+  Printf.printf
+    "world switches: %d with offload vs %d without, over a boot %.0fx \
+     shorter than the paper's 48s (paper: 1.17/s vs thousands/s)\n"
+    t_off.Boot_trace.world_switches t_no.Boot_trace.world_switches
+    (48. /. t_off.Boot_trace.boot_seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Relative-performance helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_spec platform mode (spec : Models.spec) =
+  Engine.run platform mode ~ops:spec.Models.ops spec.Models.scripts
+
+let relative_row platform spec =
+  let native = run_spec platform Setup.Native spec in
+  let mir = run_spec platform Setup.Virtualized spec in
+  let noff = run_spec platform Setup.Virtualized_no_offload spec in
+  ( spec.Models.name,
+    Engine.relative ~baseline:native mir,
+    Engine.relative ~baseline:native noff,
+    native )
+
+let fig10 ?(scale = 1) () =
+  ignore scale;
+  section "Figure 10: relative CoreMark-Pro scores (VisionFive 2)";
+  paper_note "Miralis ~1.00x of native; no-offload ~1.9% overhead";
+  let rows =
+    List.map
+      (fun kernel ->
+        let name, m, n, nat = relative_row vf2 (Models.coremark ~kernel) in
+        [ name; rel m; rel n;
+          Printf.sprintf "%.0f" nat.Engine.traps_per_sec ])
+      Models.coremark_kernels
+  in
+  Tablefmt.print
+    ~headers:[ "Kernel"; "Miralis"; "no-offload"; "native traps/s" ]
+    rows
+
+let fig11 () =
+  section "Figure 11: IOzone throughput, 128K records (VisionFive 2)";
+  paper_note "Miralis at parity (write slightly faster); no-offload ~10.6% down";
+  let throughput (r : Engine.result) =
+    (* 512-byte sectors *)
+    float_of_int r.Engine.ops *. 512. /. r.Engine.seconds /. 1e6
+  in
+  let rows =
+    List.map
+      (fun write ->
+        let spec = Models.iozone ~write ~record_kib:128 ~records:24 in
+        let results =
+          List.map (fun mode -> run_spec vf2 mode spec) modes
+        in
+        (if write then "write" else "read")
+        :: List.map (fun r -> Printf.sprintf "%.1f MB/s" (throughput r))
+             results)
+      [ false; true ]
+  in
+  Tablefmt.print
+    ~headers:("IOzone" :: List.map mode_name modes)
+    rows
+
+let fig12 ?(requests = 800) () =
+  section "Figure 12: Memcached latency distribution (VisionFive 2)";
+  paper_note
+    "Miralis slightly better below p95 (median 263 vs 279 ns SBI path); \
+     no-offload ~2x latency";
+  let percentiles = [ 25.; 50.; 75.; 90.; 95.; 99. ] in
+  let series =
+    List.map
+      (fun mode ->
+        let spec = Models.memcached_latency ~requests in
+        let _r, sys =
+          Engine.run_with_system vf2 mode ~ops:spec.Models.ops
+            spec.Models.scripts
+        in
+        let deltas = Engine.stamps_deltas sys ~hart:0 ~count:requests in
+        let st = Stats.create () in
+        Array.iter
+          (fun d -> Stats.add st (Platform.ns_of_cycles vf2 (Int64.of_float d)))
+          deltas;
+        (mode_name mode, List.map (fun p -> Stats.percentile st p) percentiles))
+      modes
+  in
+  print_string
+    (Tablefmt.series_chart
+       ~labels:(List.map (fun p -> Printf.sprintf "p%.0f (ns)" p) percentiles)
+       series)
+
+let fig13 ?(scale = 1) () =
+  ignore scale;
+  section "Figure 13: application benchmarks (relative to native)";
+  paper_note
+    "Miralis >= native everywhere (up to +7.6% VF2 / +1.2% P550 on \
+     network-heavy); no-offload up to 259% overhead on Redis/P550";
+  let workloads =
+    [
+      Models.redis ~ops:300;
+      Models.memcached ~ops:150;
+      Models.mysql ~ops:80;
+      Models.gcc ~ops:5;
+    ]
+  in
+  List.iter
+    (fun (platform : Platform.t) ->
+      Printf.printf "\n[%s]\n" platform.Platform.name;
+      let rows =
+        List.map
+          (fun spec ->
+            let name, m, n, nat = relative_row platform spec in
+            [ name; rel m; rel n;
+              Printf.sprintf "%.0f" nat.Engine.traps_per_sec ])
+          workloads
+      in
+      Tablefmt.print
+        ~headers:[ "Workload"; "Miralis"; "no-offload"; "native traps/s" ]
+        rows)
+    [ vf2; p550 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14: Keystone RV8                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  section "Figure 14: RV8 in Keystone enclaves (VisionFive 2)";
+  paper_note "average ~1% overhead inside enclaves, as in Keystone";
+  let rows =
+    List.mapi
+      (fun index (name, _) ->
+        let policy, _ = Mir_policies.Policy_keystone.create () in
+        let run ~enclave =
+          Engine.run ~policy
+            ~stage:(fun m -> Models.stage_rv8 m ~index)
+            vf2 Setup.Virtualized ~ops:1
+            [ Models.rv8_script ~enclave ~index ]
+        in
+        let native = run ~enclave:false in
+        let enclave = run ~enclave:true in
+        let relative =
+          Int64.to_float native.Engine.cycles
+          /. Int64.to_float enclave.Engine.cycles
+        in
+        [ name; rel relative ])
+      Models.rv8_apps
+  in
+  Tablefmt.print ~headers:[ "RV8 benchmark"; "enclave vs native" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Boot time                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let boot_time () =
+  section "Boot time (scaled boot workload, VisionFive 2)";
+  paper_note "native 47.5s, Miralis 48.0s (1%), no-offload 61.3s (29%)";
+  let results =
+    List.map
+      (fun mode -> (mode, Boot_trace.run vf2 mode ~window_ms:1.0))
+      modes
+  in
+  let base =
+    match results with (_, t) :: _ -> t.Boot_trace.boot_seconds | [] -> 1.
+  in
+  Tablefmt.print ~headers:[ "Configuration"; "boot time"; "overhead" ]
+    (List.map
+       (fun (mode, t) ->
+         [
+           mode_name mode;
+           Printf.sprintf "%.2f ms" (t.Boot_trace.boot_seconds *. 1e3);
+           Printf.sprintf "%+.1f%%"
+             (100. *. ((t.Boot_trace.boot_seconds /. base) -. 1.));
+         ])
+       results)
+
+(* ------------------------------------------------------------------ *)
+(* Sstc projection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sstc_projection () =
+  section "Projection: RVA23-class hardware (time CSR + Sstc)";
+  paper_note
+    "implementing the time CSR plus Sstc would remove 96.5% of all world      switches on the application benchmarks; fast path offloading is not      required on RVA23 CPUs";
+  let workloads =
+    [ Models.redis ~ops:200; Models.memcached ~ops:100; Models.gcc ~ops:4 ]
+  in
+  let rows =
+    List.map
+      (fun (spec : Models.spec) ->
+        (* per-op traps reaching Miralis, current boards vs RVA23 *)
+        let per_op (r : Engine.result) =
+          float_of_int r.Engine.traps_to_m /. float_of_int r.Engine.ops
+        in
+        let now = run_spec vf2 Setup.Virtualized spec in
+        let rva23 = run_spec Platform.qemu_virt Setup.Virtualized spec in
+        let removed =
+          100. *. (1. -. (per_op rva23 /. max 1e-9 (per_op now)))
+        in
+        [
+          spec.Models.name;
+          Printf.sprintf "%.2f" (per_op now);
+          Printf.sprintf "%.2f" (per_op rva23);
+          Printf.sprintf "%.1f%%" removed;
+        ])
+      workloads
+  in
+  Tablefmt.print
+    ~headers:
+      [ "Workload"; "traps/op (VF2-class)"; "traps/op (RVA23)"; "removed" ]
+    rows;
+  print_endline
+    "(time-CSR reads execute natively on RVA23; the residual traps are      SBI set_timer calls, which Sstc's stimecmp would also eliminate)"
+
+(* ------------------------------------------------------------------ *)
+(* Q1: virtualizing unmodified firmware                                *)
+(* ------------------------------------------------------------------ *)
+
+let q1 () =
+  section "Q1: can Miralis virtualize unmodified firmware?";
+  paper_note
+    "two vendor firmware (VF2, P550), RustSBI, Zephyr, and the opaque \
+     Star64 image all run unmodified";
+  let smoke =
+    [
+      Script.Putchar 'o'; Script.Rdtime; Script.Set_timer 100L;
+      Script.Tick_wfi 50L; Script.Ipi_self; Script.Misaligned_load;
+      Script.Putchar 'k'; Script.End;
+    ]
+  in
+  let sbi_check name firmware platform =
+    let observe mode =
+      let sys = Setup.create ~firmware platform mode in
+      Setup.run_scripts ~max_instrs:30_000_000L sys [ smoke ];
+      ( Setup.uart_output sys,
+        sys.Setup.machine.Machine.poweroff,
+        Script.sti_count sys.Setup.machine ~hart:0 >= 1L )
+    in
+    let n = observe Setup.Native and v = observe Setup.Virtualized in
+    let ok = n = v && (let u, p, t = v in u = "ok" && p && t) in
+    [ name; platform.Platform.name; (if ok then "PASS" else "FAIL") ]
+  in
+  let zephyr_check platform =
+    let run mode =
+      let sys =
+        Setup.create ~firmware:Mir_firmware.Zephyr_like.image platform mode
+      in
+      Setup.run_scripts ~max_instrs:30_000_000L sys [];
+      Setup.uart_output sys
+    in
+    let ok =
+      run Setup.Native = Mir_firmware.Zephyr_like.expected_output
+      && run Setup.Virtualized = Mir_firmware.Zephyr_like.expected_output
+    in
+    [ "Zephyr-like RTOS"; platform.Platform.name;
+      (if ok then "PASS" else "FAIL") ]
+  in
+  Tablefmt.print ~headers:[ "Firmware"; "Platform"; "Virtualized" ]
+    [
+      sbi_check "MiniSBI (vendor)" Mir_firmware.Minisbi.image vf2;
+      sbi_check "MiniSBI (vendor)" Mir_firmware.Minisbi.image p550;
+      sbi_check "RustSBI-like" Mir_firmware.Rustsbi_like.image vf2;
+      zephyr_check vf2;
+      sbi_check "Star64 flash dump" Mir_firmware.Star64.image
+        Platform.star64;
+    ];
+  Printf.printf "Star64 image: %d KiB extracted, no symbols used\n"
+    (Mir_firmware.Star64.size_kib ~nharts:4
+       ~kernel_entry:Mir_kernel.Interp_kernel.entry)
+
+(* ------------------------------------------------------------------ *)
+(* Q4: confidential VMs with the ACE policy                            *)
+(* ------------------------------------------------------------------ *)
+
+let q4 () =
+  section "Q4: confidential VM via the ACE policy (qemu-virt)";
+  paper_note
+    "a confidential Linux VM runs under the ACE API with the firmware \
+     excluded from the TCB (functional only, as in the paper)";
+  let policy, state = Mir_policies.Policy_ace.create () in
+  let base = Models.rv8_enclave_base in
+  let result =
+    Engine.run ~policy
+      ~stage:(fun m ->
+        Machine.load_program m base
+          (Mir_kernel.Uapp.image ~base ~iters:2000L);
+        Script.write_descriptor m ~index:0 ~base ~size:4096L ~entry:base)
+      Platform.qemu_virt Setup.Virtualized ~ops:1
+      [ [ Script.Set_timer 1000L; Script.Cvm_round 0L; Script.End ] ]
+  in
+  Tablefmt.print ~headers:[ "Metric"; "Value" ]
+    [
+      [ "vCPU entries"; string_of_int state.Mir_policies.Policy_ace.vcpu_entries ];
+      [ "VM exits"; string_of_int state.Mir_policies.Policy_ace.vm_exits ];
+      [ "CVM run cycles"; Int64.to_string result.Engine.cycles ];
+      [ "world switches"; string_of_int result.Engine.world_switches ];
+    ]

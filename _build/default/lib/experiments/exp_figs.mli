@@ -1,0 +1,20 @@
+(** Figure reproductions: Fig. 3 (boot trap study), Fig. 10
+    (CoreMark-Pro), Fig. 11 (IOzone), Fig. 12 (Memcached latency),
+    Fig. 13 (application benchmarks), Fig. 14 (Keystone RV8), plus the
+    boot-time comparison and the Q1/Q4 demonstrations. *)
+
+val fig3 : unit -> unit
+val fig10 : ?scale:int -> unit -> unit
+val fig11 : unit -> unit
+val fig12 : ?requests:int -> unit -> unit
+val fig13 : ?scale:int -> unit -> unit
+val fig14 : unit -> unit
+val boot_time : unit -> unit
+
+val sstc_projection : unit -> unit
+(** The §3.4/§8.3.3 projection: on an RVA23-class CPU (time CSR +
+    Sstc) the hot traps never reach M-mode, removing the need for fast
+    path offloading. *)
+
+val q1 : unit -> unit
+val q4 : unit -> unit

@@ -1,0 +1,9 @@
+(** Table reproductions: Table 1 (LoC), Table 2 (verification times),
+    Table 3 (platforms), Table 4 (operation costs), Table 5
+    (timer/IPI costs). *)
+
+val table1 : unit -> unit
+val table2 : ?quick:bool -> unit -> unit
+val table3 : unit -> unit
+val table4 : unit -> unit
+val table5 : ?n:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/firmware/evil.ml: Char Int64 Layout Mir_asm Mir_rv

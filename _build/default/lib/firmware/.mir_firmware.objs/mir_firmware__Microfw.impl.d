@@ -1,0 +1,1 @@
+lib/firmware/microfw.ml: Layout Mir_asm Mir_rv

@@ -1,0 +1,1 @@
+lib/firmware/minisbi.ml: Int64 Layout List Mir_asm Mir_rv Mir_sbi

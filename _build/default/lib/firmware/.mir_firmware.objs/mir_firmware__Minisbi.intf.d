@@ -1,0 +1,1 @@
+lib/firmware/minisbi.mli: Mir_asm

@@ -1,0 +1,1 @@
+lib/firmware/rustsbi_like.ml: Int64 Layout List Mir_asm Mir_rv Mir_sbi Option

@@ -1,0 +1,1 @@
+lib/firmware/rustsbi_like.mli: Mir_asm

@@ -1,0 +1,1 @@
+lib/firmware/star64.mli:

@@ -1,0 +1,1 @@
+lib/firmware/zephyr_like.ml: Char Int64 Layout Mir_asm Mir_rv String

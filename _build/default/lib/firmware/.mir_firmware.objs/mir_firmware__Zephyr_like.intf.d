@@ -1,0 +1,1 @@
+lib/firmware/zephyr_like.mli:

@@ -1,0 +1,99 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+type attack =
+  | Read_os_memory
+  | Write_os_memory
+  | Read_miralis_memory
+  | Pmp_escape
+  | Dma_attack
+
+let attack_name = function
+  | Read_os_memory -> "read OS memory"
+  | Write_os_memory -> "write OS memory"
+  | Read_miralis_memory -> "read Miralis memory"
+  | Pmp_escape -> "vPMP escape"
+  | Dma_attack -> "DMA exfiltration"
+
+let all_attacks =
+  [ Read_os_memory; Write_os_memory; Read_miralis_memory; Pmp_escape;
+    Dma_attack ]
+
+(* The top MiB of RAM is Miralis's reserved range (Config.make). *)
+let miralis_base = 0x80F00000L
+let blockdev = Mir_rv.Blockdev.default_base
+
+let attack_code = function
+  | Read_os_memory ->
+      [ li t0 Layout.kernel_base; ld t1 0L t0 ]
+  | Write_os_memory ->
+      [ li t0 Layout.kernel_base; li t1 0xDEADL; sd t1 0L t0 ]
+  | Read_miralis_memory -> [ li t0 miralis_base; ld t1 0L t0 ]
+  | Pmp_escape ->
+      [
+        (* Open vPMP 0 over all memory with RWX... *)
+        li t0 (-1L);
+        csrw (C.pmpaddr 0) t0;
+        li t0 0x1FL;
+        csrw (C.pmpcfg 0) t0;
+        (* ...then read the kernel. Policy PMPs outrank vPMPs, so the
+           load must still fault. *)
+        li t0 Layout.kernel_base;
+        ld t1 0L t0;
+      ]
+  | Dma_attack ->
+      [
+        (* Program the block device to DMA the kernel image out to
+           disk: sector 0, source = kernel, 512 bytes, cmd 2 =
+           write-from-RAM. *)
+        li t0 blockdev;
+        sd zero 0L t0;
+        li t1 Layout.kernel_base;
+        sd t1 8L t0;
+        li t1 512L;
+        sd t1 16L t0;
+        li t1 2L;
+        sd t1 24L t0;
+      ]
+
+let program attack ~nharts ~kernel_entry =
+  ignore nharts;
+  [
+    label "entry";
+    la t0 "mtrap";
+    csrw C.mtvec t0;
+    (* open memory to S/U and boot the kernel, exactly like honest
+       firmware, so the sandbox locks down *)
+    li t0 (-1L);
+    csrw (C.pmpaddr 0) t0;
+    li t0 0x1FL;
+    csrw (C.pmpcfg 0) t0;
+    li t0 (-1L);
+    csrw C.mcounteren t0;
+    csrw C.scounteren t0;
+    li t0 kernel_entry;
+    csrw C.mepc t0;
+    li t1 0x1800L;
+    csrc C.mstatus t1;
+    li t1 0x800L;
+    csrs C.mstatus t1;
+    csrr a0 C.mhartid;
+    li a1 0L;
+    mret;
+    (* Any trap from the OS triggers the attack. *)
+    label "mtrap";
+  ]
+  @ attack_code attack
+  @ [
+      (* If we get here the sandbox failed: signal success. *)
+      li t0 Layout.uart;
+      li t1 (Int64.of_int (Char.code 'X'));
+      sb t1 0L t0;
+      label "spin";
+      j "spin";
+    ]
+
+let image attack ~nharts ~kernel_entry =
+  Asm.assemble ~base:Layout.fw_base (program attack ~nharts ~kernel_entry)

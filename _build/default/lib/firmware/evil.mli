@@ -1,0 +1,28 @@
+(** Malicious firmware images for exercising the isolation policies.
+
+    Each variant boots normally (loads the S-mode kernel, so the
+    sandbox locks down) and then, on the first SBI call from the OS,
+    mounts its attack from vM-mode. Under the threat model of §2.3 the
+    attacker controls the firmware entirely; the sandbox policy must
+    stop every one of these with a violation rather than let it read
+    or corrupt OS, enclave or Miralis state. *)
+
+type attack =
+  | Read_os_memory  (** load from the kernel image *)
+  | Write_os_memory  (** store over the kernel image *)
+  | Read_miralis_memory  (** load from Miralis's reserved range *)
+  | Pmp_escape
+      (** reprogram vPMP 0 to allow everything, then read OS memory —
+          must still be blocked because policy PMPs outrank vPMPs *)
+  | Dma_attack
+      (** program the DMA block device to exfiltrate OS memory *)
+
+val attack_name : attack -> string
+val all_attacks : attack list
+
+val image :
+  attack -> nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list
+(** Assembled at {!Layout.fw_base}; drop-in replacement for MiniSBI in
+    {!Mir_harness.Setup.create}'s [?firmware]. If the attack succeeds
+    the firmware prints ['X'] on the UART — tests assert it never
+    appears. *)

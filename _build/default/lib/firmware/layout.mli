@@ -1,0 +1,28 @@
+(** Memory layout shared by firmware images and guest kernels. *)
+
+val fw_base : int64
+(** Firmware load address (the DRAM base, like OpenSBI's FW_TEXT). *)
+
+val fw_data : int64
+(** Firmware data area (trap frames, flags). *)
+
+val fw_stack_top : int64
+(** Top of the firmware stack region; each hart gets 4 KiB below. *)
+
+val fw_size : int64
+(** Memory reserved for the firmware (the sandbox policy confines the
+    firmware to [fw_base, fw_base+fw_size)). *)
+
+val kernel_base : int64
+(** Guest (S-mode) kernel load address. *)
+
+val kernel_data : int64
+(** Scratch/data area for kernels (result cells, counters). *)
+
+val frame_addr : hart:int -> int64
+(** The firmware's per-hart trap frame (32 saved registers). *)
+
+val stack_addr : hart:int -> int64
+val syscon : int64
+val clint : int64
+val uart : int64

@@ -1,0 +1,54 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+let csrw_loop ~nharts ~kernel_entry =
+  ignore nharts;
+  ignore kernel_entry;
+  Asm.assemble ~base:Layout.fw_base
+    [
+      label "entry";
+      label "loop";
+      csrw C.mscratch zero;
+      csrw C.mscratch zero;
+      csrw C.mscratch zero;
+      csrw C.mscratch zero;
+      j "loop";
+    ]
+
+let null_handler ~nharts ~kernel_entry =
+  ignore nharts;
+  Asm.assemble ~base:Layout.fw_base
+    [
+      label "entry";
+      la t0 "mtrap";
+      csrw C.mtvec t0;
+      li t0 (-1L);
+      csrw (C.pmpaddr 0) t0;
+      li t0 0x1FL;
+      csrw (C.pmpcfg 0) t0;
+      li t0 0xB109L;
+      csrw C.medeleg t0;
+      li t0 0x222L;
+      csrw C.mideleg t0;
+      li t0 (-1L);
+      csrw C.mcounteren t0;
+      csrw C.scounteren t0;
+      li t0 kernel_entry;
+      csrw C.mepc t0;
+      li t1 0x1800L;
+      csrc C.mstatus t1;
+      li t1 0x800L;
+      csrs C.mstatus t1;
+      csrr a0 C.mhartid;
+      li a1 0L;
+      mret;
+      (* the shortest possible handler: skip the ecall, return
+         (t0 is clobbered; the measurement loop does not rely on it) *)
+      label "mtrap";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      mret;
+    ]

@@ -1,0 +1,11 @@
+(** Minimal firmware images for the Table 4 microbenchmarks.
+
+    [csrw_loop] executes "csrw mscratch, x0" forever in (v)M-mode —
+    under Miralis every iteration is one trap + one emulation, giving
+    the per-instruction emulation cost. [null_handler] boots the
+    kernel and services every trap with the shortest possible handler
+    (advance mepc, mret), giving the pure world-switch round-trip
+    cost for an OS ecall. *)
+
+val csrw_loop : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list
+val null_handler : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list

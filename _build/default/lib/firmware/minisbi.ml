@@ -1,0 +1,406 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+let entry = Layout.fw_base
+
+(* Trap-frame register save/restore: register i lives at offset 8*i of
+   the per-hart frame. sp (x2) is handled through mscratch. *)
+let save_gprs =
+  List.concat_map
+    (fun r -> if r = 2 then [] else [ sd r (Int64.of_int (8 * r)) sp ])
+    (List.init 31 (fun i -> i + 1))
+
+let restore_gprs =
+  List.concat_map
+    (fun r -> if r = 2 then [] else [ ld r (Int64.of_int (8 * r)) sp ])
+    (List.init 31 (fun i -> i + 1))
+
+(* multi-hart console serialization, like OpenSBI's console lock *)
+let console_lock = Int64.add Layout.fw_data 0x7000L
+let clint_msip = Layout.clint
+let clint_mtimecmp = Int64.add Layout.clint 0x4000L
+let clint_mtime = Int64.add Layout.clint 0xBFF8L
+let mstatus_mprv = 0x20000L
+
+let program ~nharts ~kernel_entry =
+  [
+    (* ---------------- boot ---------------- *)
+    label "entry";
+    la t0 "mtrap";
+    csrw C.mtvec t0;
+    csrr a0 C.mhartid;
+    (* per-hart stack *)
+    li sp Layout.fw_stack_top;
+    li t0 4096L;
+    mul t0 a0 t0;
+    sub sp sp t0;
+    (* per-hart trap frame in mscratch *)
+    li t0 Layout.fw_data;
+    li t1 256L;
+    mul t1 a0 t1;
+    add t0 t0 t1;
+    csrw C.mscratch t0;
+    (* delegate the usual exceptions and all S interrupts (OpenSBI's
+       defaults): breakpoints, ecall-from-U, page faults, fetch
+       misalign. Misaligned loads/stores and illegal instructions stay
+       in M for emulation. *)
+    li t0 0xB109L;
+    csrw C.medeleg t0;
+    li t0 0x222L;
+    csrw C.mideleg t0;
+    (* enable software interrupts (timer enabled on demand) *)
+    li t0 0x8L;
+    csrw C.mie t0;
+    (* open the counters to S and U (cycle, time, instret) *)
+    li t0 (-1L);
+    csrw C.mcounteren t0;
+    csrw C.scounteren t0;
+    (* open all memory to S/U with the lowest-priority PMP entry *)
+    li t0 (-1L);
+    csrw (C.pmpaddr 0) t0;
+    li t0 0x1FL;
+    csrw (C.pmpcfg 0) t0;
+    (* enter the S-mode kernel: mstatus.MPP = S *)
+    li t0 kernel_entry;
+    csrw C.mepc t0;
+    li t1 0x1800L;
+    csrc C.mstatus t1;
+    li t1 0x800L;
+    csrs C.mstatus t1;
+    csrr a0 C.mhartid;
+    li a1 0L;
+    mret;
+    (* ---------------- trap entry ---------------- *)
+    label "mtrap";
+    csrrw sp C.mscratch sp;
+  ]
+  @ save_gprs
+  @ [
+      csrr t0 C.mscratch;
+      sd t0 16L sp;
+      (* frame[2] = guest sp *)
+      csrw C.mscratch sp;
+      (* dispatch *)
+      csrr s0 C.mcause;
+      blt s0 zero "interrupt";
+      li t0 9L;
+      beq s0 t0 "ecall_s";
+      li t0 2L;
+      beq s0 t0 "illegal";
+      li t0 4L;
+      beq s0 t0 "mis_load";
+      li t0 6L;
+      beq s0 t0 "mis_store";
+      j "unhandled";
+      (* ---------------- interrupts ---------------- *)
+      label "interrupt";
+      slli s0 s0 1;
+      srli s0 s0 1;
+      li t0 7L;
+      beq s0 t0 "mti";
+      li t0 3L;
+      beq s0 t0 "msi";
+      j "restore";
+      (* machine timer: forward to S as STIP and mask until the next
+         set_timer *)
+      label "mti";
+      li t0 0x20L;
+      csrs C.mip t0;
+      li t0 0x80L;
+      csrc C.mie t0;
+      j "restore";
+      (* software interrupt: clear msip, fence, raise SSIP *)
+      label "msi";
+      csrr t0 C.mhartid;
+      slli t0 t0 2;
+      li t1 clint_msip;
+      add t1 t1 t0;
+      sw zero 0L t1;
+      fence_i;
+      li t0 0x2L;
+      csrs C.mip t0;
+      j "restore";
+      (* ---------------- SBI calls ---------------- *)
+      label "ecall_s";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      ld s1 136L sp;
+      (* a7: extension *)
+      ld s2 128L sp;
+      (* a6: function *)
+      ld s3 80L sp;
+      (* a0 *)
+      ld s4 88L sp;
+      (* a1 *)
+      li t0 Mir_sbi.Sbi.ext_time;
+      beq s1 t0 "sbi_time";
+      li t0 Mir_sbi.Sbi.ext_ipi;
+      beq s1 t0 "sbi_ipi";
+      li t0 Mir_sbi.Sbi.ext_rfence;
+      beq s1 t0 "sbi_rfence";
+      li t0 Mir_sbi.Sbi.ext_base;
+      beq s1 t0 "sbi_base";
+      li t0 Mir_sbi.Sbi.ext_dbcn;
+      beq s1 t0 "sbi_dbcn";
+      li t0 Mir_sbi.Sbi.ext_srst;
+      beq s1 t0 "sbi_srst";
+      beqz s1 "sbi_time";
+      (* legacy set_timer *)
+      li t0 1L;
+      beq s1 t0 "sbi_putchar";
+      (* not supported *)
+      li t0 (-2L);
+      sd t0 80L sp;
+      sd zero 88L sp;
+      j "restore";
+      (* set_timer(deadline = a0) *)
+      label "sbi_time";
+      csrr t0 C.mhartid;
+      slli t0 t0 3;
+      li t1 clint_mtimecmp;
+      add t1 t1 t0;
+      sd s3 0L t1;
+      li t0 0x20L;
+      csrc C.mip t0;
+      li t0 0x80L;
+      csrs C.mie t0;
+      j "sbi_ok";
+      (* send_ipi(mask = a0, base = a1) *)
+      label "sbi_ipi";
+      li t0 (-1L);
+      bne s4 t0 "ipi_shift";
+      li s3 (-1L);
+      j "ipi_loop_init";
+      label "ipi_shift";
+      sll s3 s3 s4;
+      label "ipi_loop_init";
+      li t1 0L;
+      li t2 (Int64.of_int nharts);
+      label "ipi_loop";
+      bge t1 t2 "sbi_ok";
+      srl t0 s3 t1;
+      andi t0 t0 1L;
+      beqz t0 "ipi_next";
+      slli t3 t1 2;
+      li t4 clint_msip;
+      add t4 t4 t3;
+      li t5 1L;
+      sw t5 0L t4;
+      label "ipi_next";
+      addi t1 t1 1L;
+      j "ipi_loop";
+      (* remote fence: local fence.i, then IPI the targets (their MSI
+         handler fences) *)
+      label "sbi_rfence";
+      fence_i;
+      j "sbi_ipi";
+      (* base extension: probe returns 1, the rest return 0 *)
+      label "sbi_base";
+      li t0 3L;
+      bne s2 t0 "base_zero";
+      li t0 1L;
+      sd t0 88L sp;
+      sd zero 80L sp;
+      j "restore";
+      label "base_zero";
+      sd zero 80L sp;
+      sd zero 88L sp;
+      j "restore";
+      (* debug console: write_byte only *)
+      label "sbi_dbcn";
+      li t0 2L;
+      bne s2 t0 "base_zero";
+      label "sbi_putchar";
+      (* serialize console output across harts with a spinlock *)
+      li t2 console_lock;
+      label "console_lock_try";
+      li t3 1L;
+      amoswap_w t3 t3 t2;
+      bnez t3 "console_lock_try";
+      li t1 Layout.uart;
+      andi t0 s3 0xFFL;
+      sb t0 0L t1;
+      fence;
+      sw zero 0L t2;
+      j "sbi_ok";
+      (* system reset: power off through the syscon *)
+      label "sbi_srst";
+      li t0 Layout.syscon;
+      li t1 0x5555L;
+      sw t1 0L t0;
+      j "sbi_ok";
+      label "sbi_ok";
+      sd zero 80L sp;
+      sd zero 88L sp;
+      j "restore";
+      (* ---------------- illegal instruction: rdtime emulation ------ *)
+      label "illegal";
+      csrr s1 C.mtval;
+      srli t0 s1 20;
+      li t1 0xC01L;
+      bne t0 t1 "unhandled";
+      srli t0 s1 12;
+      andi t0 t0 7L;
+      li t1 2L;
+      bne t0 t1 "unhandled";
+      (* rd <- mtime *)
+      srli s2 s1 7;
+      andi s2 s2 31L;
+      li t0 clint_mtime;
+      ld t1 0L t0;
+      slli s2 s2 3;
+      add s2 s2 sp;
+      sd t1 0L s2;
+      sd zero 0L sp;
+      (* keep frame[0] = 0 in case rd was x0 *)
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "restore";
+      (* ---------------- misaligned loads ---------------- *)
+      (* Fetch the faulting instruction and perform the access
+         byte-by-byte under mstatus.MPRV, like OpenSBI does — the
+         MPRV path is what Miralis emulates with an execute-only
+         PMP catch-all. *)
+      label "mis_load";
+      csrr s1 C.mtval;
+      csrr s2 C.mepc;
+      li t0 mstatus_mprv;
+      csrs C.mstatus t0;
+      lbu t1 0L s2;
+      lbu t2 1L s2;
+      lbu t3 2L s2;
+      lbu t4 3L s2;
+      li t0 mstatus_mprv;
+      csrc C.mstatus t0;
+      slli t2 t2 8;
+      slli t3 t3 16;
+      slli t4 t4 24;
+      or_ t1 t1 t2;
+      or_ t1 t1 t3;
+      or_ t1 t1 t4;
+      mv s3 t1;
+      (* funct3 *)
+      srli s4 s3 12;
+      andi s4 s4 7L;
+      (* rd *)
+      srli s5 s3 7;
+      andi s5 s5 31L;
+      (* size: funct3 & 3 -> 1:2B, 2:4B, 3:8B *)
+      andi t0 s4 3L;
+      li s6 2L;
+      li t1 1L;
+      beq t0 t1 "ld_size_done";
+      li s6 4L;
+      li t1 2L;
+      beq t0 t1 "ld_size_done";
+      li s6 8L;
+      label "ld_size_done";
+      li s8 0L;
+      addi t2 s6 (-1L);
+      li t0 mstatus_mprv;
+      csrs C.mstatus t0;
+      label "ld_loop";
+      blt t2 zero "ld_done";
+      add t3 s1 t2;
+      lbu t4 0L t3;
+      slli s8 s8 8;
+      or_ s8 s8 t4;
+      addi t2 t2 (-1L);
+      j "ld_loop";
+      label "ld_done";
+      li t0 mstatus_mprv;
+      csrc C.mstatus t0;
+      (* sign-extend for lh/lw (funct3 1,2); lhu/lwu are 5,6 *)
+      li t1 4L;
+      bge s4 t1 "ld_no_sext";
+      li t1 64L;
+      slli t3 s6 3;
+      sub t1 t1 t3;
+      sll s8 s8 t1;
+      sra s8 s8 t1;
+      label "ld_no_sext";
+      slli s5 s5 3;
+      add s5 s5 sp;
+      sd s8 0L s5;
+      sd zero 0L sp;
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "restore";
+      (* ---------------- misaligned stores ---------------- *)
+      label "mis_store";
+      csrr s1 C.mtval;
+      csrr s2 C.mepc;
+      li t0 mstatus_mprv;
+      csrs C.mstatus t0;
+      lbu t1 0L s2;
+      lbu t2 1L s2;
+      lbu t3 2L s2;
+      lbu t4 3L s2;
+      li t0 mstatus_mprv;
+      csrc C.mstatus t0;
+      slli t2 t2 8;
+      slli t3 t3 16;
+      slli t4 t4 24;
+      or_ t1 t1 t2;
+      or_ t1 t1 t3;
+      or_ t1 t1 t4;
+      mv s3 t1;
+      srli s4 s3 12;
+      andi s4 s4 7L;
+      (* rs2: bits 24:20 *)
+      srli s5 s3 20;
+      andi s5 s5 31L;
+      slli s5 s5 3;
+      add s5 s5 sp;
+      ld s8 0L s5;
+      andi t0 s4 3L;
+      li s6 2L;
+      li t1 1L;
+      beq t0 t1 "st_size_done";
+      li s6 4L;
+      li t1 2L;
+      beq t0 t1 "st_size_done";
+      li s6 8L;
+      label "st_size_done";
+      li t0 mstatus_mprv;
+      csrs C.mstatus t0;
+      li t2 0L;
+      label "st_loop";
+      bge t2 s6 "st_done";
+      add t3 s1 t2;
+      andi t4 s8 0xFFL;
+      sb t4 0L t3;
+      srli s8 s8 8;
+      addi t2 t2 1L;
+      j "st_loop";
+      label "st_done";
+      li t0 mstatus_mprv;
+      csrc C.mstatus t0;
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "restore";
+      (* ---------------- unknown trap: report and stop -------------- *)
+      label "unhandled";
+      li t0 Layout.uart;
+      li t1 33L;
+      (* '!' *)
+      sb t1 0L t0;
+      li t0 Layout.syscon;
+      li t1 0x5555L;
+      sw t1 0L t0;
+      label "hang";
+      j "hang";
+      (* ---------------- restore & return ---------------- *)
+      label "restore";
+    ]
+  @ restore_gprs
+  @ [ ld sp 16L sp; mret ]
+
+let image ~nharts ~kernel_entry =
+  Asm.assemble ~base:Layout.fw_base (program ~nharts ~kernel_entry)

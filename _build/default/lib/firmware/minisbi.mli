@@ -1,0 +1,24 @@
+(** MiniSBI: an OpenSBI-like M-mode firmware, as a real instruction
+    stream.
+
+    Implements the services the paper's trap study identifies as the
+    hot OS↔firmware interface (Fig. 3): supervisor timer programming,
+    IPIs, remote fences, misaligned load/store emulation (via
+    mstatus.MPRV, which exercises Miralis's MPRV-emulation PMP trick),
+    and emulation of reads of the unimplemented [time] CSR. It also
+    provides the SBI base/probe, debug console, legacy console and
+    system-reset extensions.
+
+    The same image boots natively in M-mode (baseline) or deprivileged
+    in vM-mode under Miralis — the paper's "unmodified vendor
+    firmware" requirement. *)
+
+val program : nharts:int -> kernel_entry:int64 -> Mir_asm.Asm.program
+(** The firmware source (assembles at {!Layout.fw_base}). Trap frames
+    and stacks live in the firmware data region per {!Layout}. *)
+
+val image : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list
+(** Assembled at {!Layout.fw_base}. *)
+
+val entry : int64
+(** Entry point (= {!Layout.fw_base}). *)

@@ -1,0 +1,365 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+(* Per-hart state block, addressed off tp: 16 saved registers. *)
+let state_base = Int64.add Layout.fw_data 0x8000L
+let state_stride = 512L
+
+(* Registers this firmware saves on trap entry (it only clobbers
+   these, unlike MiniSBI's full frame). Offsets into the tp block. *)
+let saved = [ (t0, 0L); (t1, 8L); (t2, 16L); (t3, 24L); (t4, 32L);
+              (t5, 40L); (t6, 48L); (a0, 56L); (a1, 64L); (a2, 72L);
+              (a6, 80L); (a7, 88L); (s1, 96L); (ra, 104L) ]
+
+let save_block = List.map (fun (r, off) -> sd r off tp) saved
+let restore_block = List.map (fun (r, off) -> ld r off tp) saved
+
+let clint_msip = Layout.clint
+let clint_mtimecmp = Int64.add Layout.clint 0x4000L
+let clint_mtime = Int64.add Layout.clint 0xBFF8L
+
+let program ~nharts ~kernel_entry =
+  [
+    label "entry";
+    (* mscratch = per-hart state block (the trap entry swaps it in) *)
+    csrr a0 C.mhartid;
+    li t1 state_stride;
+    mul t1 t1 a0;
+    li t0 state_base;
+    add t0 t0 t1;
+    csrw C.mscratch t0;
+    la t0 "trap_entry";
+    csrw C.mtvec t0;
+    (* jump-table dispatch needs no stack: this firmware runs
+       stackless, RustSBI-style *)
+    li t0 0xB109L;
+    csrw C.medeleg t0;
+    li t0 0x222L;
+    csrw C.mideleg t0;
+    li t0 0x8L;
+    csrw C.mie t0;
+    li t0 (-1L);
+    csrw C.mcounteren t0;
+    csrw C.scounteren t0;
+    li t0 (-1L);
+    csrw (C.pmpaddr 0) t0;
+    li t0 0x1FL;
+    csrw (C.pmpcfg 0) t0;
+    li t0 kernel_entry;
+    csrw C.mepc t0;
+    li t1 0x1800L;
+    csrc C.mstatus t1;
+    li t1 0x800L;
+    csrs C.mstatus t1;
+    csrr a0 C.mhartid;
+    li a1 0L;
+    mret;
+    (* ---------------- trap entry: computed dispatch -------------- *)
+    (* mscratch holds the per-hart state block (set at boot); the trap
+       entry swaps it with tp, MiniSBI-style but around tp. *)
+    label "trap_entry";
+    Asm.Ins (Mir_rv.Instr.Csr { op = Mir_rv.Instr.Csrrw; rd = Asm.Reg.tp;
+                                src = Mir_rv.Instr.Reg Asm.Reg.tp;
+                                csr = C.mscratch });
+  ]
+  @ save_block
+  @ [
+      (* stash the guest tp (now in mscratch) and point mscratch back
+         at the block for the next trap *)
+      csrr t0 C.mscratch;
+      sd t0 112L tp;
+      csrw C.mscratch tp;
+      csrr s1 C.mcause;
+      blt s1 zero "irq";
+      (* exceptions: dispatch through the jump table *)
+      li t0 16L;
+      bge s1 t0 "bad";
+      la t0 "exc_table";
+      slli t1 s1 3;
+      add t0 t0 t1;
+      ld t1 0L t0;
+      jr t1;
+      (* ---------------- interrupt handling ---------------- *)
+      label "irq";
+      slli s1 s1 1;
+      srli s1 s1 1;
+      li t0 7L;
+      beq s1 t0 "irq_timer";
+      li t0 3L;
+      beq s1 t0 "irq_soft";
+      j "out";
+      label "irq_timer";
+      li t0 0x20L;
+      csrs C.mip t0;
+      li t0 0x80L;
+      csrc C.mie t0;
+      j "out";
+      label "irq_soft";
+      csrr t0 C.mhartid;
+      slli t0 t0 2;
+      li t1 clint_msip;
+      add t1 t1 t0;
+      sw zero 0L t1;
+      fence_i;
+      li t0 0x2L;
+      csrs C.mip t0;
+      j "out";
+      (* ---------------- exception handlers ---------------- *)
+      (* cause 9: SBI call *)
+      label "exc_ecall_s";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      (* a-registers are live in the block; reload the call args *)
+      ld a0 56L tp;
+      ld a1 64L tp;
+      ld a6 80L tp;
+      ld a7 88L tp;
+      li t0 Mir_sbi.Sbi.ext_time;
+      beq a7 t0 "sbi_timer";
+      beqz a7 "sbi_timer";
+      li t0 Mir_sbi.Sbi.ext_ipi;
+      beq a7 t0 "sbi_send_ipi";
+      li t0 Mir_sbi.Sbi.ext_rfence;
+      beq a7 t0 "sbi_remote_fence";
+      li t0 Mir_sbi.Sbi.ext_base;
+      beq a7 t0 "sbi_base_ext";
+      li t0 Mir_sbi.Sbi.ext_dbcn;
+      beq a7 t0 "sbi_console";
+      li t0 1L;
+      beq a7 t0 "sbi_console_legacy";
+      li t0 Mir_sbi.Sbi.ext_srst;
+      beq a7 t0 "sbi_reset";
+      li t0 (-2L);
+      sd t0 56L tp;
+      sd zero 64L tp;
+      j "out";
+      label "sbi_timer";
+      csrr t0 C.mhartid;
+      slli t0 t0 3;
+      li t1 clint_mtimecmp;
+      add t1 t1 t0;
+      sd a0 0L t1;
+      li t0 0x20L;
+      csrc C.mip t0;
+      li t0 0x80L;
+      csrs C.mie t0;
+      j "ok";
+      label "sbi_send_ipi";
+      (* mask in a0, base in a1 *)
+      li t0 (-1L);
+      bne a1 t0 "ipi_rel";
+      li a0 (-1L);
+      li a1 0L;
+      label "ipi_rel";
+      sll a0 a0 a1;
+      li t1 0L;
+      li t2 (Int64.of_int nharts);
+      label "ipi_scan";
+      bge t1 t2 "ok";
+      srl t0 a0 t1;
+      andi t0 t0 1L;
+      beqz t0 "ipi_skip";
+      slli t3 t1 2;
+      li t4 clint_msip;
+      add t4 t4 t3;
+      li t5 1L;
+      sw t5 0L t4;
+      label "ipi_skip";
+      addi t1 t1 1L;
+      j "ipi_scan";
+      label "sbi_remote_fence";
+      fence_i;
+      j "sbi_send_ipi";
+      label "sbi_base_ext";
+      li t0 3L;
+      bne a6 t0 "base_z";
+      li t0 1L;
+      sd t0 64L tp;
+      sd zero 56L tp;
+      j "out";
+      label "base_z";
+      sd zero 56L tp;
+      sd zero 64L tp;
+      j "out";
+      label "sbi_console";
+      li t0 2L;
+      bne a6 t0 "base_z";
+      label "sbi_console_legacy";
+      li t1 Layout.uart;
+      andi t0 a0 0xFFL;
+      sb t0 0L t1;
+      j "ok";
+      label "sbi_reset";
+      li t0 Layout.syscon;
+      li t1 0x5555L;
+      sw t1 0L t0;
+      j "ok";
+      label "ok";
+      sd zero 56L tp;
+      sd zero 64L tp;
+      j "out";
+      (* cause 2: illegal instruction — rdtime emulation *)
+      label "exc_illegal";
+      csrr t0 C.mtval;
+      srli t1 t0 20;
+      li t2 0xC01L;
+      bne t1 t2 "bad";
+      srli t1 t0 12;
+      andi t1 t1 7L;
+      li t2 2L;
+      bne t1 t2 "bad";
+      (* rd: write the value into the saved block if the register is
+         one we saved, else ignore (the kernel only uses t-regs) *)
+      srli s1 t0 7;
+      andi s1 s1 31L;
+      li t1 clint_mtime;
+      ld t2 0L t1;
+      (* map rd -> block offset via the table at rd_map *)
+      la t1 "rd_map";
+      slli t3 s1 3;
+      add t1 t1 t3;
+      ld t3 0L t1;
+      blt t3 zero "illegal_done";
+      (* unsupported rd: drop *)
+      add t3 t3 tp;
+      sd t2 0L t3;
+      label "illegal_done";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "out";
+      (* cause 4/6: misaligned — direct byte copy (this firmware
+         requires bare addressing, which our kernels use; MPRV is the
+         MiniSBI strategy) *)
+      label "exc_mis_load";
+      csrr s1 C.mtval;
+      csrr t0 C.mepc;
+      lwu t1 0L t0;
+      (* fetch the faulting instruction *)
+      srli t2 t1 12;
+      andi t2 t2 7L;
+      (* size = 1 << (funct3 & 3) *)
+      andi t3 t2 3L;
+      li t4 1L;
+      sll t4 t4 t3;
+      (* read the bytes *)
+      li t5 0L;
+      (* value *)
+      addi t6 t4 (-1L);
+      label "ml_loop";
+      blt t6 zero "ml_done";
+      add t0 s1 t6;
+      lbu t0 0L t0;
+      slli t5 t5 8;
+      or_ t5 t5 t0;
+      addi t6 t6 (-1L);
+      j "ml_loop";
+      label "ml_done";
+      (* sign-extend unless funct3 >= 4 *)
+      li t0 4L;
+      bge t2 t0 "ml_store_rd";
+      li t0 64L;
+      slli t6 t4 3;
+      sub t0 t0 t6;
+      sll t5 t5 t0;
+      sra t5 t5 t0;
+      label "ml_store_rd";
+      csrr t0 C.mepc;
+      lwu t1 0L t0;
+      srli t1 t1 7;
+      andi t1 t1 31L;
+      la t0 "rd_map";
+      slli t6 t1 3;
+      add t0 t0 t6;
+      ld t6 0L t0;
+      blt t6 zero "ml_fin";
+      add t6 t6 tp;
+      sd t5 0L t6;
+      label "ml_fin";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "out";
+      label "exc_mis_store";
+      csrr s1 C.mtval;
+      csrr t0 C.mepc;
+      lwu t1 0L t0;
+      (* rs2 = bits 24:20; fetch its value from the block *)
+      srli t2 t1 20;
+      andi t2 t2 31L;
+      la t3 "rd_map";
+      slli t4 t2 3;
+      add t3 t3 t4;
+      ld t4 0L t3;
+      li t5 0L;
+      blt t4 zero "ms_sized";
+      add t4 t4 tp;
+      ld t5 0L t4;
+      label "ms_sized";
+      srli t2 t1 12;
+      andi t2 t2 3L;
+      li t4 1L;
+      sll t4 t4 t2;
+      li t6 0L;
+      label "ms_loop";
+      bge t6 t4 "ms_done";
+      add t0 s1 t6;
+      andi t2 t5 0xFFL;
+      sb t2 0L t0;
+      srli t5 t5 8;
+      addi t6 t6 1L;
+      j "ms_loop";
+      label "ms_done";
+      csrr t0 C.mepc;
+      addi t0 t0 4L;
+      csrw C.mepc t0;
+      j "out";
+      label "bad";
+      li t0 Layout.uart;
+      li t1 33L;
+      sb t1 0L t0;
+      li t0 Layout.syscon;
+      li t1 0x5555L;
+      sw t1 0L t0;
+      label "dead";
+      j "dead";
+      (* ---------------- return ---------------- *)
+      label "out";
+    ]
+  @ restore_block
+  @ [ ld tp 112L tp; mret ]
+  @ [
+      (* exception dispatch table, indexed by mcause *)
+      Asm.Align 8;
+      label "exc_table";
+      Asm.Word_label "bad"; (* 0 instr misaligned (delegated) *)
+      Asm.Word_label "bad"; (* 1 *)
+      Asm.Word_label "exc_illegal"; (* 2 *)
+      Asm.Word_label "bad"; (* 3 *)
+      Asm.Word_label "exc_mis_load"; (* 4 *)
+      Asm.Word_label "bad"; (* 5 *)
+      Asm.Word_label "exc_mis_store"; (* 6 *)
+      Asm.Word_label "bad"; (* 7 *)
+      Asm.Word_label "bad"; (* 8 *)
+      Asm.Word_label "exc_ecall_s"; (* 9 *)
+      Asm.Word_label "bad"; (* 10 *)
+      Asm.Word_label "bad"; (* 11 *)
+      Asm.Word_label "bad"; (* 12 *)
+      Asm.Word_label "bad"; (* 13 *)
+      Asm.Word_label "bad"; (* 14 *)
+      Asm.Word_label "bad"; (* 15 *)
+      (* register -> saved-block-offset map; -1 = not saved *)
+      label "rd_map";
+    ]
+  @ List.init 32 (fun r ->
+        let off =
+          List.assoc_opt r
+            (List.map (fun (reg, off) -> (reg, off)) saved)
+        in
+        Asm.Word64 (Option.value off ~default:(-1L)))
+
+let image ~nharts ~kernel_entry =
+  Asm.assemble ~base:Layout.fw_base (program ~nharts ~kernel_entry)

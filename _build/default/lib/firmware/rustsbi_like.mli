@@ -1,0 +1,11 @@
+(** A second, independently structured SBI firmware (the paper's
+    RustSBI experiment: an SBI implementation written from scratch).
+
+    Functionally equivalent to {!Minisbi} for the services the kernel
+    uses, but organized differently: a computed jump table for trap
+    dispatch, per-hart state blocks addressed off [tp], and callee
+    style register conventions — so virtualizing it exercises
+    different instruction sequences than MiniSBI does. *)
+
+val program : nharts:int -> kernel_entry:int64 -> Mir_asm.Asm.program
+val image : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list

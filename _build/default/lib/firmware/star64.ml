@@ -1,0 +1,11 @@
+(* The Star64's vendor firmware is OpenSBI-based, like the VisionFive
+   2's (both are JH7110 boards); the dump is byte-identical modulo the
+   vendor build. We dump MiniSBI and discard all metadata. *)
+let flash_dump ~nharts ~kernel_entry =
+  let bytes, _labels = Minisbi.image ~nharts ~kernel_entry in
+  Bytes.copy bytes
+
+let size_kib ~nharts ~kernel_entry =
+  (Bytes.length (flash_dump ~nharts ~kernel_entry) + 1023) / 1024
+
+let image ~nharts ~kernel_entry = (flash_dump ~nharts ~kernel_entry, [])

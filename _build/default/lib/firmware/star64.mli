@@ -1,0 +1,18 @@
+(** The "closed firmware" experiment (paper §8.2).
+
+    For the Star64 the paper's authors had no firmware sources: they
+    extracted the image from flash and ran the raw bytes under
+    Miralis. This module reproduces that workflow: it exposes a
+    firmware image *only as bytes* — a flash dump with no symbol
+    information — which the harness loads and virtualizes without any
+    knowledge of its internals. (The dump is produced by building the
+    vendor's firmware once and throwing the metadata away, exactly the
+    information a flash readout provides.) *)
+
+val flash_dump : nharts:int -> kernel_entry:int64 -> bytes
+(** The raw firmware image as read from flash. *)
+
+val size_kib : nharts:int -> kernel_entry:int64 -> int
+
+val image : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list
+(** Loader-compatible view: the bytes with an empty symbol table. *)

@@ -1,0 +1,85 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+let ticks = 8
+let expected_output = String.make ticks 'z' ^ "Z"
+let counter = Int64.add Layout.fw_data 0x100L
+let scratch = Int64.add Layout.fw_data 0x140L
+let clint_mtime = Int64.add Layout.clint 0xBFF8L
+let clint_mtimecmp = Int64.add Layout.clint 0x4000L
+let tick_period = 400L
+
+let program =
+  [
+    label "entry";
+    csrr t0 C.mhartid;
+    bnez t0 "park";
+    la t0 "ztrap";
+    csrw C.mtvec t0;
+    li t1 counter;
+    sd zero 0L t1;
+    (* arm the first tick *)
+    li t2 clint_mtime;
+    ld t3 0L t2;
+    addi t3 t3 tick_period;
+    li t4 clint_mtimecmp;
+    sd t3 0L t4;
+    li t0 0x80L;
+    csrw C.mie t0;
+    csrsi C.mstatus 8;
+    (* ---------------- cooperative main loop ---------------- *)
+    label "main_loop";
+    li t1 counter;
+    ld s0 0L t1;
+    label "wait_tick";
+    wfi;
+    li t1 counter;
+    ld s1 0L t1;
+    beq s1 s0 "wait_tick";
+    (* task body: some work, then report the tick *)
+    li t2 300L;
+    label "work";
+    addi t2 t2 (-1L);
+    bnez t2 "work";
+    li t3 Layout.uart;
+    li t4 (Int64.of_int (Char.code 'z'));
+    sb t4 0L t3;
+    li t5 (Int64.of_int ticks);
+    blt s1 t5 "main_loop";
+    (* done *)
+    li t4 (Int64.of_int (Char.code 'Z'));
+    sb t4 0L t3;
+    li t0 Layout.syscon;
+    li t1 0x5555L;
+    sw t1 0L t0;
+    label "park";
+    wfi;
+    j "park";
+    (* ---------------- tick handler ---------------- *)
+    label "ztrap";
+    csrw C.mscratch t0;
+    li t0 scratch;
+    sd t2 0L t0;
+    sd t3 8L t0;
+    li t2 counter;
+    ld t3 0L t2;
+    addi t3 t3 1L;
+    sd t3 0L t2;
+    li t2 clint_mtime;
+    ld t3 0L t2;
+    addi t3 t3 tick_period;
+    li t2 clint_mtimecmp;
+    sd t3 0L t2;
+    li t0 scratch;
+    ld t2 0L t0;
+    ld t3 8L t0;
+    csrr t0 C.mscratch;
+    mret;
+  ]
+
+let image ~nharts ~kernel_entry =
+  ignore nharts;
+  ignore kernel_entry;
+  Asm.assemble ~base:Layout.fw_base program

@@ -1,0 +1,19 @@
+(** A Zephyr-like RTOS image: an M-mode kernel with no S-mode below.
+
+    The paper virtualizes Zephyr to show a VFM handles firmware that
+    *is* the whole software stack: timer-driven cooperative tasks
+    running entirely in (v)M-mode. This image arms the CLINT timer,
+    services tick interrupts in its own trap handler, runs a task body
+    per tick and prints progress — so under Miralis it exercises the
+    virtual CLINT, virtual timer interrupts injection and WFI
+    emulation with no OS involved. Its "test suite" is the exact
+    output string, identical native and virtualized. *)
+
+val ticks : int
+(** Number of timer ticks the image runs for. *)
+
+val expected_output : string
+(** The UART output of a successful run. *)
+
+val image : nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list
+(** [kernel_entry] is ignored — this firmware never leaves M-mode. *)

@@ -1,0 +1,1 @@
+lib/harness/loc.ml: Array Filename List String Sys

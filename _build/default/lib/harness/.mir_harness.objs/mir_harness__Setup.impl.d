@@ -1,0 +1,1 @@
+lib/harness/setup.ml: Array Int64 List Mir_firmware Mir_kernel Mir_platform Mir_rv Miralis Option

@@ -1,0 +1,1 @@
+lib/harness/setup.mli: Mir_kernel Mir_platform Mir_rv Miralis

@@ -1,0 +1,40 @@
+(** System assembly: platform + firmware + kernel (+ Miralis).
+
+    Builds the three configurations the evaluation compares
+    throughout: Native (firmware in real M-mode — the baseline),
+    Virtualized (firmware in vM-mode under Miralis with fast-path
+    offload) and Virtualized_no_offload (the ablation). The same
+    unmodified firmware image is used in all three. *)
+
+type mode = Native | Virtualized | Virtualized_no_offload
+
+val mode_name : mode -> string
+
+type system = {
+  platform : Mir_platform.Platform.t;
+  mode : mode;
+  machine : Mir_rv.Machine.t;
+  miralis : Miralis.Monitor.t option;
+}
+
+val create :
+  ?policy:Miralis.Policy.t ->
+  ?inject_bug:Miralis.Config.bug ->
+  ?firmware:(nharts:int -> kernel_entry:int64 -> bytes * (string * int64) list) ->
+  Mir_platform.Platform.t ->
+  mode ->
+  system
+(** Build the machine, load MiniSBI (or the given firmware image
+    builder) and the interpreter kernel, and boot. *)
+
+val run_scripts :
+  ?max_instrs:int64 -> system -> Mir_kernel.Script.op list list -> unit
+(** Write one script per hart (harts beyond the list get [Halt]) and
+    run to power-off or the instruction budget. *)
+
+val hart0_cycles : system -> int64
+val stats : system -> Miralis.Vfm_stats.t option
+val uart_output : system -> string
+
+val seconds : system -> float
+(** Simulated wall-clock time on hart 0. *)

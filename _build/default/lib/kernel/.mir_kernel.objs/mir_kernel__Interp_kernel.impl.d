@@ -1,0 +1,1 @@
+lib/kernel/interp_kernel.ml: Int64 Mir_asm Mir_firmware Mir_rv Mir_sbi Script

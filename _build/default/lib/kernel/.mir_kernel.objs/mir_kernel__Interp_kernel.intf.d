@@ -1,0 +1,1 @@
+lib/kernel/interp_kernel.mli: Mir_asm

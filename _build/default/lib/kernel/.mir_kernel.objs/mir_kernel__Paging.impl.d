@@ -1,0 +1,1 @@
+lib/kernel/paging.ml: Int64 List Mir_rv

@@ -1,0 +1,1 @@
+lib/kernel/script.ml: Array Char Int64 List Mir_firmware Mir_rv Option

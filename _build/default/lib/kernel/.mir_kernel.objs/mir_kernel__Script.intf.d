@@ -1,0 +1,1 @@
+lib/kernel/script.mli: Mir_rv

@@ -1,0 +1,1 @@
+lib/kernel/uapp.ml: Int64 Mir_asm

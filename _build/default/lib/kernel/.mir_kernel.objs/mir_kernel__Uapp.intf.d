@@ -1,0 +1,1 @@
+lib/kernel/uapp.mli: Mir_asm

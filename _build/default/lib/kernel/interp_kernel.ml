@@ -1,0 +1,350 @@
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+module Layout = Mir_firmware.Layout
+open Asm.I
+open Asm.Reg
+
+let entry = Layout.kernel_base
+let kstack_top = 0x80780000L
+
+(* Register conventions inside the kernel:
+   s0 = per-hart region base, s1 = script pointer, s2 = loop counter,
+   s3 = script start, s4 = hartid. The trap handler relies on s0. *)
+let program =
+  [
+    label "kentry";
+    (* a0 = hartid *)
+    mv s4 a0;
+    la t0 "strap";
+    csrw C.stvec t0;
+    li sp kstack_top;
+    li t0 4096L;
+    mul t0 s4 t0;
+    sub sp sp t0;
+    li s0 Layout.kernel_data;
+    li t0 Script.region_stride;
+    mul t0 s4 t0;
+    add s0 s0 t0;
+    addi s3 s0 Script.script_offset;
+    mv s1 s3;
+    li s2 0L;
+    (* s7 = cycle-stamp write pointer *)
+    li t0 Script.stamp_offset;
+    add s7 s0 t0;
+    (* take SSI and STI *)
+    li t0 0x22L;
+    csrw C.sie t0;
+    csrsi C.sstatus 2;
+    (* ------------- interpreter loop ------------- *)
+    label "kloop";
+    ld t0 0L s1;
+    ld t1 8L s1;
+    addi s1 s1 16L;
+    beqz t0 "op_end";
+    li t2 1L;
+    beq t0 t2 "op_halt";
+    li t2 2L;
+    beq t0 t2 "op_rdtime";
+    li t2 3L;
+    beq t0 t2 "op_settimer";
+    li t2 4L;
+    beq t0 t2 "op_ipi_self";
+    li t2 5L;
+    beq t0 t2 "op_ipi_all";
+    li t2 6L;
+    beq t0 t2 "op_rfence";
+    li t2 7L;
+    beq t0 t2 "op_mis_load";
+    li t2 8L;
+    beq t0 t2 "op_mis_store";
+    li t2 9L;
+    beq t0 t2 "op_compute";
+    li t2 10L;
+    beq t0 t2 "op_putchar";
+    li t2 11L;
+    beq t0 t2 "op_tick";
+    li t2 12L;
+    beq t0 t2 "op_loop";
+    li t2 13L;
+    beq t0 t2 "op_enclave";
+    li t2 14L;
+    beq t0 t2 "op_cvm";
+    li t2 15L;
+    beq t0 t2 "op_probe";
+    li t2 16L;
+    beq t0 t2 "op_disk";
+    li t2 17L;
+    beq t0 t2 "op_stamp";
+    li t2 18L;
+    beq t0 t2 "op_uproc";
+    li t2 19L;
+    beq t0 t2 "op_paging";
+    j "op_end";
+    (* ------------- opcodes ------------- *)
+    label "op_end";
+    bnez s4 "op_halt";
+    li t0 Layout.syscon;
+    li t1 0x5555L;
+    sw t1 0L t0;
+    label "op_halt";
+    wfi;
+    j "op_halt";
+    label "op_rdtime";
+    csrr t2 C.time;
+    j "kloop";
+    label "op_settimer";
+    csrr t2 C.time;
+    add a0 t2 t1;
+    li a7 Mir_sbi.Sbi.ext_time;
+    li a6 0L;
+    ecall;
+    j "kloop";
+    label "op_ipi_self";
+    li a0 1L;
+    sll a0 a0 s4;
+    li a1 0L;
+    li a7 Mir_sbi.Sbi.ext_ipi;
+    li a6 0L;
+    ecall;
+    j "kloop";
+    label "op_ipi_all";
+    li a0 (-1L);
+    li a1 (-1L);
+    li a7 Mir_sbi.Sbi.ext_ipi;
+    li a6 0L;
+    ecall;
+    j "kloop";
+    label "op_rfence";
+    li a0 (-1L);
+    li a1 (-1L);
+    li a7 Mir_sbi.Sbi.ext_rfence;
+    li a6 0L;
+    ecall;
+    j "kloop";
+    label "op_mis_load";
+    addi t2 s0 (Int64.add Script.counter_scratch 1L);
+    ld t3 0L t2;
+    j "kloop";
+    label "op_mis_store";
+    addi t2 s0 (Int64.add Script.counter_scratch 1L);
+    li t3 0x123456789ABCDEFL;
+    sd t3 0L t2;
+    j "kloop";
+    label "op_compute";
+    (* dependency-chain arithmetic: ~4 instructions per iteration *)
+    li t2 0L;
+    label "comp_loop";
+    addi t2 t2 3L;
+    xor t2 t2 t1;
+    addi t1 t1 (-1L);
+    bnez t1 "comp_loop";
+    j "kloop";
+    label "op_putchar";
+    mv a0 t1;
+    li a7 Mir_sbi.Sbi.ext_legacy_console_putchar;
+    li a6 0L;
+    ecall;
+    j "kloop";
+    (* set a timer delta ticks out, then sleep until the STI counter
+       moves (Linux-style periodic tick) *)
+    label "op_tick";
+    ld t3 0L s0;
+    csrr t2 C.time;
+    add a0 t2 t1;
+    li a7 Mir_sbi.Sbi.ext_time;
+    li a6 0L;
+    ecall;
+    label "tick_wait";
+    ld t4 0L s0;
+    bne t4 t3 "kloop";
+    wfi;
+    j "tick_wait";
+    label "op_loop";
+    bnez s2 "loop_have";
+    mv s2 t1;
+    label "loop_have";
+    addi s2 s2 (-1L);
+    beqz s2 "kloop";
+    mv s1 s3;
+    j "kloop";
+    (* one full enclave lifecycle: create, run until completion
+       (resuming after interruptions), destroy *)
+    label "op_enclave";
+    li t2 Script.desc_base;
+    slli t3 t1 5;
+    add t2 t2 t3;
+    ld a0 0L t2;
+    ld a1 8L t2;
+    ld a2 16L t2;
+    li a7 Mir_sbi.Sbi.ext_keystone;
+    li a6 0L;
+    ecall;
+    mv s6 a1;
+    (* eid *)
+    label "enc_run";
+    mv a0 s6;
+    li a7 Mir_sbi.Sbi.ext_keystone;
+    li a6 1L;
+    ecall;
+    li t2 (-4L);
+    beq a0 t2 "enc_run";
+    sd a1 16L s0;
+    (* record the enclave's exit value *)
+    mv a0 s6;
+    li a7 Mir_sbi.Sbi.ext_keystone;
+    li a6 3L;
+    ecall;
+    j "kloop";
+    (* one confidential-VM lifecycle over the COVH interface *)
+    label "op_cvm";
+    li t2 Script.desc_base;
+    slli t3 t1 5;
+    add t2 t2 t3;
+    ld a0 0L t2;
+    ld a1 8L t2;
+    ld a2 16L t2;
+    li a7 Mir_sbi.Sbi.ext_covh;
+    li a6 1L;
+    ecall;
+    mv s6 a1;
+    label "cvm_run";
+    mv a0 s6;
+    li a7 Mir_sbi.Sbi.ext_covh;
+    li a6 2L;
+    ecall;
+    li t2 (-4L);
+    beq a0 t2 "cvm_run";
+    sd a1 16L s0;
+    mv a0 s6;
+    li a7 Mir_sbi.Sbi.ext_covh;
+    li a6 3L;
+    ecall;
+    j "kloop";
+    label "op_probe";
+    ld t2 0L t1;
+    sd t2 24L s0;
+    j "kloop";
+    label "op_paging";
+    csrw C.satp t1;
+    sfence_vma;
+    j "kloop";
+    (* one 512-byte block transfer: program the device, poll, ack *)
+    label "op_disk";
+    li t2 Mir_rv.Blockdev.default_base;
+    srli t3 t1 1;
+    sd t3 0L t2;
+    (* sector *)
+    li t4 Script.dma_offset;
+    add t4 t4 s0;
+    sd t4 8L t2;
+    li t4 512L;
+    sd t4 16L t2;
+    andi t4 t1 1L;
+    addi t4 t4 1L;
+    (* cmd: 1 = read, 2 = write *)
+    sd t4 24L t2;
+    label "disk_poll";
+    ld t4 0x20L t2;
+    li t5 2L;
+    bne t4 t5 "disk_poll";
+    sd zero 0x20L t2;
+    j "kloop";
+    label "op_stamp";
+    csrr t2 C.cycle;
+    sd t2 0L s7;
+    addi s7 s7 8L;
+    j "kloop";
+    (* run the descriptor's app as a plain U-mode process: the native
+       baseline for the enclave benchmarks. The app must preserve the
+       s-registers (ours only touch t/a registers). *)
+    label "op_uproc";
+    li t2 Script.desc_base;
+    slli t3 t1 5;
+    add t2 t2 t3;
+    ld t4 16L t2;
+    csrw C.sepc t4;
+    li t5 0x100L;
+    csrc C.sstatus t5;
+    (* SPP = U *)
+    la t5 "uproc_done";
+    sd t5 32L s0;
+    (* continuation for the strap handler *)
+    sret;
+    label "uproc_done";
+    j "kloop";
+    (* ------------- S-mode trap handler ------------- *)
+    label "strap";
+    addi sp sp (-72L);
+    sd t0 0L sp;
+    sd t1 8L sp;
+    sd t2 16L sp;
+    sd a0 24L sp;
+    sd a6 32L sp;
+    sd a7 40L sp;
+    sd ra 48L sp;
+    sd a1 56L sp;
+    sd t3 64L sp;
+    csrr t0 C.scause;
+    blt t0 zero "strap_intr";
+    (* ecall from a U-mode process: record its exit value and return
+       to the interpreter continuation in S-mode *)
+    li t1 8L;
+    beq t0 t1 "strap_uexit";
+    (* unexpected synchronous trap in the kernel: report and stop *)
+    li t1 Layout.uart;
+    li t2 63L;
+    (* '?' *)
+    sb t2 0L t1;
+    li t1 Layout.syscon;
+    li t2 0x5555L;
+    sw t2 0L t1;
+    label "strap_spin";
+    j "strap_spin";
+    label "strap_uexit";
+    sd a0 16L s0;
+    (* result slot *)
+    ld t1 32L s0;
+    csrw C.sepc t1;
+    li t1 0x100L;
+    csrs C.sstatus t1;
+    (* SPP = S *)
+    j "strap_out";
+    label "strap_intr";
+    slli t0 t0 1;
+    srli t0 t0 1;
+    li t1 5L;
+    beq t0 t1 "strap_sti";
+    li t1 1L;
+    beq t0 t1 "strap_ssi";
+    j "strap_out";
+    label "strap_sti";
+    ld t1 0L s0;
+    addi t1 t1 1L;
+    sd t1 0L s0;
+    (* quiesce the timer until the next explicit set_timer *)
+    li a0 (-1L);
+    li a7 Mir_sbi.Sbi.ext_time;
+    li a6 0L;
+    ecall;
+    j "strap_out";
+    label "strap_ssi";
+    ld t1 8L s0;
+    addi t1 t1 1L;
+    sd t1 8L s0;
+    csrci C.sip 2;
+    j "strap_out";
+    label "strap_out";
+    ld t0 0L sp;
+    ld t1 8L sp;
+    ld t2 16L sp;
+    ld a0 24L sp;
+    ld a6 32L sp;
+    ld a7 40L sp;
+    ld ra 48L sp;
+    ld a1 56L sp;
+    ld t3 64L sp;
+    addi sp sp 72L;
+    sret;
+  ]
+
+let image () = Asm.assemble ~base:entry program

@@ -1,0 +1,17 @@
+(** The S-mode workload kernel: a script interpreter.
+
+    Each hart reads its {!Script} from its per-hart region and
+    executes it: compute blocks run as native dependency-chain
+    arithmetic (direct execution), the remaining opcodes perform the
+    paper's five hot trap operations through real instructions
+    (rdtime, SBI ecalls, misaligned accesses, wfi ticks). A supervisor
+    trap handler counts STI/SSI deliveries and acknowledges them the
+    way Linux does (reprogramming the timer through SBI). *)
+
+val program : Mir_asm.Asm.program
+(** Assembles at {!Mir_firmware.Layout.kernel_base}. Entry convention:
+    a0 = hartid (the firmware boot protocol). *)
+
+val image : unit -> bytes * (string * int64) list
+
+val entry : int64

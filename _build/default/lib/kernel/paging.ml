@@ -1,0 +1,20 @@
+module Machine = Mir_rv.Machine
+module Vmem = Mir_rv.Vmem
+
+let root = 0x80730000L
+
+let leaf ~x ppn =
+  Int64.logor
+    (Int64.shift_left ppn 10)
+    (List.fold_left Int64.logor 0L
+       ([ Vmem.pte_v; Vmem.pte_r; Vmem.pte_w; Vmem.pte_a; Vmem.pte_d ]
+       @ if x then [ Vmem.pte_x ] else []))
+
+let identity_satp m =
+  let store at v = assert (Machine.phys_store m at 8 v) in
+  (* VPN2 = 0: devices (UART, syscon, CLINT, PLIC), read-write.
+     VPN2 = 2: DRAM at 0x8000_0000, read-write-execute.
+     Gigapage PPNs must be 1 GiB aligned: 0 and 0x80000. *)
+  store root (leaf ~x:false 0L);
+  store (Int64.add root 16L) (leaf ~x:true 0x80000L);
+  Int64.logor (Int64.shift_left 8L 60) (Int64.shift_right_logical root 12)

@@ -1,0 +1,16 @@
+(** Sv39 page-table construction for guest kernels.
+
+    Builds identity-mapping gigapage tables in guest memory so the
+    S-mode kernel can turn paging on mid-run (the {!Script.Enable_paging}
+    opcode). With paging enabled, the firmware's MPRV-based misaligned
+    emulation — and Miralis's MPRV-emulation path — must walk these
+    real page tables. *)
+
+val root : int64
+(** Physical address of the root page table (within the kernel data
+    area). *)
+
+val identity_satp : Mir_rv.Machine.t -> int64
+(** Write identity gigapage mappings (device space read-write, DRAM
+    read-write-execute, both supervisor-only) into guest memory and
+    return the satp value that activates them. *)

@@ -1,0 +1,105 @@
+module Machine = Mir_rv.Machine
+
+type op =
+  | End
+  | Halt
+  | Rdtime
+  | Set_timer of int64
+  | Ipi_self
+  | Ipi_all
+  | Rfence
+  | Misaligned_load
+  | Misaligned_store
+  | Compute of int64
+  | Putchar of char
+  | Tick_wfi of int64
+  | Loop of int64
+  | Enclave_round of int64
+  | Cvm_round of int64
+  | Load_probe of int64
+  | Disk_io of { write : bool; sector : int }
+  | Cycle_stamp
+  | Uproc_round of int64
+  | Enable_paging of int64
+
+let opcode = function
+  | End -> (0L, 0L)
+  | Halt -> (1L, 0L)
+  | Rdtime -> (2L, 0L)
+  | Set_timer d -> (3L, d)
+  | Ipi_self -> (4L, 0L)
+  | Ipi_all -> (5L, 0L)
+  | Rfence -> (6L, 0L)
+  | Misaligned_load -> (7L, 0L)
+  | Misaligned_store -> (8L, 0L)
+  | Compute n -> (9L, n)
+  | Putchar c -> (10L, Int64.of_int (Char.code c))
+  | Tick_wfi d -> (11L, d)
+  | Loop n -> (12L, n)
+  | Enclave_round i -> (13L, i)
+  | Cvm_round i -> (14L, i)
+  | Load_probe a -> (15L, a)
+  | Disk_io { write; sector } ->
+      (16L, Int64.of_int ((sector lsl 1) lor if write then 1 else 0))
+  | Cycle_stamp -> (17L, 0L)
+  | Uproc_round i -> (18L, i)
+  | Enable_paging satp -> (19L, satp)
+
+let region_stride = 0x40000L
+let region_base ~hart =
+  Int64.add Mir_firmware.Layout.kernel_data
+    (Int64.mul (Int64.of_int hart) region_stride)
+
+let script_offset = 0x100L
+let counter_sti = 0L
+let counter_ssi = 8L
+let counter_result = 16L
+let counter_probe = 24L
+let counter_scratch = 0x40L
+
+let write m ~hart ops =
+  let ops =
+    match List.rev ops with
+    | End :: _ | Halt :: _ -> ops
+    | _ -> ops @ [ End ]
+  in
+  let base = Int64.add (region_base ~hart) script_offset in
+  let needed = 16 * List.length ops in
+  if Int64.of_int needed >= Int64.sub region_stride script_offset then
+    invalid_arg "Script.write: script too large for region";
+  List.iteri
+    (fun i op ->
+      let o, a = opcode op in
+      let at = Int64.add base (Int64.of_int (16 * i)) in
+      assert (Machine.phys_store m at 8 o);
+      assert (Machine.phys_store m (Int64.add at 8L) 8 a))
+    ops;
+  (* zero the counters *)
+  ignore (Machine.phys_store m (Int64.add (region_base ~hart) counter_sti) 8 0L);
+  ignore (Machine.phys_store m (Int64.add (region_base ~hart) counter_ssi) 8 0L)
+
+let counter m ~hart off =
+  Option.value ~default:0L
+    (Machine.phys_load m (Int64.add (region_base ~hart) off) 8)
+
+let stamp_offset = 0x8000L
+let dma_offset = 0x20000L
+
+let stamps m ~hart ~count =
+  let base = Int64.add (region_base ~hart) stamp_offset in
+  Array.init count (fun i ->
+      Option.value ~default:0L
+        (Machine.phys_load m (Int64.add base (Int64.of_int (8 * i))) 8))
+
+let desc_base = 0x80740000L
+
+let write_descriptor m ~index ~base ~size ~entry =
+  let at = Int64.add desc_base (Int64.of_int (32 * index)) in
+  assert (Machine.phys_store m at 8 base);
+  assert (Machine.phys_store m (Int64.add at 8L) 8 size);
+  assert (Machine.phys_store m (Int64.add at 16L) 8 entry)
+
+let sti_count m ~hart = counter m ~hart counter_sti
+let ssi_count m ~hart = counter m ~hart counter_ssi
+let result_value m ~hart = counter m ~hart counter_result
+let probe_value m ~hart = counter m ~hart counter_probe

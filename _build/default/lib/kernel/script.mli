@@ -1,0 +1,89 @@
+(** Workload scripts for the S-mode interpreter kernel.
+
+    A script is a sequence of (opcode, argument) pairs the guest
+    kernel executes. Compute blocks run natively (direct execution —
+    where a VFM adds zero overhead); the other opcodes generate
+    exactly the five hot trap causes of the paper's Fig. 3. The
+    workload models in [lib/workloads] compile to these scripts. *)
+
+type op =
+  | End  (** power the machine off (hart 0) / halt (secondaries) *)
+  | Halt  (** park this hart (wfi loop) *)
+  | Rdtime  (** read the time CSR (traps on VF2-class hardware) *)
+  | Set_timer of int64  (** rdtime + SBI set_timer(now + delta ticks) *)
+  | Ipi_self  (** SBI send_ipi to self, then acknowledge the SSI *)
+  | Ipi_all  (** SBI send_ipi to all harts *)
+  | Rfence  (** SBI remote fence.i to all harts *)
+  | Misaligned_load  (** one misaligned 8-byte load *)
+  | Misaligned_store
+  | Compute of int64  (** dependency-chain arithmetic, [n] iterations *)
+  | Putchar of char  (** SBI legacy console *)
+  | Tick_wfi of int64  (** set_timer(now + delta) then wfi until the STI *)
+  | Loop of int64  (** jump back to the script start, [n] times total *)
+  | Enclave_round of int64
+      (** create/run-to-completion/destroy the Keystone enclave whose
+          descriptor (base, size, entry) sits at index [i] *)
+  | Cvm_round of int64
+      (** promote/run-to-exit/destroy the ACE confidential VM at
+          descriptor index [i] *)
+  | Load_probe of int64
+      (** load 8 bytes from a physical address and record the value —
+          used by isolation tests to show reads are blocked *)
+  | Disk_io of { write : bool; sector : int }
+      (** one 512-byte block-device transfer (program + poll + ack) *)
+  | Cycle_stamp
+      (** append the cycle counter to the per-hart stamp buffer (used
+          to build latency distributions) *)
+  | Uproc_round of int64
+      (** run the U-mode app at descriptor index [i] as a plain
+          process (sret into U, ecall back) — the native baseline the
+          enclave benchmarks compare against *)
+  | Enable_paging of int64
+      (** write the given satp value and fence — turns on Sv39 (see
+          {!Paging}) *)
+
+val opcode : op -> int64 * int64
+(** Encoding as (op, arg). *)
+
+val region_base : hart:int -> int64
+(** Per-hart region: counters at +0, script at +0x100. *)
+
+val region_stride : int64
+val script_offset : int64
+val counter_sti : int64
+(** Offset of the supervisor-timer-interrupt counter. *)
+
+val counter_ssi : int64
+val counter_result : int64
+(** Offset of the last TEE exit value (enclave/CVM checksum). *)
+
+val counter_probe : int64
+(** Offset of the last {!Load_probe} result. *)
+
+val counter_scratch : int64
+(** Offset of the misaligned-access scratch buffer. *)
+
+val stamp_offset : int64
+(** Offset of the cycle-stamp buffer in the per-hart region. *)
+
+val dma_offset : int64
+(** Offset of the disk DMA buffer in the per-hart region. *)
+
+val stamps : Mir_rv.Machine.t -> hart:int -> count:int -> int64 array
+(** The first [count] recorded cycle stamps. *)
+
+val write : Mir_rv.Machine.t -> hart:int -> op list -> unit
+(** Serialize a script into guest memory. Appends [End] if absent;
+    raises [Invalid_argument] if it does not fit the region. *)
+
+val sti_count : Mir_rv.Machine.t -> hart:int -> int64
+val ssi_count : Mir_rv.Machine.t -> hart:int -> int64
+val result_value : Mir_rv.Machine.t -> hart:int -> int64
+val probe_value : Mir_rv.Machine.t -> hart:int -> int64
+
+val desc_base : int64
+(** TEE descriptor table (32 bytes per entry: base, size, entry). *)
+
+val write_descriptor :
+  Mir_rv.Machine.t -> index:int -> base:int64 -> size:int64 -> entry:int64 ->
+  unit

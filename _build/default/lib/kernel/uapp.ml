@@ -1,0 +1,44 @@
+module Asm = Mir_asm.Asm
+open Asm.I
+open Asm.Reg
+
+(* The app: acc = 0; for i = iters..1: acc = (acc*3 + i) xor (acc>>7),
+   with a store/load round-trip through its scratch page each
+   iteration. *)
+let compute_app ~base ~iters =
+  let scratch = Int64.add base 0xF00L in
+  [
+    label "uentry";
+    li t0 iters;
+    li a0 0L;
+    li t3 scratch;
+    label "uloop";
+    slli t1 a0 1;
+    add a0 a0 t1;
+    (* acc *= 3 *)
+    add a0 a0 t0;
+    srai t2 a0 7;
+    xor a0 a0 t2;
+    sd a0 0L t3;
+    ld a0 0L t3;
+    addi t0 t0 (-1L);
+    bnez t0 "uloop";
+    (* exit to the monitor with the checksum in a0 *)
+    ecall;
+    label "uspin";
+    j "uspin";
+  ]
+
+let image ~base ~iters =
+  let bytes, _ = Asm.assemble ~base (compute_app ~base ~iters) in
+  bytes
+
+let expected_checksum ~iters =
+  let acc = ref 0L in
+  let i = ref iters in
+  while !i > 0L do
+    acc := Int64.add (Int64.mul !acc 3L) !i;
+    acc := Int64.logxor !acc (Int64.shift_right !acc 7);
+    i := Int64.sub !i 1L
+  done;
+  !acc

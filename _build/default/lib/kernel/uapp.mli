@@ -1,0 +1,19 @@
+(** U-mode applications run inside enclaves / confidential VMs.
+
+    Self-contained position-dependent programs: they compute a value
+    (dependency-chain arithmetic with memory traffic confined to their
+    own region) and exit through an ecall. Used by the RV8-style
+    Keystone benchmarks (Fig. 14) and the ACE demo. *)
+
+val compute_app :
+  base:int64 -> iters:int64 -> Mir_asm.Asm.program
+(** Runs [iters] rounds of arithmetic + loads/stores within
+    [base, base+4K), then exits via a plain [ecall] with the checksum
+    in a0 (the TEE policies interpret any ecall from the guest as
+    exit-with-value). *)
+
+val image : base:int64 -> iters:int64 -> bytes
+(** Assembled at [base]. *)
+
+val expected_checksum : iters:int64 -> int64
+(** The checksum the app computes, for functional verification. *)

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Int64 List Mir_rv Miralis

@@ -1,0 +1,164 @@
+module Machine = Mir_rv.Machine
+module Csr_spec = Mir_rv.Csr_spec
+module Cost = Miralis.Cost
+
+type t = {
+  name : string;
+  vendor : string;
+  core : string;
+  nharts : int;
+  freq_mhz : int;
+  ram_gb : int;
+  kernel_version : string;
+  machine : Machine.config;
+  cost : Cost.t;
+  custom_csrs : int list;
+}
+
+let base_machine ~nharts ~csr =
+  {
+    Machine.default_config with
+    Machine.nharts;
+    csr_config = csr;
+    (* mtime runs at a few MHz relative to the core clock, like the
+       boards' 4 MHz timebase. *)
+    cycles_per_tick = 100;
+  }
+
+(* VisionFive 2: calibrated so the Table 4 microbenchmarks land at
+   483-cycle instruction emulation and a ~2.7k-cycle world switch:
+   trap(140) + entry(30) + emulate(203) + exit(110) = 483. *)
+let vf2_cost =
+  {
+    Cost.trap_entry = 30;
+    trap_exit = 110;
+    emulate_instr = 203;
+    world_switch = 330;
+    tlb_flush = 150;
+    vclint_access = 240;
+    offload_time_read = 40;
+    offload_set_timer = 90;
+    offload_ipi = 140;
+    offload_rfence = 170;
+    offload_misaligned = 260;
+  }
+
+let visionfive2 =
+  {
+    name = "visionfive2";
+    vendor = "StarFive";
+    core = "U74 (in-order)";
+    nharts = 4;
+    freq_mhz = 1500;
+    ram_gb = 4;
+    kernel_version = "5.15";
+    machine =
+      base_machine ~nharts:4
+        ~csr:
+          {
+            Csr_spec.default_config with
+            Csr_spec.pmp_count = 8;
+            mvendorid = 0x489L;
+            marchid = 0x8000000000000007L;
+          };
+    cost = vf2_cost;
+    custom_csrs = [];
+  }
+
+(* Premier P550: out-of-order core — cheaper emulation work per
+   instruction (271 cycles total) but costlier world switches (4098
+   round trip, bigger structures to flush):
+   trap(90) + entry(20) + emulate(91) + exit(70) = 271;
+   round trip = 90+20+2*(ws+tlb)+271+70 = 4098 -> ws+tlb = 1823. *)
+let p550_cost =
+  {
+    Cost.trap_entry = 20;
+    trap_exit = 70;
+    emulate_instr = 91;
+    world_switch = 1250;
+    tlb_flush = 300;
+    vclint_access = 180;
+    offload_time_read = 30;
+    offload_set_timer = 70;
+    offload_ipi = 110;
+    offload_rfence = 140;
+    offload_misaligned = 200;
+  }
+
+(* The P550 exposes four documented custom CSRs for speculation and
+   error-reporting control; Miralis allows writes on this platform. *)
+let p550_custom =
+  Mir_rv.Csr_addr.[ custom0; custom1; custom2; custom3 ]
+
+let premier_p550 =
+  {
+    name = "premier-p550";
+    vendor = "SiFive";
+    core = "P550 (out-of-order)";
+    nharts = 4;
+    freq_mhz = 1800;
+    ram_gb = 16;
+    kernel_version = "6.6";
+    machine =
+      {
+        (base_machine ~nharts:4
+           ~csr:
+             {
+               Csr_spec.default_config with
+               Csr_spec.pmp_count = 8;
+               has_h = true;
+               custom_csrs = p550_custom;
+               mvendorid = 0x489L;
+               marchid = 0x8000000000000008L;
+             })
+        with
+        Machine.trap_penalty = 90;
+        xret_penalty = 70;
+      };
+    cost = p550_cost;
+    custom_csrs = p550_custom;
+  }
+
+let star64 =
+  {
+    visionfive2 with
+    name = "star64";
+    vendor = "Pine64";
+    core = "U74 (in-order)";
+    ram_gb = 8;
+    kernel_version = "5.15";
+  }
+
+(* An RVA23-profile machine: implements the time CSR and Sstc, so the
+   hot traps never reach M-mode at all (paper §3.4's projection). *)
+let qemu_virt =
+  {
+    name = "qemu-virt";
+    vendor = "QEMU";
+    core = "rv64 virt";
+    nharts = 4;
+    freq_mhz = 1000;
+    ram_gb = 8;
+    kernel_version = "6.6";
+    machine =
+      base_machine ~nharts:4
+        ~csr:
+          {
+            Csr_spec.default_config with
+            Csr_spec.pmp_count = 16;
+            has_sstc = true;
+            has_time_csr = true;
+            has_h = true;
+          };
+    cost = vf2_cost;
+    custom_csrs = [];
+  }
+
+let all = [ visionfive2; premier_p550; star64; qemu_virt ]
+let by_name n = List.find_opt (fun p -> p.name = n) all
+
+let ns_of_cycles p cycles =
+  Int64.to_float cycles /. (float_of_int p.freq_mhz /. 1000.0)
+
+let us_of_cycles p cycles = ns_of_cycles p cycles /. 1000.0
+let seconds_of_cycles p cycles = ns_of_cycles p cycles /. 1e9

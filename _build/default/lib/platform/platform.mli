@@ -1,0 +1,35 @@
+(** Evaluation platform models (paper Table 3).
+
+    Each platform bundles the machine configuration (hart count,
+    misaligned-access behaviour, time-CSR availability, PMP budget,
+    custom CSRs) with the calibrated cost model. The VisionFive 2 and
+    Premier P550 mirror the paper's two boards; the Star64 stands in
+    for the closed-firmware experiment; qemu-virt models an RVA23-class
+    CPU (Sstc + time CSR) for the "no offload needed" projection. *)
+
+type t = {
+  name : string;
+  vendor : string;
+  core : string;
+  nharts : int;
+  freq_mhz : int;
+  ram_gb : int;  (** reported hardware RAM (simulated window is smaller) *)
+  kernel_version : string;
+  machine : Mir_rv.Machine.config;
+  cost : Miralis.Cost.t;
+  custom_csrs : int list;  (** platform CSRs the VFM explicitly allows *)
+}
+
+val visionfive2 : t
+val premier_p550 : t
+val star64 : t
+val qemu_virt : t
+val all : t list
+
+val by_name : string -> t option
+
+val ns_of_cycles : t -> int64 -> float
+(** Convert simulated cycles to nanoseconds at the platform clock. *)
+
+val us_of_cycles : t -> int64 -> float
+val seconds_of_cycles : t -> int64 -> float

@@ -1,0 +1,1 @@
+lib/policies/policy_ace.mli: Miralis

@@ -1,0 +1,1 @@
+lib/policies/policy_keystone.ml: Array Hashtbl Int64 List Mir_rv Mir_sbi Mir_util Miralis

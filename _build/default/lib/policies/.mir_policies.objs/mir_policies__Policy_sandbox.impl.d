@@ -1,0 +1,1 @@
+lib/policies/policy_sandbox.ml: Array Hashtbl Int64 List Mir_firmware Mir_rv Mir_sbi Mir_util Miralis Printf

@@ -1,0 +1,1 @@
+lib/policies/policy_sandbox.mli: Mir_rv Miralis

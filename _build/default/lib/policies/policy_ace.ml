@@ -1,0 +1,246 @@
+module Policy = Miralis.Policy
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Pmp = Mir_rv.Pmp
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Ms = Mir_rv.Csr_spec.Mstatus
+module Priv = Mir_rv.Priv
+module Bits = Mir_util.Bits
+
+let ext_covh = Mir_sbi.Sbi.ext_covh
+let fid_tsm_info = 0L
+let fid_promote = 1L
+let fid_run_vcpu = 2L
+let fid_destroy = 3L
+let err_interrupted = -4L
+
+type cvm_state = Ready | Running | Interrupted | Destroyed
+
+type cvm = {
+  id : int;
+  base : int64;
+  size : int64;
+  entry : int64;
+  mutable state : cvm_state;
+}
+
+type state = {
+  mutable cvms : cvm list;
+  mutable vcpu_entries : int;
+  mutable vm_exits : int;
+}
+
+let pmp_slots = 2
+
+(* The supervisor CSRs shadowed per CVM — the VS-context. *)
+let vs_context_csrs =
+  Csr_addr.
+    [ stvec; sscratch; sepc; scause; stval; satp; scounteren; senvcfg ]
+
+type vcpu_ctx = {
+  regs : int64 array;
+  pc : int64;
+  scsrs : int64 array;  (* indexed like vs_context_csrs *)
+}
+
+type hart_run = { cvm : cvm; host : vcpu_ctx; host_medeleg : int64 }
+
+let capture hart ~pc =
+  {
+    regs = Array.init 32 (Hart.get hart);
+    pc;
+    scsrs =
+      Array.of_list
+        (List.map (Csr_file.read_raw hart.Hart.csr) vs_context_csrs);
+  }
+
+let install hart (ctx : vcpu_ctx) =
+  Array.iteri (fun i v -> Hart.set hart i v) ctx.regs;
+  List.iteri
+    (fun i a -> Csr_file.write_raw hart.Hart.csr a ctx.scsrs.(i))
+    vs_context_csrs
+
+let fresh_vcpu cvm =
+  { regs = Array.make 32 0L; pc = cvm.entry; scsrs = Array.make 8 0L }
+
+let create () =
+  let state = { cvms = []; vcpu_entries = 0; vm_exits = 0 } in
+  let next_id = ref 0 in
+  let running : (int, hart_run) Hashtbl.t = Hashtbl.create 4 in
+  let suspended : (int, vcpu_ctx) Hashtbl.t = Hashtbl.create 4 in
+  let find id =
+    List.find_opt (fun c -> c.id = id && c.state <> Destroyed) state.cvms
+  in
+  let pmp_entries (ctx : Policy.ctx) =
+    match Hashtbl.find_opt running ctx.Policy.hart.Hart.id with
+    | Some run ->
+        [
+          {
+            Pmp.r = true;
+            w = true;
+            x = true;
+            a = Pmp.Napot;
+            l = false;
+            addr = Pmp.napot_encode ~base:run.cvm.base ~size:run.cvm.size;
+          };
+          { Pmp.off_entry with a = Pmp.Napot; addr = -1L };
+        ]
+    | None ->
+        List.filter_map
+          (fun c ->
+            if c.state = Destroyed then None
+            else
+              Some
+                {
+                  Pmp.off_entry with
+                  a = Pmp.Napot;
+                  addr = Pmp.napot_encode ~base:c.base ~size:c.size;
+                })
+          state.cvms
+        |> List.filteri (fun i _ -> i < pmp_slots)
+  in
+  let enter (ctx : Policy.ctx) run vcpu =
+    let hart = ctx.Policy.hart in
+    state.vcpu_entries <- state.vcpu_entries + 1;
+    Hashtbl.replace running hart.Hart.id run;
+    (* CVM ecalls (its SBI calls and teecalls) must reach the monitor. *)
+    Csr_file.write_raw hart.Hart.csr Csr_addr.medeleg
+      (Bits.clear run.host_medeleg 8);
+    install hart vcpu;
+    ctx.Policy.reinstall_pmp ();
+    run.cvm.state <- Running;
+    Machine.resume hart ~pc:vcpu.pc ~priv:Priv.U
+  in
+  let leave (ctx : Policy.ctx) run ~err ~value ~interrupted =
+    let hart = ctx.Policy.hart in
+    state.vm_exits <- state.vm_exits + 1;
+    Hashtbl.remove running hart.Hart.id;
+    Csr_file.write_raw hart.Hart.csr Csr_addr.medeleg run.host_medeleg;
+    install hart run.host;
+    Hart.set hart 10 err;
+    Hart.set hart 11 value;
+    ctx.Policy.reinstall_pmp ();
+    if interrupted then begin
+      run.cvm.state <- Interrupted;
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mepc run.host.pc;
+      let m = Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus in
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mstatus (Ms.set_mpp m Priv.S)
+    end
+    else begin
+      (* the exiting trap came from U (the CVM); the host resumes in S *)
+      let m = Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus in
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mstatus (Ms.set_mpp m Priv.S);
+      ctx.Policy.return_to_os ~pc:run.host.pc
+    end
+  in
+  let on_ecall_from_os (ctx : Policy.ctx) =
+    let hart = ctx.Policy.hart in
+    match Hashtbl.find_opt running hart.Hart.id with
+    | Some run ->
+        (* teecall: the CVM exits voluntarily with a value. *)
+        run.cvm.state <- Ready;
+        Hashtbl.remove suspended run.cvm.id;
+        leave ctx run ~err:0L ~value:(Hart.get hart 10) ~interrupted:false;
+        Policy.Handled
+    | None -> begin
+        let ext, fid = Policy.sbi_args ctx in
+        if ext <> ext_covh then Policy.Pass
+        else if fid = fid_tsm_info then begin
+          (* report: number of live CVMs *)
+          let live =
+            List.length
+              (List.filter (fun c -> c.state <> Destroyed) state.cvms)
+          in
+          Policy.sbi_return ctx ~err:0L ~value:(Int64.of_int live);
+          Policy.Handled
+        end
+        else if fid = fid_promote then begin
+          let base = Hart.get hart 10
+          and size = Hart.get hart 11
+          and entry = Hart.get hart 12 in
+          let ok =
+            size >= 4096L
+            && Int64.logand size (Int64.sub size 1L) = 0L
+            && Int64.logand base (Int64.sub size 1L) = 0L
+            && List.length
+                 (List.filter (fun c -> c.state <> Destroyed) state.cvms)
+               < pmp_slots - 1
+          in
+          if not ok then Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          else begin
+            incr next_id;
+            let c = { id = !next_id; base; size; entry; state = Ready } in
+            state.cvms <- c :: state.cvms;
+            ctx.Policy.reinstall_pmp ();
+            Policy.sbi_return ctx ~err:0L ~value:(Int64.of_int c.id)
+          end;
+          Policy.Handled
+        end
+        else if fid = fid_run_vcpu then begin
+          (match find (Int64.to_int (Hart.get hart 10)) with
+          | None -> Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          | Some c -> begin
+              let mepc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+              let host = capture hart ~pc:(Int64.add mepc 4L) in
+              let host_medeleg =
+                Csr_file.read_raw hart.Hart.csr Csr_addr.medeleg
+              in
+              match c.state with
+              | Ready ->
+                  enter ctx { cvm = c; host; host_medeleg } (fresh_vcpu c)
+              | Interrupted ->
+                  let vcpu =
+                    match Hashtbl.find_opt suspended c.id with
+                    | Some v -> v
+                    | None -> fresh_vcpu c
+                  in
+                  Hashtbl.remove suspended c.id;
+                  enter ctx { cvm = c; host; host_medeleg } vcpu
+              | Running | Destroyed ->
+                  Policy.sbi_return ctx ~err:(-3L) ~value:0L
+            end);
+          Policy.Handled
+        end
+        else if fid = fid_destroy then begin
+          (match find (Int64.to_int (Hart.get hart 10)) with
+          | None -> Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          | Some c ->
+              c.state <- Destroyed;
+              Hashtbl.remove suspended c.id;
+              let words = Int64.to_int c.size / 8 in
+              for i = 0 to words - 1 do
+                ignore
+                  (Machine.phys_store ctx.Policy.machine
+                     (Int64.add c.base (Int64.of_int (8 * i)))
+                     8 0L)
+              done;
+              ctx.Policy.reinstall_pmp ();
+              Policy.sbi_return ctx ~err:0L ~value:0L);
+          Policy.Handled
+        end
+        else begin
+          Policy.sbi_return ctx ~err:(-2L) ~value:0L;
+          Policy.Handled
+        end
+      end
+  in
+  let on_interrupt (ctx : Policy.ctx) _i =
+    let hart = ctx.Policy.hart in
+    match Hashtbl.find_opt running hart.Hart.id with
+    | None -> Policy.Pass
+    | Some run ->
+        let pc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+        Hashtbl.replace suspended run.cvm.id (capture hart ~pc);
+        leave ctx run ~err:err_interrupted ~value:0L ~interrupted:true;
+        Policy.Pass
+  in
+  let policy =
+    {
+      (Policy.default "ace") with
+      Policy.pmp_entries;
+      on_ecall_from_os;
+      on_interrupt;
+    }
+  in
+  (policy, state)

@@ -1,0 +1,46 @@
+(** The ACE policy (paper §5.4): confidential VMs as a policy module.
+
+    A port of the ACE security monitor's core protocol onto Miralis,
+    following the paper's co-location approach: the policy manages the
+    confidential-VM lifecycle and context switches itself, yielding to
+    Miralis only when the firmware is involved. The host hypervisor
+    stays responsible for scheduling (run_vcpu / exits), but has no
+    access to CVM memory — and, unlike stock ACE, neither does the
+    vendor firmware, which Miralis deprivileges underneath.
+
+    Each CVM carries a shadow copy of the supervisor CSR set (the
+    VS-context): on entry the host's S-level CSRs are swapped out and
+    the CVM's swapped in, mirroring how ACE shadows VS-mode state.
+    Exits return an exit reason to the host; interrupted CVMs are
+    resumable. Destroyed CVM memory is scrubbed before release. *)
+
+val ext_covh : int64
+(** SBI extension ID ("COVH"). *)
+
+val fid_tsm_info : int64
+val fid_promote : int64
+(** a0 = base, a1 = size, a2 = entry -> cvm id *)
+
+val fid_run_vcpu : int64
+(** a0 = id -> (0, exit_value) | (-4, 0) on irq *)
+
+val fid_destroy : int64
+
+type cvm_state = Ready | Running | Interrupted | Destroyed
+
+type cvm = {
+  id : int;
+  base : int64;
+  size : int64;
+  entry : int64;
+  mutable state : cvm_state;
+}
+
+type state = {
+  mutable cvms : cvm list;
+  mutable vcpu_entries : int;
+  mutable vm_exits : int;
+}
+
+val pmp_slots : int
+val create : unit -> Miralis.Policy.t * state

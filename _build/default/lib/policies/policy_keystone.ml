@@ -1,0 +1,253 @@
+module Policy = Miralis.Policy
+module Vhart = Miralis.Vhart
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Pmp = Mir_rv.Pmp
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Ms = Mir_rv.Csr_spec.Mstatus
+module Priv = Mir_rv.Priv
+module Bits = Mir_util.Bits
+
+let ext_keystone = Mir_sbi.Sbi.ext_keystone
+let fid_create = 0L
+let fid_run = 1L
+let fid_exit = 2L
+let fid_destroy = 3L
+let err_interrupted = -4L
+
+type enclave_state = Created | Running | Interrupted | Destroyed
+
+type enclave = {
+  eid : int;
+  base : int64;
+  size : int64;
+  entry : int64;
+  mutable state : enclave_state;
+}
+
+type state = {
+  mutable enclaves : enclave list;
+  mutable entries_count : int;
+  mutable exits_count : int;
+}
+
+(* Saved execution context: registers, pc, privilege, medeleg. *)
+type ctx_save = { regs : int64 array; pc : int64; medeleg : int64 }
+
+type hart_run = {
+  enclave : enclave;
+  host : ctx_save;
+  mutable enclave_ctx : (int64 array * int64) option;
+      (* saved enclave registers and pc when interrupted *)
+}
+
+let pmp_slots = 2
+
+let snapshot hart ~pc =
+  {
+    regs = Array.init 32 (Hart.get hart);
+    pc;
+    medeleg = Csr_file.read_raw hart.Hart.csr Csr_addr.medeleg;
+  }
+
+let restore_regs hart regs = Array.iteri (fun i v -> Hart.set hart i v) regs
+
+let create () =
+  let state = { enclaves = []; entries_count = 0; exits_count = 0 } in
+  let next_eid = ref 0 in
+  (* at most one enclave runs per hart *)
+  let running : (int, hart_run) Hashtbl.t = Hashtbl.create 4 in
+  let find_enclave eid =
+    List.find_opt
+      (fun e -> e.eid = eid && e.state <> Destroyed)
+      state.enclaves
+  in
+  let pmp_entries (ctx : Policy.ctx) =
+    match Hashtbl.find_opt running ctx.Policy.hart.Hart.id with
+    | Some run ->
+        (* While the enclave executes: only its region is accessible.
+           Everything else — OS memory, devices, firmware — is denied
+           at higher priority than any vPMP. *)
+        [
+          {
+            Pmp.r = true;
+            w = true;
+            x = true;
+            a = Pmp.Napot;
+            l = false;
+            addr =
+              Pmp.napot_encode ~base:run.enclave.base ~size:run.enclave.size;
+          };
+          { Pmp.off_entry with a = Pmp.Napot; addr = -1L };
+        ]
+    | None ->
+        (* While the OS or firmware executes: every live enclave's
+           memory is denied (one slot; enclaves share one NAPOT window
+           in this implementation — create enforces it). *)
+        List.filter_map
+          (fun e ->
+            if e.state = Destroyed then None
+            else
+              Some
+                {
+                  Pmp.off_entry with
+                  a = Pmp.Napot;
+                  addr = Pmp.napot_encode ~base:e.base ~size:e.size;
+                })
+          state.enclaves
+        |> fun l -> List.filteri (fun i _ -> i < pmp_slots) l
+  in
+  let enter_enclave (ctx : Policy.ctx) run =
+    let hart = ctx.Policy.hart in
+    state.entries_count <- state.entries_count + 1;
+    Hashtbl.replace running hart.Hart.id run;
+    (* Enclave ecalls must reach the monitor, not the OS. *)
+    Csr_file.write_raw hart.Hart.csr Csr_addr.medeleg
+      (Bits.clear run.host.medeleg 8);
+    (match run.enclave_ctx with
+    | Some (regs, pc) ->
+        restore_regs hart regs;
+        ctx.Policy.reinstall_pmp ();
+        Machine.resume hart ~pc ~priv:Priv.U
+    | None ->
+        for r = 1 to 31 do
+          Hart.set hart r 0L
+        done;
+        Hart.set hart 10 (Int64.of_int run.enclave.eid);
+        ctx.Policy.reinstall_pmp ();
+        Machine.resume hart ~pc:run.enclave.entry ~priv:Priv.U);
+    run.enclave.state <- Running
+  in
+  let leave_enclave (ctx : Policy.ctx) run ~err ~value ~interrupted =
+    let hart = ctx.Policy.hart in
+    Hashtbl.remove running hart.Hart.id;
+    Csr_file.write_raw hart.Hart.csr Csr_addr.medeleg run.host.medeleg;
+    restore_regs hart run.host.regs;
+    Hart.set hart 10 err;
+    Hart.set hart 11 value;
+    ctx.Policy.reinstall_pmp ();
+    if interrupted then begin
+      run.enclave.state <- Interrupted;
+      (* The pending interrupt is delivered by Miralis after this
+         hook; make the hardware-visible return context point at the
+         host. *)
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mepc run.host.pc;
+      let m = Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus in
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mstatus (Ms.set_mpp m Priv.S)
+    end
+    else begin
+      state.exits_count <- state.exits_count + 1;
+      (* the trap that got us here came from U (the enclave); the host
+         resumes in S *)
+      let m = Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus in
+      Csr_file.write_raw hart.Hart.csr Csr_addr.mstatus (Ms.set_mpp m Priv.S);
+      ctx.Policy.return_to_os ~pc:run.host.pc
+    end
+  in
+  (* Enclave contexts stashed when a run is interrupted, keyed by
+     eid. *)
+  let saved_ctxs : (int, int64 array * int64) Hashtbl.t = Hashtbl.create 4 in
+  let on_ecall_from_os (ctx : Policy.ctx) =
+    let hart = ctx.Policy.hart in
+    match Hashtbl.find_opt running hart.Hart.id with
+    | Some run ->
+        (* An ecall from inside the enclave: exit. *)
+        let value = Hart.get hart 10 in
+        run.enclave.state <- Created;
+        run.enclave_ctx <- None;
+        leave_enclave ctx run ~err:0L ~value ~interrupted:false;
+        Policy.Handled
+    | None -> begin
+        let ext, fid = Policy.sbi_args ctx in
+        if ext <> ext_keystone then Policy.Pass
+        else if fid = fid_create then begin
+          let base = Hart.get hart 10
+          and size = Hart.get hart 11
+          and entry = Hart.get hart 12 in
+          let ok =
+            size >= 4096L
+            && Int64.logand size (Int64.sub size 1L) = 0L
+            && Int64.logand base (Int64.sub size 1L) = 0L
+            && List.length
+                 (List.filter (fun e -> e.state <> Destroyed) state.enclaves)
+               < pmp_slots - 1
+          in
+          if not ok then Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          else begin
+            incr next_eid;
+            let e =
+              { eid = !next_eid; base; size; entry; state = Created }
+            in
+            state.enclaves <- e :: state.enclaves;
+            ctx.Policy.reinstall_pmp ();
+            Policy.sbi_return ctx ~err:0L ~value:(Int64.of_int e.eid)
+          end;
+          Policy.Handled
+        end
+        else if fid = fid_run then begin
+          (match find_enclave (Int64.to_int (Hart.get hart 10)) with
+          | None -> Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          | Some e -> begin
+              let mepc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+              let host = snapshot hart ~pc:(Int64.add mepc 4L) in
+              match e.state with
+              | Created ->
+                  enter_enclave ctx { enclave = e; host; enclave_ctx = None }
+              | Interrupted ->
+                  (* resume from the context stashed at interruption *)
+                  let saved = Hashtbl.find_opt saved_ctxs e.eid in
+                  Hashtbl.remove saved_ctxs e.eid;
+                  enter_enclave ctx { enclave = e; host; enclave_ctx = saved }
+              | Running | Destroyed ->
+                  Policy.sbi_return ctx ~err:(-3L) ~value:0L
+            end);
+          Policy.Handled
+        end
+        else if fid = fid_destroy then begin
+          (match find_enclave (Int64.to_int (Hart.get hart 10)) with
+          | None -> Policy.sbi_return ctx ~err:(-3L) ~value:0L
+          | Some e ->
+              e.state <- Destroyed;
+              (* scrub enclave memory before releasing it *)
+              let len = Int64.to_int e.size in
+              for i = 0 to (len / 8) - 1 do
+                ignore
+                  (Machine.phys_store ctx.Policy.machine
+                     (Int64.add e.base (Int64.of_int (8 * i)))
+                     8 0L)
+              done;
+              ctx.Policy.reinstall_pmp ();
+              Policy.sbi_return ctx ~err:0L ~value:0L);
+          Policy.Handled
+        end
+        else begin
+          Policy.sbi_return ctx ~err:(-2L) ~value:0L;
+          Policy.Handled
+        end
+      end
+  in
+  let on_interrupt (ctx : Policy.ctx) _i =
+    let hart = ctx.Policy.hart in
+    match Hashtbl.find_opt running hart.Hart.id with
+    | None -> Policy.Pass
+    | Some run ->
+        (* Interrupt arrived while the enclave was executing: stash the
+           enclave context, hand the hart back to the host with
+           err_interrupted, then let Miralis deliver the interrupt. *)
+        let epc = Csr_file.read_raw hart.Hart.csr Csr_addr.mepc in
+        Hashtbl.replace saved_ctxs run.enclave.eid
+          (Array.init 32 (Hart.get hart), epc);
+        leave_enclave ctx run ~err:err_interrupted ~value:0L
+          ~interrupted:true;
+        Policy.Pass
+  in
+  let policy =
+    {
+      (Policy.default "keystone") with
+      Policy.pmp_entries;
+      on_ecall_from_os;
+      on_interrupt;
+    }
+  in
+  (policy, state)

@@ -1,0 +1,49 @@
+(** The Keystone policy (paper §5.3): enclaves as a policy module.
+
+    A re-implementation of the Keystone security monitor's core
+    enclave lifecycle on top of Miralis: create / run / (implicit
+    resume) / exit / destroy, exposed over an SBI extension. Enclave
+    memory is protected by *policy* PMP entries that outrank the
+    virtual PMPs, so it is shielded from both the OS and the firmware
+    — the paper's key delta versus original Keystone, whose monitor
+    had to trust the firmware it shared M-mode with.
+
+    Threat model: same as Keystone, except the vendor firmware is as
+    untrusted as the OS. Attestation is out of scope (as in the
+    paper's port). *)
+
+val ext_keystone : int64
+(** SBI extension ID used by the policy ("KEYS"). *)
+
+val fid_create : int64
+(** a0 = base, a1 = size, a2 = entry -> eid *)
+
+val fid_run : int64
+(** a0 = eid; returns 0 = done, -4 = interrupted *)
+
+val fid_exit : int64
+(** from the enclave: a0 = return value *)
+
+val fid_destroy : int64
+
+val err_interrupted : int64
+
+type enclave_state = Created | Running | Interrupted | Destroyed
+
+type enclave = {
+  eid : int;
+  base : int64;
+  size : int64;
+  entry : int64;
+  mutable state : enclave_state;
+}
+
+type state = {
+  mutable enclaves : enclave list;
+  mutable entries_count : int;  (** lifetime enclave entries (run+resume) *)
+  mutable exits_count : int;
+}
+
+val pmp_slots : int
+
+val create : unit -> Miralis.Policy.t * state

@@ -1,0 +1,40 @@
+(** The firmware sandbox policy (paper §5.2).
+
+    Confines the virtualized firmware to its own memory range plus an
+    explicit MMIO allow-list (the UART for the console), blocking OS
+    memory, the PCIe window and every other device. Registers crossing
+    the OS→firmware boundary are scrubbed: on an SBI call only the
+    argument registers from the spec-derived allow-list flow through;
+    on everything else (interrupt injection) all registers are hidden
+    and restored on return. Misaligned accesses are emulated directly
+    in the policy (as the paper reports doing), so the firmware never
+    needs OS register state for them.
+
+    Until the firmware's first transition to S-mode it may access all
+    memory (it loads the bootloader); at that first world switch the
+    policy locks the sandbox and records a hash of the initial S-mode
+    image. An illegal access stops the machine with a violation. *)
+
+type state = {
+  mutable locked : bool;  (** first S-mode entry happened *)
+  mutable boot_image_hash : int64;
+      (** FNV-1a of the kernel region at lock time *)
+  mutable scrubbed : bool;
+  mutable violations : int;
+}
+
+val pmp_slots : int
+(** Physical PMP entries this policy claims (pass to
+    {!Miralis.Config.make} as [policy_pmp_slots]). *)
+
+val create :
+  ?allow_uart:bool ->
+  ?kernel_region:int64 * int64 ->
+  unit ->
+  Miralis.Policy.t * state
+(** [kernel_region] is the (base, length) hashed at lock time;
+    defaults to the standard kernel load area. *)
+
+val hash_region : Mir_rv.Machine.t -> base:int64 -> len:int -> int64
+(** The FNV-1a hash the policy uses (exposed for attestation checks in
+    tests and examples). *)

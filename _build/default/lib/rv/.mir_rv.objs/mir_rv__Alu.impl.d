@@ -1,0 +1,1 @@
+lib/rv/alu.ml: Instr Int64 Mir_util

@@ -1,0 +1,1 @@
+lib/rv/alu.mli: Instr

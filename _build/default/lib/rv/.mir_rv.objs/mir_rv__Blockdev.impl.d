@@ -1,0 +1,1 @@
+lib/rv/blockdev.ml: Bytes Device Int64 Memory Mir_util

@@ -1,0 +1,1 @@
+lib/rv/blockdev.mli: Device Memory

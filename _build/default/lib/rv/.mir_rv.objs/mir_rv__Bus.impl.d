@@ -1,0 +1,1 @@
+lib/rv/bus.ml: Device Int64 List Memory

@@ -1,0 +1,1 @@
+lib/rv/bus.mli: Device Memory

@@ -1,0 +1,1 @@
+lib/rv/cause.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/rv/cause.mli: Format

@@ -1,0 +1,1 @@
+lib/rv/clint.ml: Array Device Int64 Mir_util

@@ -1,0 +1,1 @@
+lib/rv/clint.mli: Device

@@ -1,0 +1,1 @@
+lib/rv/csr_addr.ml: Printf Priv

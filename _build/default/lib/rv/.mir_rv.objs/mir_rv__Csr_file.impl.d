@@ -1,0 +1,1 @@
+lib/rv/csr_file.ml: Array Csr_addr Csr_spec Int64 Mir_util Option Pmp

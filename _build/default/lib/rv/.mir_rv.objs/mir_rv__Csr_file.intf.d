@@ -1,0 +1,1 @@
+lib/rv/csr_file.mli: Csr_spec Pmp

@@ -1,0 +1,1 @@
+lib/rv/csr_spec.ml: Char Csr_addr Int64 List Mir_util Option Priv

@@ -1,0 +1,1 @@
+lib/rv/csr_spec.mli: Priv

@@ -1,0 +1,1 @@
+lib/rv/decode.ml: Instr Int64 Mir_util

@@ -1,0 +1,1 @@
+lib/rv/device.ml: Int64 Mir_util

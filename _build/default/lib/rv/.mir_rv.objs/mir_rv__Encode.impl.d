@@ -1,0 +1,1 @@
+lib/rv/encode.ml: Instr Int64 Mir_util Printf

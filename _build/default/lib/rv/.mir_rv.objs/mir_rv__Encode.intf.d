@@ -1,0 +1,1 @@
+lib/rv/encode.mli: Instr

@@ -1,0 +1,1 @@
+lib/rv/hart.ml: Array Csr_file Priv

@@ -1,0 +1,1 @@
+lib/rv/hart.mli: Csr_file Csr_spec Priv

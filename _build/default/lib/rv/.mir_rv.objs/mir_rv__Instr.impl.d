@@ -1,0 +1,1 @@
+lib/rv/instr.ml: Array Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/rv/machine.ml: Alu Array Blockdev Bus Cause Clint Csr_addr Csr_file Csr_spec Decode Device Hart Instr Int64 List Memory Mir_util Nic Plic Pmp Priv Uart Vmem

@@ -1,0 +1,1 @@
+lib/rv/machine.mli: Blockdev Bus Cause Clint Csr_spec Hart Instr Nic Plic Pmp Priv Uart Vmem

@@ -1,0 +1,1 @@
+lib/rv/memory.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/rv/nic.ml: Bytes Device Int64 Memory Queue

@@ -1,0 +1,1 @@
+lib/rv/nic.mli: Device Memory

@@ -1,0 +1,1 @@
+lib/rv/plic.ml: Array Device Int64

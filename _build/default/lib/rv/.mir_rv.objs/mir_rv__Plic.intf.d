@@ -1,0 +1,1 @@
+lib/rv/plic.mli: Device

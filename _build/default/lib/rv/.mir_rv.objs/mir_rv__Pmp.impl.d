@@ -1,0 +1,1 @@
+lib/rv/pmp.ml: Array Int64 Mir_util Priv

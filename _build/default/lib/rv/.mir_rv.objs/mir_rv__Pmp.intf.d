@@ -1,0 +1,1 @@
+lib/rv/pmp.mli: Priv

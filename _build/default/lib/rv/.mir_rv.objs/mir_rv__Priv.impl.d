@@ -1,0 +1,1 @@
+lib/rv/priv.ml: Format Int

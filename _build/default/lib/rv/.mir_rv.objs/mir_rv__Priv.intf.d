@@ -1,0 +1,1 @@
+lib/rv/priv.mli: Format

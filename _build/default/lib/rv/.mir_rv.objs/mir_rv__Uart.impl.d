@@ -1,0 +1,1 @@
+lib/rv/uart.ml: Buffer Char Device Int64

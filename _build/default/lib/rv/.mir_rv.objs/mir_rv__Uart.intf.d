@@ -1,0 +1,1 @@
+lib/rv/uart.mli: Device

@@ -1,0 +1,1 @@
+lib/rv/vmem.ml: Cause Int64 Mir_util Priv

@@ -1,0 +1,1 @@
+lib/rv/vmem.mli: Cause Priv

@@ -1,0 +1,136 @@
+module Bits = Mir_util.Bits
+open Instr
+
+let shamt6 v = Int64.to_int (Int64.logand v 0x3FL)
+let shamt5 v = Int64.to_int (Int64.logand v 0x1FL)
+
+let mulh_signed a b =
+  (* High 64 bits of the signed 128-bit product, via 32-bit limbs. *)
+  let lo_mask = 0xFFFFFFFFL in
+  let a_lo = Int64.logand a lo_mask and a_hi = Int64.shift_right a 32 in
+  let b_lo = Int64.logand b lo_mask and b_hi = Int64.shift_right b 32 in
+  let ll = Int64.mul a_lo b_lo in
+  let lh = Int64.mul a_lo b_hi in
+  let hl = Int64.mul a_hi b_lo in
+  let hh = Int64.mul a_hi b_hi in
+  let carry =
+    Int64.shift_right_logical
+      (Int64.add
+         (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh lo_mask))
+         (Int64.logand hl lo_mask))
+      32
+  in
+  Int64.add
+    (Int64.add hh (Int64.add (Int64.shift_right lh 32) (Int64.shift_right hl 32)))
+    carry
+
+let mulh_unsigned a b =
+  let lo_mask = 0xFFFFFFFFL in
+  let a_lo = Int64.logand a lo_mask
+  and a_hi = Int64.shift_right_logical a 32 in
+  let b_lo = Int64.logand b lo_mask
+  and b_hi = Int64.shift_right_logical b 32 in
+  let ll = Int64.mul a_lo b_lo in
+  let lh = Int64.mul a_lo b_hi in
+  let hl = Int64.mul a_hi b_lo in
+  let hh = Int64.mul a_hi b_hi in
+  let carry =
+    Int64.shift_right_logical
+      (Int64.add
+         (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh lo_mask))
+         (Int64.logand hl lo_mask))
+      32
+  in
+  Int64.add
+    (Int64.add hh
+       (Int64.add (Int64.shift_right_logical lh 32)
+          (Int64.shift_right_logical hl 32)))
+    carry
+
+let mulhsu a b =
+  (* signed a * unsigned b, high half: adjust the unsigned product. *)
+  let uh = mulh_unsigned a b in
+  if a < 0L then Int64.sub uh b else uh
+
+let sdiv a b =
+  if b = 0L then -1L
+  else if a = Int64.min_int && b = -1L then Int64.min_int
+  else Int64.div a b
+
+let srem a b =
+  if b = 0L then a
+  else if a = Int64.min_int && b = -1L then 0L
+  else Int64.rem a b
+
+let udiv a b = if b = 0L then -1L else Bits.udiv a b
+let urem a b = if b = 0L then a else Bits.urem a b
+
+let op o a b =
+  match o with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Sll -> Int64.shift_left a (shamt6 b)
+  | Slt -> if Int64.compare a b < 0 then 1L else 0L
+  | Sltu -> if Bits.ult a b then 1L else 0L
+  | Xor -> Int64.logxor a b
+  | Srl -> Int64.shift_right_logical a (shamt6 b)
+  | Sra -> Int64.shift_right a (shamt6 b)
+  | Or -> Int64.logor a b
+  | And -> Int64.logand a b
+  | Mul -> Int64.mul a b
+  | Mulh -> mulh_signed a b
+  | Mulhsu -> mulhsu a b
+  | Mulhu -> mulh_unsigned a b
+  | Div -> sdiv a b
+  | Divu -> udiv a b
+  | Rem -> srem a b
+  | Remu -> urem a b
+
+let op32 o a b =
+  let a32 = Bits.sext32 a and b32 = Bits.sext32 b in
+  let r =
+    match o with
+    | Addw -> Int64.add a32 b32
+    | Subw -> Int64.sub a32 b32
+    | Sllw -> Int64.shift_left a32 (shamt5 b)
+    | Srlw -> Int64.shift_right_logical (Bits.zext a ~width:32) (shamt5 b)
+    | Sraw -> Int64.shift_right a32 (shamt5 b)
+    | Mulw -> Int64.mul a32 b32
+    | Divw -> sdiv a32 b32
+    | Divuw ->
+        udiv (Bits.zext a ~width:32) (Bits.zext b ~width:32)
+    | Remw -> srem a32 b32
+    | Remuw -> urem (Bits.zext a ~width:32) (Bits.zext b ~width:32)
+  in
+  Bits.sext32 r
+
+let op_imm o a imm =
+  match o with
+  | Addi -> Int64.add a imm
+  | Slti -> if Int64.compare a imm < 0 then 1L else 0L
+  | Sltiu -> if Bits.ult a imm then 1L else 0L
+  | Xori -> Int64.logxor a imm
+  | Ori -> Int64.logor a imm
+  | Andi -> Int64.logand a imm
+  | Slli -> Int64.shift_left a (shamt6 imm)
+  | Srli -> Int64.shift_right_logical a (shamt6 imm)
+  | Srai -> Int64.shift_right a (shamt6 imm)
+
+let op_imm32 o a imm =
+  let r =
+    match o with
+    | Addiw -> Int64.add (Bits.sext32 a) imm
+    | Slliw -> Int64.shift_left (Bits.sext32 a) (shamt5 imm)
+    | Srliw -> Int64.shift_right_logical (Bits.zext a ~width:32) (shamt5 imm)
+    | Sraiw -> Int64.shift_right (Bits.sext32 a) (shamt5 imm)
+  in
+  Bits.sext32 r
+
+let branch_taken o a b =
+  match o with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> Int64.compare a b < 0
+  | Bge -> Int64.compare a b >= 0
+  | Bltu -> Bits.ult a b
+  | Bgeu -> not (Bits.ult a b)

@@ -1,0 +1,11 @@
+(** Pure integer operation semantics (RV64IM).
+
+    Shared by the machine's interpreter; kept separate so the semantics
+    are unit-testable in isolation (division corner cases, shift
+    amounts, W-form sign extension). *)
+
+val op : Instr.op -> int64 -> int64 -> int64
+val op32 : Instr.op32 -> int64 -> int64 -> int64
+val op_imm : Instr.op_imm -> int64 -> int64 -> int64
+val op_imm32 : Instr.op_imm32 -> int64 -> int64 -> int64
+val branch_taken : Instr.branch_op -> int64 -> int64 -> bool

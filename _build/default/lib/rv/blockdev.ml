@@ -1,0 +1,106 @@
+let default_base = 0x10001000L
+let sector_size = 512
+
+type pending = { cmd : int; sector : int; dma : int64; len : int; deadline : int64 }
+
+type t = {
+  ram : Memory.t;
+  disk : Bytes.t;
+  latency : int64;
+  irq : int;
+  mutable sector : int64;
+  mutable dma : int64;
+  mutable len : int64;
+  mutable status : int64; (* 0 idle, 1 busy, 2 done *)
+  mutable pending : pending option;
+}
+
+let create ~ram ~capacity_sectors ~latency_ticks ~irq =
+  {
+    ram;
+    disk = Bytes.make (capacity_sectors * sector_size) '\000';
+    latency = latency_ticks;
+    irq;
+    sector = 0L;
+    dma = 0L;
+    len = 0L;
+    status = 0L;
+    pending = None;
+  }
+
+let busy t = t.status = 1L
+
+let load t off size =
+  if size <> 8 then 0L
+  else
+    match Int64.to_int off with
+    | 0x00 -> t.sector
+    | 0x08 -> t.dma
+    | 0x10 -> t.len
+    | 0x20 -> t.status
+    | _ -> 0L
+
+(* The command deadline is stamped lazily at the next poll: store
+   records the request, poll sees [deadline = -1] and assigns one. *)
+let store t off size v =
+  if size <> 8 then ()
+  else
+    match Int64.to_int off with
+    | 0x00 -> t.sector <- v
+    | 0x08 -> t.dma <- v
+    | 0x10 -> t.len <- v
+    | 0x18 ->
+        let cmd = Int64.to_int v in
+        if (cmd = 1 || cmd = 2) && t.pending = None then begin
+          t.status <- 1L;
+          t.pending <-
+            Some
+              {
+                cmd;
+                sector = Int64.to_int t.sector;
+                dma = t.dma;
+                len = Int64.to_int t.len;
+                deadline = -1L;
+              }
+        end
+    | 0x20 -> t.status <- 0L (* acknowledge *)
+    | _ -> ()
+
+let clamp_len t sector len =
+  let max_len = Bytes.length t.disk - (sector * sector_size) in
+  max 0 (min len max_len)
+
+let poll t ~now raise_irq =
+  match t.pending with
+  | None -> ()
+  | Some p when p.deadline = -1L ->
+      t.pending <- Some { p with deadline = Int64.add now t.latency }
+  | Some p when Mir_util.Bits.ule p.deadline now ->
+      let len = clamp_len t p.sector p.len in
+      (if len > 0 && Memory.in_range t.ram p.dma len then
+         if p.cmd = 1 then
+           (* read: disk -> RAM *)
+           Memory.store_bytes t.ram p.dma
+             (Bytes.sub t.disk (p.sector * sector_size) len)
+         else
+           Bytes.blit
+             (Memory.load_bytes t.ram p.dma len)
+             0 t.disk (p.sector * sector_size) len);
+      t.pending <- None;
+      t.status <- 2L;
+      raise_irq t.irq
+  | Some _ -> ()
+
+let write_sector t n b =
+  Bytes.blit b 0 t.disk (n * sector_size) (min (Bytes.length b) sector_size)
+
+let read_sector t n = Bytes.sub t.disk (n * sector_size) sector_size
+
+let device t ~base =
+  {
+    Device.name = "blockdev";
+    base;
+    size = 0x1000L;
+    load = load t;
+    store = store t;
+  }

@@ -1,0 +1,32 @@
+(** A DMA-capable block device with a latency model.
+
+    Used by the IOzone-style disk benchmarks. Commands complete after a
+    configurable number of timer ticks and raise a PLIC interrupt. The
+    device performs DMA to RAM — which is exactly why the VFM must
+    revoke *firmware* access to it (no IOPMP on the modelled
+    platforms).
+
+    Register layout (8-byte registers):
+    - 0x00 sector, 0x08 dma address, 0x10 length (bytes),
+    - 0x18 command (1 = read into RAM, 2 = write from RAM),
+    - 0x20 status (0 idle, 1 busy, 2 done), write to acknowledge. *)
+
+type t
+
+val default_base : int64
+val sector_size : int
+
+val create :
+  ram:Memory.t -> capacity_sectors:int -> latency_ticks:int64 -> irq:int -> t
+
+val device : t -> base:int64 -> Device.t
+
+val poll : t -> now:int64 -> (int -> unit) -> unit
+(** [poll t ~now raise_irq] completes any command whose deadline has
+    passed, performing the DMA and signalling the interrupt. *)
+
+val write_sector : t -> int -> bytes -> unit
+(** Back-door used by tests and workload setup. *)
+
+val read_sector : t -> int -> bytes
+val busy : t -> bool

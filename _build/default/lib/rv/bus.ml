@@ -1,0 +1,28 @@
+type t = { ram : Memory.t; mutable devices : Device.t list }
+
+let create ~ram = { ram; devices = [] }
+let ram t = t.ram
+let add_device t d = t.devices <- t.devices @ [ d ]
+let devices t = t.devices
+
+let find_device t addr =
+  List.find_opt (fun d -> Device.contains d addr 1) t.devices
+
+let load t addr size =
+  if Memory.in_range t.ram addr size then Some (Memory.load t.ram addr size)
+  else
+    match List.find_opt (fun d -> Device.contains d addr size) t.devices with
+    | Some d -> Some (d.Device.load (Int64.sub addr d.Device.base) size)
+    | None -> None
+
+let store t addr size v =
+  if Memory.in_range t.ram addr size then begin
+    Memory.store t.ram addr size v;
+    true
+  end
+  else
+    match List.find_opt (fun d -> Device.contains d addr size) t.devices with
+    | Some d ->
+        d.Device.store (Int64.sub addr d.Device.base) size v;
+        true
+    | None -> false

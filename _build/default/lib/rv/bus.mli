@@ -1,0 +1,24 @@
+(** The physical memory bus: RAM plus MMIO devices.
+
+    Accesses outside RAM and every device window fail, producing
+    access faults at the executor level — this is also how the VFM's
+    virtual MMIO devices appear to the firmware once the PMP blocks the
+    real window. *)
+
+type t
+
+val create : ram:Memory.t -> t
+val ram : t -> Memory.t
+val add_device : t -> Device.t -> unit
+val devices : t -> Device.t list
+
+val find_device : t -> int64 -> Device.t option
+(** The device whose window contains the address, if any. *)
+
+val load : t -> int64 -> int -> int64 option
+(** [load t addr size] with [size] ∈ {1,2,4,8}; [None] is a bus error
+    (access fault). The access must not straddle RAM/device
+    boundaries. *)
+
+val store : t -> int64 -> int -> int64 -> bool
+(** [store t addr size v]; [false] is a bus error. *)

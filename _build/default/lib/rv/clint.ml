@@ -1,0 +1,84 @@
+module Bits = Mir_util.Bits
+
+type t = {
+  msip : bool array;
+  mtimecmp : int64 array;
+  mutable mtime : int64;
+}
+
+let default_base = 0x2000000L
+let window_size = 0x10000L
+
+let create ~nharts =
+  {
+    msip = Array.make nharts false;
+    (* Reset mtimecmp to the maximum so no timer fires until armed. *)
+    mtimecmp = Array.make nharts (-1L);
+    mtime = 0L;
+  }
+
+let nharts t = Array.length t.msip
+let mtime t = t.mtime
+let set_mtime t v = t.mtime <- v
+let advance t d = t.mtime <- Int64.add t.mtime d
+let mtimecmp t h = t.mtimecmp.(h)
+let set_mtimecmp t h v = t.mtimecmp.(h) <- v
+let msip t h = t.msip.(h)
+let set_msip t h b = t.msip.(h) <- b
+let mtip t h = Bits.ule t.mtimecmp.(h) t.mtime
+let msip_offset h = Int64.of_int (4 * h)
+let mtimecmp_offset h = Int64.of_int (0x4000 + (8 * h))
+let mtime_offset = 0xBFF8L
+
+let load t off size =
+  let n = nharts t in
+  let off_i = Int64.to_int off in
+  if off_i < 4 * n && size = 4 then
+    if t.msip.(off_i / 4) then 1L else 0L
+  else if off_i >= 0x4000 && off_i < 0x4000 + (8 * n) then begin
+    let h = (off_i - 0x4000) / 8 in
+    match size with
+    | 8 -> t.mtimecmp.(h)
+    | 4 ->
+        if off_i land 4 = 0 then Int64.logand t.mtimecmp.(h) 0xFFFFFFFFL
+        else Int64.shift_right_logical t.mtimecmp.(h) 32
+    | _ -> 0L
+  end
+  else if off = mtime_offset && size = 8 then t.mtime
+  else if off_i = Int64.to_int mtime_offset && size = 4 then
+    Int64.logand t.mtime 0xFFFFFFFFL
+  else if off_i = Int64.to_int mtime_offset + 4 && size = 4 then
+    Int64.shift_right_logical t.mtime 32
+  else 0L
+
+let store t off size v =
+  let n = nharts t in
+  let off_i = Int64.to_int off in
+  if off_i < 4 * n && size = 4 then t.msip.(off_i / 4) <- Int64.logand v 1L <> 0L
+  else if off_i >= 0x4000 && off_i < 0x4000 + (8 * n) then begin
+    let h = (off_i - 0x4000) / 8 in
+    match size with
+    | 8 -> t.mtimecmp.(h) <- v
+    | 4 ->
+        let old = t.mtimecmp.(h) in
+        t.mtimecmp.(h) <-
+          (if off_i land 4 = 0 then
+             Int64.logor
+               (Int64.logand old 0xFFFFFFFF00000000L)
+               (Int64.logand v 0xFFFFFFFFL)
+           else
+             Int64.logor
+               (Int64.logand old 0xFFFFFFFFL)
+               (Int64.shift_left v 32))
+    | _ -> ()
+  end
+  else if off = mtime_offset && size = 8 then t.mtime <- v
+
+let device t ~base =
+  {
+    Device.name = "clint";
+    base;
+    size = window_size;
+    load = load t;
+    store = store t;
+  }

@@ -1,0 +1,38 @@
+(** Core-Local Interruptor (CLINT).
+
+    Standard SiFive-compatible layout at offset 0 of its window:
+    - [0x0000 + 4*h]: msip for hart [h] (software interrupt)
+    - [0x4000 + 8*h]: mtimecmp for hart [h]
+    - [0xBFF8]: mtime
+
+    The CLINT is the only MMIO device the paper needed to emulate in
+    the VFM; the virtual CLINT in [lib/vfm] wraps this same layout. *)
+
+type t
+
+val default_base : int64
+val window_size : int64
+
+val create : nharts:int -> t
+val nharts : t -> int
+
+val mtime : t -> int64
+val set_mtime : t -> int64 -> unit
+val advance : t -> int64 -> unit
+(** Add ticks to mtime. *)
+
+val mtimecmp : t -> int -> int64
+val set_mtimecmp : t -> int -> int64 -> unit
+val msip : t -> int -> bool
+val set_msip : t -> int -> bool -> unit
+
+val mtip : t -> int -> bool
+(** Timer interrupt line for a hart: [mtime >= mtimecmp]. *)
+
+val device : t -> base:int64 -> Device.t
+(** The MMIO view. *)
+
+(* Register offsets, exported for the VFM's virtual CLINT. *)
+val msip_offset : int -> int64
+val mtimecmp_offset : int -> int64
+val mtime_offset : int64

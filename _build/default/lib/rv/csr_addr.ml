@@ -1,0 +1,172 @@
+let cycle = 0xC00
+let time = 0xC01
+let instret = 0xC02
+
+let hpmcounter n =
+  assert (n >= 3 && n <= 31);
+  0xC00 + n
+
+let sstatus = 0x100
+let sie = 0x104
+let stvec = 0x105
+let scounteren = 0x106
+let senvcfg = 0x10A
+let sscratch = 0x140
+let sepc = 0x141
+let scause = 0x142
+let stval = 0x143
+let sip = 0x144
+let stimecmp = 0x14D
+let satp = 0x180
+let hstatus = 0x600
+let hedeleg = 0x602
+let hideleg = 0x603
+let hie = 0x604
+let hcounteren = 0x606
+let hgeie = 0x607
+let htval = 0x643
+let hip = 0x644
+let hvip = 0x645
+let htinst = 0x64A
+let hgatp = 0x680
+let hgeip = 0xE12
+let vsstatus = 0x200
+let vsie = 0x204
+let vstvec = 0x205
+let vsscratch = 0x240
+let vsepc = 0x241
+let vscause = 0x242
+let vstval = 0x243
+let vsip = 0x244
+let vsatp = 0x280
+let mvendorid = 0xF11
+let marchid = 0xF12
+let mimpid = 0xF13
+let mhartid = 0xF14
+let mconfigptr = 0xF15
+let mstatus = 0x300
+let misa = 0x301
+let medeleg = 0x302
+let mideleg = 0x303
+let mie = 0x304
+let mtvec = 0x305
+let mcounteren = 0x306
+let menvcfg = 0x30A
+let mcountinhibit = 0x320
+let mscratch = 0x340
+let mepc = 0x341
+let mcause = 0x342
+let mtval = 0x343
+let mip = 0x344
+let mtinst = 0x34A
+let mtval2 = 0x34B
+let mcycle = 0xB00
+let minstret = 0xB02
+
+let mhpmcounter n =
+  assert (n >= 3 && n <= 31);
+  0xB00 + n
+
+let mhpmevent n =
+  assert (n >= 3 && n <= 31);
+  0x320 + n
+
+let pmpcfg n =
+  assert (n >= 0 && n <= 14 && n mod 2 = 0);
+  0x3A0 + n
+
+let pmpaddr n =
+  assert (n >= 0 && n <= 63);
+  0x3B0 + n
+
+let custom0 = 0x7C0
+let custom1 = 0x7C1
+let custom2 = 0x7C2
+let custom3 = 0x7C3
+
+let min_priv addr =
+  match (addr lsr 8) land 0x3 with
+  | 0 -> Priv.U
+  | 1 -> Priv.S
+  | 2 | 3 -> Priv.M
+  | _ -> assert false
+
+let is_read_only addr = (addr lsr 10) land 0x3 = 0x3
+let is_pmpcfg addr = addr >= 0x3A0 && addr <= 0x3AF
+let is_pmpaddr addr = addr >= 0x3B0 && addr <= 0x3EF
+
+let name addr =
+  if is_pmpcfg addr then Printf.sprintf "pmpcfg%d" (addr - 0x3A0)
+  else if is_pmpaddr addr then Printf.sprintf "pmpaddr%d" (addr - 0x3B0)
+  else if addr > 0xB02 && addr <= 0xB1F then
+    Printf.sprintf "mhpmcounter%d" (addr - 0xB00)
+  else if addr > 0x320 && addr <= 0x33F then
+    Printf.sprintf "mhpmevent%d" (addr - 0x320)
+  else if addr > 0xC02 && addr <= 0xC1F then
+    Printf.sprintf "hpmcounter%d" (addr - 0xC00)
+  else
+    match addr with
+    | 0xC00 -> "cycle"
+    | 0xC01 -> "time"
+    | 0xC02 -> "instret"
+    | 0x100 -> "sstatus"
+    | 0x104 -> "sie"
+    | 0x105 -> "stvec"
+    | 0x106 -> "scounteren"
+    | 0x10A -> "senvcfg"
+    | 0x140 -> "sscratch"
+    | 0x141 -> "sepc"
+    | 0x142 -> "scause"
+    | 0x143 -> "stval"
+    | 0x144 -> "sip"
+    | 0x14D -> "stimecmp"
+    | 0x180 -> "satp"
+    | 0x600 -> "hstatus"
+    | 0x602 -> "hedeleg"
+    | 0x603 -> "hideleg"
+    | 0x604 -> "hie"
+    | 0x606 -> "hcounteren"
+    | 0x607 -> "hgeie"
+    | 0x643 -> "htval"
+    | 0x644 -> "hip"
+    | 0x645 -> "hvip"
+    | 0x64A -> "htinst"
+    | 0x680 -> "hgatp"
+    | 0xE12 -> "hgeip"
+    | 0x200 -> "vsstatus"
+    | 0x204 -> "vsie"
+    | 0x205 -> "vstvec"
+    | 0x240 -> "vsscratch"
+    | 0x241 -> "vsepc"
+    | 0x242 -> "vscause"
+    | 0x243 -> "vstval"
+    | 0x244 -> "vsip"
+    | 0x280 -> "vsatp"
+    | 0xF11 -> "mvendorid"
+    | 0xF12 -> "marchid"
+    | 0xF13 -> "mimpid"
+    | 0xF14 -> "mhartid"
+    | 0xF15 -> "mconfigptr"
+    | 0x300 -> "mstatus"
+    | 0x301 -> "misa"
+    | 0x302 -> "medeleg"
+    | 0x303 -> "mideleg"
+    | 0x304 -> "mie"
+    | 0x305 -> "mtvec"
+    | 0x306 -> "mcounteren"
+    | 0x30A -> "menvcfg"
+    | 0x320 -> "mcountinhibit"
+    | 0x340 -> "mscratch"
+    | 0x341 -> "mepc"
+    | 0x342 -> "mcause"
+    | 0x343 -> "mtval"
+    | 0x344 -> "mip"
+    | 0x34A -> "mtinst"
+    | 0x34B -> "mtval2"
+    | 0xB00 -> "mcycle"
+    | 0xB02 -> "minstret"
+    | 0x7C0 -> "custom0"
+    | 0x7C1 -> "custom1"
+    | 0x7C2 -> "custom2"
+    | 0x7C3 -> "custom3"
+    | _ -> Printf.sprintf "csr_0x%03x" addr

@@ -1,0 +1,107 @@
+(** CSR address constants and address-space predicates.
+
+    Addresses follow the RISC-V privileged specification. The address
+    encodes accessibility: bits 9:8 give the lowest privilege allowed
+    and bits 11:10 = 0b11 mark a read-only CSR. *)
+
+(* Unprivileged counters *)
+val cycle : int
+val time : int
+val instret : int
+val hpmcounter : int -> int  (** [hpmcounter n] for n in 3..31 *)
+
+(* Supervisor *)
+val sstatus : int
+val sie : int
+val stvec : int
+val scounteren : int
+val senvcfg : int
+val sscratch : int
+val sepc : int
+val scause : int
+val stval : int
+val sip : int
+
+val stimecmp : int
+(** Sstc extension *)
+
+val satp : int
+
+(* Hypervisor (used by the ACE policy) *)
+val hstatus : int
+val hedeleg : int
+val hideleg : int
+val hie : int
+val hcounteren : int
+val hgeie : int
+val htval : int
+val hip : int
+val hvip : int
+val htinst : int
+val hgatp : int
+val hgeip : int
+val vsstatus : int
+val vsie : int
+val vstvec : int
+val vsscratch : int
+val vsepc : int
+val vscause : int
+val vstval : int
+val vsip : int
+val vsatp : int
+
+(* Machine *)
+val mvendorid : int
+val marchid : int
+val mimpid : int
+val mhartid : int
+val mconfigptr : int
+val mstatus : int
+val misa : int
+val medeleg : int
+val mideleg : int
+val mie : int
+val mtvec : int
+val mcounteren : int
+val menvcfg : int
+val mcountinhibit : int
+val mscratch : int
+val mepc : int
+val mcause : int
+val mtval : int
+val mip : int
+val mtinst : int
+val mtval2 : int
+val mcycle : int
+val minstret : int
+val mhpmcounter : int -> int
+(** n in 3..31 *)
+
+val mhpmevent : int -> int
+(** n in 3..31 *)
+
+val pmpcfg : int -> int
+(** [pmpcfg n] for even n in 0..14 (RV64 has even-numbered cfg regs,
+    each packing 8 entry bytes). *)
+
+val pmpaddr : int -> int
+(** [pmpaddr n] for n in 0..63 *)
+
+(* Platform-custom CSRs (modelled after the P550's documented
+   speculation/error-reporting controls). *)
+val custom0 : int
+val custom1 : int
+val custom2 : int
+val custom3 : int
+
+val min_priv : int -> Priv.t
+(** Lowest privilege level allowed to access this address. *)
+
+val is_read_only : int -> bool
+(** True iff the address space marks the CSR read-only. *)
+
+val is_pmpcfg : int -> bool
+val is_pmpaddr : int -> bool
+
+val name : int -> string
+(** Human-readable name, or ["csr_0x..."] for unknown addresses. *)

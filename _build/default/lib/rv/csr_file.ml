@@ -1,0 +1,125 @@
+module Bits = Mir_util.Bits
+
+type t = {
+  config : Csr_spec.config;
+  store : int64 array; (* indexed by CSR address *)
+  specs : Csr_spec.t option array;
+  mutable pmp_cache : Pmp.entry array option;
+  mutable pmp_ranges_cache : Pmp.ranges option;
+      (* decoded PMP entries, invalidated on pmpcfg/pmpaddr writes;
+         rebuilding on every memory access dominated simulation time *)
+}
+
+let create config ~hart_id =
+  let store = Array.make 4096 0L in
+  let specs = Array.init 4096 (fun addr -> Csr_spec.find config addr) in
+  Array.iteri
+    (fun addr spec ->
+      match spec with Some s -> store.(addr) <- s.Csr_spec.reset | None -> ())
+    specs;
+  store.(Csr_addr.mhartid) <- Int64.of_int hart_id;
+  { config; store; specs; pmp_cache = None; pmp_ranges_cache = None }
+
+let config t = t.config
+let spec t addr = if addr >= 0 && addr < 4096 then t.specs.(addr) else None
+let exists t addr = Option.is_some (spec t addr)
+let read_raw t addr = t.store.(addr)
+
+let is_pmp_reg addr = Csr_addr.is_pmpcfg addr || Csr_addr.is_pmpaddr addr
+
+let write_raw t addr v =
+  if is_pmp_reg addr then begin
+    t.pmp_cache <- None;
+    t.pmp_ranges_cache <- None
+  end;
+  t.store.(addr) <- v
+
+let decode_pmp_entries t =
+  Array.init t.config.Csr_spec.pmp_count (fun i ->
+      let cfg_reg = Csr_addr.pmpcfg (i / 8 * 2) in
+      let byte =
+        Int64.to_int
+          (Bits.extract t.store.(cfg_reg) ~lo:(8 * (i mod 8))
+             ~hi:((8 * (i mod 8)) + 7))
+      in
+      Pmp.entry_of_cfg_byte byte ~addr:t.store.(Csr_addr.pmpaddr i))
+
+let pmp_entries t =
+  match t.pmp_cache with
+  | Some e -> e
+  | None ->
+      let e = decode_pmp_entries t in
+      t.pmp_cache <- Some e;
+      e
+
+let pmp_ranges t =
+  match t.pmp_ranges_cache with
+  | Some r -> r
+  | None ->
+      let r = Pmp.precompute (pmp_entries t) in
+      t.pmp_ranges_cache <- Some r;
+      r
+
+let mideleg t = t.store.(Csr_addr.mideleg)
+
+let read t addr =
+  if addr = Csr_addr.sstatus then
+    let m = t.store.(Csr_addr.mstatus) in
+    Int64.logor
+      (Int64.logand m Csr_spec.Mstatus.sstatus_mask)
+      (Int64.shift_left 2L 32) (* UXL = 64-bit *)
+  else if addr = Csr_addr.sie then
+    Int64.logand t.store.(Csr_addr.mie) (mideleg t)
+  else if addr = Csr_addr.sip then
+    Int64.logand t.store.(Csr_addr.mip) (mideleg t)
+  else
+    match spec t addr with
+    | Some s -> Csr_spec.apply_read s t.store.(addr)
+    | None -> invalid_arg ("Csr_file.read: " ^ Csr_addr.name addr)
+
+let write t addr v =
+  if addr = Csr_addr.sstatus then begin
+    let m = t.store.(Csr_addr.mstatus) in
+    let mask = Csr_spec.Mstatus.sstatus_mask in
+    let merged =
+      Int64.logor (Int64.logand m (Int64.lognot mask)) (Int64.logand v mask)
+    in
+    t.store.(Csr_addr.mstatus) <- merged
+  end
+  else if addr = Csr_addr.sie then begin
+    let d = mideleg t in
+    let m = t.store.(Csr_addr.mie) in
+    t.store.(Csr_addr.mie) <-
+      Int64.logor (Int64.logand m (Int64.lognot d)) (Int64.logand v d)
+  end
+  else if addr = Csr_addr.sip then begin
+    (* Only SSIP is writable from S-mode, and only if delegated. *)
+    let d = Int64.logand (mideleg t) Csr_spec.Irq.ssip in
+    let m = t.store.(Csr_addr.mip) in
+    t.store.(Csr_addr.mip) <-
+      Int64.logor (Int64.logand m (Int64.lognot d)) (Int64.logand v d)
+  end
+  else if Csr_addr.is_pmpaddr addr then begin
+    let i = addr - 0x3B0 in
+    if not (Pmp.locked (pmp_entries t) i) then
+      match spec t addr with
+      | Some s ->
+          t.pmp_cache <- None;
+          t.pmp_ranges_cache <- None;
+          t.store.(addr) <- Csr_spec.apply_write s ~old:t.store.(addr) ~value:v
+      | None -> invalid_arg "Csr_file.write: pmpaddr"
+  end
+  else
+    match spec t addr with
+    | Some s ->
+        if is_pmp_reg addr then begin
+          t.pmp_cache <- None;
+          t.pmp_ranges_cache <- None
+        end;
+        t.store.(addr) <- Csr_spec.apply_write s ~old:t.store.(addr) ~value:v
+    | None -> invalid_arg ("Csr_file.write: " ^ Csr_addr.name addr)
+
+let set_mip_bits t bits on =
+  let m = t.store.(Csr_addr.mip) in
+  t.store.(Csr_addr.mip) <-
+    (if on then Int64.logor m bits else Int64.logand m (Int64.lognot bits))

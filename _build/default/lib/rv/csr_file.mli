@@ -1,0 +1,39 @@
+(** Per-hart CSR storage with architectural read/write semantics.
+
+    Reads and writes go through the shared declarative specification
+    ({!Csr_spec}); this module adds the storage, the S-mode *views*
+    (sstatus/sie/sip are windows onto mstatus/mie/mip filtered by
+    mideleg), and PMP write-lock enforcement. Privilege checks belong
+    to the executor (and, for the virtual copy, to the VFM emulator) —
+    both call the same entry points. *)
+
+type t
+
+val create : Csr_spec.config -> hart_id:int -> t
+val config : t -> Csr_spec.config
+val exists : t -> int -> bool
+val spec : t -> int -> Csr_spec.t option
+
+val read : t -> int -> int64
+(** Architectural read (views and read masks applied). The CSR must
+    exist. *)
+
+val write : t -> int -> int64 -> unit
+(** Architectural write (WARL legalization, views, PMP locks). *)
+
+val read_raw : t -> int -> int64
+(** Stored value without view translation — used by trap logic and by
+    the machine when driving interrupt lines. *)
+
+val write_raw : t -> int -> int64 -> unit
+(** Direct store, bypassing WARL — hardware-internal updates only. *)
+
+val pmp_entries : t -> Pmp.entry array
+(** Decoded PMP entries 0..pmp_count-1, in priority order. *)
+
+val pmp_ranges : t -> Pmp.ranges
+(** Precomputed ranges for the hot-path access check (cached together
+    with {!pmp_entries}). *)
+
+val set_mip_bits : t -> int64 -> bool -> unit
+(** Drive interrupt lines: set or clear the given mip bits. *)

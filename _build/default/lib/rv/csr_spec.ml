@@ -1,0 +1,307 @@
+module Bits = Mir_util.Bits
+
+type config = {
+  pmp_count : int;
+  has_sstc : bool;
+  has_h : bool;
+  has_time_csr : bool;
+  custom_csrs : int list;
+  force_s_interrupt_delegation : bool;
+  mvendorid : int64;
+  marchid : int64;
+  mimpid : int64;
+}
+
+let default_config =
+  {
+    pmp_count = 8;
+    has_sstc = false;
+    has_h = false;
+    has_time_csr = false;
+    custom_csrs = [];
+    force_s_interrupt_delegation = false;
+    mvendorid = 0L;
+    marchid = 0L;
+    mimpid = 0L;
+  }
+
+type t = {
+  name : string;
+  read_mask : int64;
+  read_or : int64;
+  write_mask : int64;
+  legalize : old:int64 -> value:int64 -> int64;
+  reset : int64;
+}
+
+let id_legalize ~old:_ ~value = value
+
+let ro name reset =
+  {
+    name;
+    read_mask = -1L;
+    read_or = 0L;
+    write_mask = 0L;
+    legalize = id_legalize;
+    reset;
+  }
+
+let rw ?(read_mask = -1L) ?(read_or = 0L) ?(write_mask = -1L)
+    ?(legalize = id_legalize) ?(reset = 0L) name =
+  { name; read_mask; read_or; write_mask; legalize; reset }
+
+module Mstatus = struct
+  let sie = 1
+  let mie = 3
+  let spie = 5
+  let mpie = 7
+  let spp = 8
+  let mpp_lo = 11
+  let mpp_hi = 12
+  let mprv = 17
+  let sum = 18
+  let mxr = 19
+  let tvm = 20
+  let tw = 21
+  let tsr = 22
+
+  let get_mpp v =
+    match Priv.of_int (Int64.to_int (Bits.extract v ~lo:mpp_lo ~hi:mpp_hi)) with
+    | Some p -> p
+    | None -> Priv.U (* reserved encoding never stored: legalized away *)
+
+  let set_mpp v p =
+    Bits.insert v ~lo:mpp_lo ~hi:mpp_hi ~value:(Int64.of_int (Priv.to_int p))
+
+  let get_spp v = if Bits.test v spp then Priv.S else Priv.U
+  let set_spp v p = Bits.write v spp (p = Priv.S)
+
+  (* SIE, SPIE, SPP, SUM, MXR plus the read-only UXL field. *)
+  let sstatus_mask =
+    List.fold_left
+      (fun acc b -> Bits.set acc b)
+      0L [ sie; spie; spp; sum; mxr ]
+
+  let write_mask =
+    List.fold_left
+      (fun acc b -> Bits.set acc b)
+      0L
+      [ sie; mie; spie; mpie; spp; mprv; sum; mxr; tvm; tw; tsr ]
+    |> fun m -> Int64.logor m (Int64.shift_left 3L mpp_lo)
+
+  (* UXL = SXL = 2 (64-bit), hardwired. *)
+  let read_or = Int64.logor (Int64.shift_left 2L 32) (Int64.shift_left 2L 34)
+
+  let legalize ~old ~value =
+    (* MPP: the reserved encoding 2 is WARL'd back to the old value. *)
+    if Bits.extract value ~lo:mpp_lo ~hi:mpp_hi = 2L then
+      Bits.insert value ~lo:mpp_lo ~hi:mpp_hi
+        ~value:(Bits.extract old ~lo:mpp_lo ~hi:mpp_hi)
+    else value
+end
+
+module Irq = struct
+  let ssip = Bits.set 0L 1
+  let msip = Bits.set 0L 3
+  let stip = Bits.set 0L 5
+  let mtip = Bits.set 0L 7
+  let seip = Bits.set 0L 9
+  let meip = Bits.set 0L 11
+  let s_mask = Int64.logor ssip (Int64.logor stip seip)
+  let m_mask = Int64.logor msip (Int64.logor mtip meip)
+end
+
+let misa_value config =
+  let ext c = Int64.shift_left 1L (Char.code c - Char.code 'a') in
+  let base = Int64.shift_left 2L 62 in
+  let exts =
+    List.fold_left
+      (fun acc c -> Int64.logor acc (ext c))
+      0L
+      ([ 'a'; 'i'; 'm'; 's'; 'u' ] @ if config.has_h then [ 'h' ] else [])
+  in
+  Int64.logor base exts
+
+(* Delegatable exceptions: all standard synchronous causes except
+   ecall-from-M (11). *)
+let medeleg_mask = 0xB3FFL
+let mideleg_mask = Irq.s_mask
+
+let epc_legalize ~old:_ ~value = Bits.clear (Bits.clear value 0) 1
+
+let tvec_legalize ~old ~value =
+  (* mode (bits 1:0) is WARL over {0 direct, 1 vectored}. *)
+  if Bits.extract value ~lo:0 ~hi:1 > 1L then
+    Bits.insert value ~lo:0 ~hi:1 ~value:(Bits.extract old ~lo:0 ~hi:1)
+  else value
+
+let satp_legalize ~old ~value =
+  (* mode (63:60) is WARL over {0 bare, 8 Sv39}: other modes leave the
+     whole register unchanged, matching common hardware. *)
+  let mode = Bits.extract value ~lo:60 ~hi:63 in
+  if mode = 0L || mode = 8L then value else old
+
+(* pmpcfg legalization: per entry byte, honour the lock bit, clear the
+   reserved W=1/R=0 combination (one of the paper's reported PMP
+   virtualization bugs), and zero the reserved bits 5:6. *)
+let pmpcfg_byte_legalize ~old_byte ~new_byte =
+  if old_byte land 0x80 <> 0 then old_byte (* locked: write ignored *)
+  else
+    let b = new_byte land 0x9F (* clear reserved bits 5:6 *) in
+    let b = if b land 0x3 = 0x2 then b land lnot 0x2 else b (* W=1,R=0 *) in
+    b
+
+let pmpcfg_legalize ~entries_in_reg ~old ~value =
+  let result = ref 0L in
+  for i = 0 to 7 do
+    let shift = 8 * i in
+    let old_byte = Int64.to_int (Bits.extract old ~lo:shift ~hi:(shift + 7)) in
+    let new_byte =
+      Int64.to_int (Bits.extract value ~lo:shift ~hi:(shift + 7))
+    in
+    let byte =
+      if i < entries_in_reg then pmpcfg_byte_legalize ~old_byte ~new_byte
+      else 0
+    in
+    result := Bits.insert !result ~lo:shift ~hi:(shift + 7)
+        ~value:(Int64.of_int byte)
+  done;
+  !result
+
+let pmpaddr_mask = Bits.mask 54
+
+let counteren_mask = 0xFFFFFFFFL
+
+let find config addr =
+  let some = Option.some in
+  let n_pmp = config.pmp_count in
+  if Csr_addr.is_pmpcfg addr then begin
+    let reg = addr - 0x3A0 in
+    if reg mod 2 <> 0 then None (* odd pmpcfg do not exist on RV64 *)
+    else
+      let first_entry = reg * 4 in
+      let entries_in_reg = max 0 (min 8 (n_pmp - first_entry)) in
+      if first_entry >= 64 then None
+      else
+        some
+          (rw (Csr_addr.name addr)
+             ~legalize:(fun ~old ~value ->
+               pmpcfg_legalize ~entries_in_reg ~old ~value))
+  end
+  else if Csr_addr.is_pmpaddr addr then begin
+    let idx = addr - 0x3B0 in
+    if idx >= 64 then None
+    else
+      (* Addresses above the implemented count exist read-only-zero up
+         to 64 per spec; we model only implemented ones for clarity. *)
+      if idx >= n_pmp then None
+      else some (rw (Csr_addr.name addr) ~write_mask:pmpaddr_mask)
+  end
+  else if List.mem addr config.custom_csrs then
+    some (rw (Csr_addr.name addr))
+  else if addr = Csr_addr.mstatus then
+    some
+      (rw "mstatus" ~write_mask:Mstatus.write_mask ~read_or:Mstatus.read_or
+         ~legalize:Mstatus.legalize)
+  else if addr = Csr_addr.misa then some (ro "misa" (misa_value config))
+  else if addr = Csr_addr.medeleg then
+    some (rw "medeleg" ~write_mask:medeleg_mask)
+  else if addr = Csr_addr.mideleg then begin
+    if config.force_s_interrupt_delegation then
+      some
+        (rw "mideleg" ~write_mask:mideleg_mask ~reset:Irq.s_mask
+           ~legalize:(fun ~old:_ ~value -> Int64.logor value Irq.s_mask))
+    else some (rw "mideleg" ~write_mask:mideleg_mask)
+  end
+  else if addr = Csr_addr.mie then
+    some (rw "mie" ~write_mask:(Int64.logor Irq.s_mask Irq.m_mask))
+  else if addr = Csr_addr.mtvec then some (rw "mtvec" ~legalize:tvec_legalize)
+  else if addr = Csr_addr.mcounteren then
+    some (rw "mcounteren" ~write_mask:counteren_mask)
+  else if addr = Csr_addr.menvcfg then
+    (* Only STCE (bit 63, with Sstc) and FIOM (bit 0) are writable. *)
+    let m = if config.has_sstc then Bits.set 1L 63 else 1L in
+    some (rw "menvcfg" ~write_mask:m)
+  else if addr = Csr_addr.mcountinhibit then
+    some (rw "mcountinhibit" ~write_mask:0x5L)
+  else if addr = Csr_addr.mscratch then some (rw "mscratch")
+  else if addr = Csr_addr.mepc then some (rw "mepc" ~legalize:epc_legalize)
+  else if addr = Csr_addr.mcause then some (rw "mcause")
+  else if addr = Csr_addr.mtval then some (rw "mtval")
+  else if addr = Csr_addr.mip then
+    (* Only the S-level bits are directly writable by software. *)
+    some (rw "mip" ~write_mask:Irq.s_mask)
+  else if addr = Csr_addr.mcycle then some (rw "mcycle")
+  else if addr = Csr_addr.minstret then some (rw "minstret")
+  else if addr = Csr_addr.mvendorid then some (ro "mvendorid" config.mvendorid)
+  else if addr = Csr_addr.marchid then some (ro "marchid" config.marchid)
+  else if addr = Csr_addr.mimpid then some (ro "mimpid" config.mimpid)
+  else if addr = Csr_addr.mhartid then some (ro "mhartid" 0L)
+  else if addr = Csr_addr.mconfigptr then some (ro "mconfigptr" 0L)
+  else if addr = Csr_addr.stvec then some (rw "stvec" ~legalize:tvec_legalize)
+  else if addr = Csr_addr.scounteren then
+    some (rw "scounteren" ~write_mask:counteren_mask)
+  else if addr = Csr_addr.senvcfg then some (rw "senvcfg" ~write_mask:1L)
+  else if addr = Csr_addr.sscratch then some (rw "sscratch")
+  else if addr = Csr_addr.sepc then some (rw "sepc" ~legalize:epc_legalize)
+  else if addr = Csr_addr.scause then some (rw "scause")
+  else if addr = Csr_addr.stval then some (rw "stval")
+  else if addr = Csr_addr.satp then some (rw "satp" ~legalize:satp_legalize)
+  else if addr = Csr_addr.stimecmp then
+    if config.has_sstc then some (rw "stimecmp") else None
+  else if
+    addr = Csr_addr.sstatus || addr = Csr_addr.sie || addr = Csr_addr.sip
+  then
+    (* Views over mstatus/mie/mip: handled by the CSR file, but they
+       must exist in the address map. Masks here describe the view. *)
+    some (rw (Csr_addr.name addr))
+  else if config.has_h then begin
+    if addr = Csr_addr.hstatus then some (rw "hstatus" ~write_mask:0x3007E0E2L)
+    else if addr = Csr_addr.hedeleg then
+      some (rw "hedeleg" ~write_mask:medeleg_mask)
+    else if addr = Csr_addr.hideleg then
+      some (rw "hideleg" ~write_mask:0x444L)
+    else if addr = Csr_addr.hie then some (rw "hie" ~write_mask:0x444L)
+    else if addr = Csr_addr.hcounteren then
+      some (rw "hcounteren" ~write_mask:counteren_mask)
+    else if addr = Csr_addr.hgeie then some (rw "hgeie")
+    else if addr = Csr_addr.htval then some (rw "htval")
+    else if addr = Csr_addr.hip then some (rw "hip" ~write_mask:0x444L)
+    else if addr = Csr_addr.hvip then some (rw "hvip" ~write_mask:0x444L)
+    else if addr = Csr_addr.htinst then some (rw "htinst")
+    else if addr = Csr_addr.hgatp then some (rw "hgatp" ~legalize:satp_legalize)
+    else if addr = Csr_addr.hgeip then some (ro "hgeip" 0L)
+    else if addr = Csr_addr.vsstatus then
+      some (rw "vsstatus" ~write_mask:Mstatus.write_mask)
+    else if addr = Csr_addr.vsie then some (rw "vsie" ~write_mask:Irq.s_mask)
+    else if addr = Csr_addr.vstvec then
+      some (rw "vstvec" ~legalize:tvec_legalize)
+    else if addr = Csr_addr.vsscratch then some (rw "vsscratch")
+    else if addr = Csr_addr.vsepc then some (rw "vsepc" ~legalize:epc_legalize)
+    else if addr = Csr_addr.vscause then some (rw "vscause")
+    else if addr = Csr_addr.vstval then some (rw "vstval")
+    else if addr = Csr_addr.vsip then some (rw "vsip" ~write_mask:Irq.s_mask)
+    else if addr = Csr_addr.vsatp then
+      some (rw "vsatp" ~legalize:satp_legalize)
+    else None
+  end
+  else None
+
+let exists config addr = Option.is_some (find config addr)
+
+let all_addresses config =
+  let acc = ref [] in
+  for addr = 0xFFF downto 0 do
+    if exists config addr then acc := addr :: !acc
+  done;
+  !acc
+
+let apply_write t ~old ~value =
+  let merged =
+    Int64.logor
+      (Int64.logand old (Int64.lognot t.write_mask))
+      (Int64.logand value t.write_mask)
+  in
+  t.legalize ~old ~value:merged
+
+let apply_read t stored = Int64.logor (Int64.logand stored t.read_mask) t.read_or

@@ -1,0 +1,103 @@
+(** Declarative CSR behaviour: the executable specification.
+
+    The paper expresses the VFM specification as a function of the
+    ISA specification (the official Sail model). In this reproduction
+    the role of the Sail model is played by this module plus the
+    reference interpreter: every WARL legalization rule is written
+    once, here, and consumed both by the reference machine's CSR file
+    and by Miralis's virtual CSRs. The verifier
+    ({!Mir_verif.Faithful_emulation}) then checks that the *composed*
+    behaviours (privilege checks, side effects, views) agree. *)
+
+(** Which optional architectural features a hart implements. The VFM
+    instantiates two of these: the host configuration and the virtual
+    (reference) configuration — Definition 2's [c_h] and [c_r]. *)
+type config = {
+  pmp_count : int;  (** implemented PMP entries (0..64) *)
+  has_sstc : bool;  (** stimecmp / menvcfg.STCE *)
+  has_h : bool;  (** hypervisor extension CSRs *)
+  has_time_csr : bool;  (** reading [time] works without trapping *)
+  custom_csrs : int list;  (** platform-specific CSRs (e.g. P550) *)
+  force_s_interrupt_delegation : bool;
+      (** mideleg's S-level bits are hardwired to 1 — the reference
+          configuration the VFM exposes to the firmware (§4.3) *)
+  mvendorid : int64;
+  marchid : int64;
+  mimpid : int64;
+}
+
+val default_config : config
+(** A fully featured configuration (8 PMP entries, no Sstc, no H). *)
+
+(** Behaviour of one CSR. Writing stores
+    [legalize ~old ~value:((old land lnot write_mask) lor (value land write_mask))];
+    reading yields [(stored land read_mask) lor read_or]. *)
+type t = {
+  name : string;
+  read_mask : int64;
+  read_or : int64;
+  write_mask : int64;
+  legalize : old:int64 -> value:int64 -> int64;
+  reset : int64;
+}
+
+val find : config -> int -> t option
+(** [find config addr] is the spec of the CSR at [addr], or [None] if
+    the configuration does not implement it. *)
+
+val exists : config -> int -> bool
+val all_addresses : config -> int list
+(** Every implemented CSR address, used for exhaustive enumeration. *)
+
+val apply_write : t -> old:int64 -> value:int64 -> int64
+(** The stored value after a write, per the rule above. *)
+
+val apply_read : t -> int64 -> int64
+(** The value observed by a read of the stored value. *)
+
+(** [mstatus] bit positions, shared by machine and VFM. *)
+module Mstatus : sig
+  val sie : int
+  val mie : int
+  val spie : int
+  val mpie : int
+  val spp : int
+  val mpp_lo : int
+  val mpp_hi : int
+  val mprv : int
+  val sum : int
+  val mxr : int
+  val tvm : int
+  val tw : int
+  val tsr : int
+
+  val get_mpp : int64 -> Priv.t
+  val set_mpp : int64 -> Priv.t -> int64
+  val get_spp : int64 -> Priv.t
+  val set_spp : int64 -> Priv.t -> int64
+
+  val sstatus_mask : int64
+  (** The bits of [mstatus] visible through [sstatus]. *)
+
+  val write_mask : int64
+  (** All software-writable mstatus bits. *)
+end
+
+(** Interrupt bit masks for mip/mie/mideleg. *)
+module Irq : sig
+  val ssip : int64
+  val msip : int64
+  val stip : int64
+  val mtip : int64
+  val seip : int64
+  val meip : int64
+  val s_mask : int64
+  (** SSIP | STIP | SEIP *)
+
+  val m_mask : int64
+  (** MSIP | MTIP | MEIP *)
+end
+
+val misa_value : config -> int64
+val medeleg_mask : int64
+val mideleg_mask : int64

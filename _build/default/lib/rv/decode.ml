@@ -1,0 +1,215 @@
+open Instr
+
+let opcode w = w land 0x7F
+let rd w = (w lsr 7) land 0x1F
+let rs1 w = (w lsr 15) land 0x1F
+let rs2 w = (w lsr 20) land 0x1F
+let funct3 w = (w lsr 12) land 0x7
+let funct7 w = (w lsr 25) land 0x7F
+
+let sext_int v width = Mir_util.Bits.sext (Int64.of_int v) ~width
+
+(* Immediate extraction per encoding format; results are
+   sign-extended int64 byte values. *)
+let imm_i w = sext_int (w lsr 20) 12
+let imm_s w = sext_int (((w lsr 25) lsl 5) lor ((w lsr 7) land 0x1F)) 12
+
+let imm_b w =
+  let v =
+    (((w lsr 31) land 1) lsl 12)
+    lor (((w lsr 7) land 1) lsl 11)
+    lor (((w lsr 25) land 0x3F) lsl 5)
+    lor (((w lsr 8) land 0xF) lsl 1)
+  in
+  sext_int v 13
+
+let imm_u w = sext_int ((w lsr 12) lsl 12) 32
+
+let imm_j w =
+  let v =
+    (((w lsr 31) land 1) lsl 20)
+    lor (((w lsr 12) land 0xFF) lsl 12)
+    lor (((w lsr 20) land 1) lsl 11)
+    lor (((w lsr 21) land 0x3FF) lsl 1)
+  in
+  sext_int v 21
+
+let decode_load w =
+  let mk width unsigned =
+    Some (Load { width; unsigned; rd = rd w; rs1 = rs1 w; imm = imm_i w })
+  in
+  match funct3 w with
+  | 0 -> mk B false
+  | 1 -> mk H false
+  | 2 -> mk W false
+  | 3 -> mk D false
+  | 4 -> mk B true
+  | 5 -> mk H true
+  | 6 -> mk W true
+  | _ -> None
+
+let decode_store w =
+  let mk width = Some (Store { width; rs2 = rs2 w; rs1 = rs1 w; imm = imm_s w }) in
+  match funct3 w with
+  | 0 -> mk B
+  | 1 -> mk H
+  | 2 -> mk W
+  | 3 -> mk D
+  | _ -> None
+
+let decode_branch w =
+  let mk op = Some (Branch (op, rs1 w, rs2 w, imm_b w)) in
+  match funct3 w with
+  | 0 -> mk Beq
+  | 1 -> mk Bne
+  | 4 -> mk Blt
+  | 5 -> mk Bge
+  | 6 -> mk Bltu
+  | 7 -> mk Bgeu
+  | _ -> None
+
+let decode_op_imm w =
+  let mk op imm = Some (Op_imm (op, rd w, rs1 w, imm)) in
+  let shamt = Int64.of_int ((w lsr 20) land 0x3F) in
+  let shift_funct6 = w lsr 26 in
+  match funct3 w with
+  | 0 -> mk Addi (imm_i w)
+  | 1 -> if shift_funct6 = 0 then mk Slli shamt else None
+  | 2 -> mk Slti (imm_i w)
+  | 3 -> mk Sltiu (imm_i w)
+  | 4 -> mk Xori (imm_i w)
+  | 5 ->
+      if shift_funct6 = 0 then mk Srli shamt
+      else if shift_funct6 = 0x10 then mk Srai shamt
+      else None
+  | 6 -> mk Ori (imm_i w)
+  | 7 -> mk Andi (imm_i w)
+  | _ -> None
+
+let decode_op_imm32 w =
+  let mk op imm = Some (Op_imm32 (op, rd w, rs1 w, imm)) in
+  let shamt = Int64.of_int ((w lsr 20) land 0x1F) in
+  match funct3 w with
+  | 0 -> mk Addiw (imm_i w)
+  | 1 -> if funct7 w = 0 then mk Slliw shamt else None
+  | 5 ->
+      if funct7 w = 0 then mk Srliw shamt
+      else if funct7 w = 0x20 then mk Sraiw shamt
+      else None
+  | _ -> None
+
+let decode_op w =
+  let mk op = Some (Op (op, rd w, rs1 w, rs2 w)) in
+  match (funct7 w, funct3 w) with
+  | 0x00, 0 -> mk Add
+  | 0x20, 0 -> mk Sub
+  | 0x00, 1 -> mk Sll
+  | 0x00, 2 -> mk Slt
+  | 0x00, 3 -> mk Sltu
+  | 0x00, 4 -> mk Xor
+  | 0x00, 5 -> mk Srl
+  | 0x20, 5 -> mk Sra
+  | 0x00, 6 -> mk Or
+  | 0x00, 7 -> mk And
+  | 0x01, 0 -> mk Mul
+  | 0x01, 1 -> mk Mulh
+  | 0x01, 2 -> mk Mulhsu
+  | 0x01, 3 -> mk Mulhu
+  | 0x01, 4 -> mk Div
+  | 0x01, 5 -> mk Divu
+  | 0x01, 6 -> mk Rem
+  | 0x01, 7 -> mk Remu
+  | _ -> None
+
+let decode_op32 w =
+  let mk op = Some (Op32 (op, rd w, rs1 w, rs2 w)) in
+  match (funct7 w, funct3 w) with
+  | 0x00, 0 -> mk Addw
+  | 0x20, 0 -> mk Subw
+  | 0x00, 1 -> mk Sllw
+  | 0x00, 5 -> mk Srlw
+  | 0x20, 5 -> mk Sraw
+  | 0x01, 0 -> mk Mulw
+  | 0x01, 4 -> mk Divw
+  | 0x01, 5 -> mk Divuw
+  | 0x01, 6 -> mk Remw
+  | 0x01, 7 -> mk Remuw
+  | _ -> None
+
+let decode_system w =
+  let csr = (w lsr 20) land 0xFFF in
+  let zimm = rs1 w in
+  let mk op src = Some (Csr { op; rd = rd w; src; csr }) in
+  match funct3 w with
+  | 0 -> begin
+      (* Non-CSR SYSTEM: dispatch on the full imm12/funct7 space. *)
+      if rd w <> 0 then None
+      else
+        match ((w lsr 20) land 0xFFF, rs1 w, funct7 w) with
+        | 0x000, 0, _ -> Some Ecall
+        | 0x001, 0, _ -> Some Ebreak
+        | 0x102, 0, _ -> Some Sret
+        | 0x302, 0, _ -> Some Mret
+        | 0x105, 0, _ -> Some Wfi
+        | _, _, 0x09 -> Some (Sfence_vma (rs1 w, rs2 w))
+        | _ -> None
+    end
+  | 1 -> mk Csrrw (Reg (rs1 w))
+  | 2 -> mk Csrrs (Reg (rs1 w))
+  | 3 -> mk Csrrc (Reg (rs1 w))
+  | 5 -> mk Csrrw (Imm zimm)
+  | 6 -> mk Csrrs (Imm zimm)
+  | 7 -> mk Csrrc (Imm zimm)
+  | _ -> None
+
+let decode_amo w =
+  let funct5 = w lsr 27 in
+  let aq = (w lsr 26) land 1 = 1 and rl = (w lsr 25) land 1 = 1 in
+  let wide =
+    match funct3 w with 2 -> Some false | 3 -> Some true | _ -> None
+  in
+  let op =
+    match funct5 with
+    | 0x02 -> Some Lr
+    | 0x03 -> Some Sc
+    | 0x01 -> Some Swap
+    | 0x00 -> Some Amoadd
+    | 0x04 -> Some Amoxor
+    | 0x0C -> Some Amoand
+    | 0x08 -> Some Amoor
+    | 0x10 -> Some Amomin
+    | 0x14 -> Some Amomax
+    | 0x18 -> Some Amominu
+    | 0x1C -> Some Amomaxu
+    | _ -> None
+  in
+  match (op, wide) with
+  | Some op, Some wide ->
+      if op = Lr && rs2 w <> 0 then None
+      else Some (Amo { op; wide; aq; rl; rd = rd w; rs1 = rs1 w; rs2 = rs2 w })
+  | _ -> None
+
+let decode_misc_mem w =
+  match funct3 w with
+  | 0 -> Some Fence
+  | 1 -> Some Fence_i
+  | _ -> None
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  match opcode w with
+  | 0x37 -> Some (Lui (rd w, imm_u w))
+  | 0x17 -> Some (Auipc (rd w, imm_u w))
+  | 0x6F -> Some (Jal (rd w, imm_j w))
+  | 0x67 -> if funct3 w = 0 then Some (Jalr (rd w, rs1 w, imm_i w)) else None
+  | 0x63 -> decode_branch w
+  | 0x03 -> decode_load w
+  | 0x23 -> decode_store w
+  | 0x13 -> decode_op_imm w
+  | 0x1B -> decode_op_imm32 w
+  | 0x33 -> decode_op w
+  | 0x3B -> decode_op32 w
+  | 0x0F -> decode_misc_mem w
+  | 0x2F -> decode_amo w
+  | 0x73 -> decode_system w
+  | _ -> None

@@ -1,0 +1,14 @@
+(** Instruction decoder (32-bit encodings, little-endian words).
+
+    Words are OCaml [int]s holding the low 32 bits. The decoder is
+    total: unknown encodings map to [None], which the executor turns
+    into an illegal-instruction trap with the raw bits as [mtval] —
+    exactly what the VFM relies on to intercept privileged
+    instructions executed by the deprivileged firmware. *)
+
+val decode : int -> Instr.t option
+(** [decode word] is the decoded instruction or [None] for an
+    encoding outside the implemented subset. *)
+
+val opcode : int -> int
+(** The major opcode (bits 6:0). *)

@@ -1,0 +1,18 @@
+module Bits = Mir_util.Bits
+
+type t = {
+  name : string;
+  base : int64;
+  size : int64;
+  load : int64 -> int -> int64;
+  store : int64 -> int -> int64 -> unit;
+}
+
+let contains d addr len =
+  Bits.ule d.base addr
+  && Bits.ule (Int64.add addr (Int64.of_int len)) (Int64.add d.base d.size)
+
+let overlaps d addr len =
+  let last = Int64.add addr (Int64.of_int (len - 1)) in
+  let dlast = Int64.add d.base (Int64.sub d.size 1L) in
+  Bits.ule d.base last && Bits.ule addr dlast

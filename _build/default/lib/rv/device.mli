@@ -1,0 +1,21 @@
+(** Interface implemented by memory-mapped devices.
+
+    Loads and stores receive offsets relative to the device base and an
+    access size in bytes; the bus guarantees the access lies within the
+    device window. Devices are polled for interrupt lines by the
+    machine between instructions. *)
+
+type t = {
+  name : string;
+  base : int64;
+  size : int64;
+  load : int64 -> int -> int64;
+  store : int64 -> int -> int64 -> unit;
+}
+
+val contains : t -> int64 -> int -> bool
+(** [contains d addr len] is true iff the access falls entirely within
+    the device window. *)
+
+val overlaps : t -> int64 -> int -> bool
+(** True iff the access touches any byte of the window. *)

@@ -1,0 +1,158 @@
+open Instr
+
+let check_range name v ~width =
+  (* Signed range check for a [width]-bit immediate. *)
+  let lo = Int64.neg (Int64.shift_left 1L (width - 1)) in
+  let hi = Int64.sub (Int64.shift_left 1L (width - 1)) 1L in
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encode: %s immediate %Ld out of range" name v)
+
+let low n v = Int64.to_int (Int64.logand v (Mir_util.Bits.mask n))
+
+let r_type ~opcode ~funct3 ~funct7 ~rd ~rs1 ~rs2 =
+  opcode lor (rd lsl 7) lor (funct3 lsl 12) lor (rs1 lsl 15) lor (rs2 lsl 20)
+  lor (funct7 lsl 25)
+
+let i_type ~opcode ~funct3 ~rd ~rs1 ~imm =
+  check_range "I" imm ~width:12;
+  opcode lor (rd lsl 7) lor (funct3 lsl 12) lor (rs1 lsl 15)
+  lor (low 12 imm lsl 20)
+
+let s_type ~opcode ~funct3 ~rs1 ~rs2 ~imm =
+  check_range "S" imm ~width:12;
+  let i = low 12 imm in
+  opcode lor ((i land 0x1F) lsl 7) lor (funct3 lsl 12) lor (rs1 lsl 15)
+  lor (rs2 lsl 20) lor ((i lsr 5) lsl 25)
+
+let b_type ~opcode ~funct3 ~rs1 ~rs2 ~imm =
+  check_range "B" imm ~width:13;
+  if Int64.logand imm 1L <> 0L then invalid_arg "Encode: odd branch offset";
+  let i = low 13 imm in
+  opcode
+  lor (((i lsr 11) land 1) lsl 7)
+  lor (((i lsr 1) land 0xF) lsl 8)
+  lor (funct3 lsl 12) lor (rs1 lsl 15) lor (rs2 lsl 20)
+  lor (((i lsr 5) land 0x3F) lsl 25)
+  lor (((i lsr 12) land 1) lsl 31)
+
+let u_type ~opcode ~rd ~imm =
+  check_range "U" imm ~width:32;
+  if Int64.logand imm 0xFFFL <> 0L then
+    invalid_arg "Encode: U-type immediate has low bits set";
+  let i = low 32 imm in
+  opcode lor (rd lsl 7) lor ((i lsr 12) lsl 12)
+
+let j_type ~opcode ~rd ~imm =
+  check_range "J" imm ~width:21;
+  if Int64.logand imm 1L <> 0L then invalid_arg "Encode: odd jump offset";
+  let i = low 21 imm in
+  opcode lor (rd lsl 7)
+  lor (((i lsr 12) land 0xFF) lsl 12)
+  lor (((i lsr 11) land 1) lsl 20)
+  lor (((i lsr 1) land 0x3FF) lsl 21)
+  lor (((i lsr 20) land 1) lsl 31)
+
+let load_funct3 width unsigned =
+  match (width, unsigned) with
+  | B, false -> 0 | H, false -> 1 | W, false -> 2 | D, _ -> 3
+  | B, true -> 4 | H, true -> 5 | W, true -> 6
+
+let store_funct3 = function B -> 0 | H -> 1 | W -> 2 | D -> 3
+
+let branch_funct3 = function
+  | Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+
+let op_functs = function
+  | Add -> (0x00, 0) | Sub -> (0x20, 0) | Sll -> (0x00, 1) | Slt -> (0x00, 2)
+  | Sltu -> (0x00, 3) | Xor -> (0x00, 4) | Srl -> (0x00, 5) | Sra -> (0x20, 5)
+  | Or -> (0x00, 6) | And -> (0x00, 7)
+  | Mul -> (0x01, 0) | Mulh -> (0x01, 1) | Mulhsu -> (0x01, 2)
+  | Mulhu -> (0x01, 3) | Div -> (0x01, 4) | Divu -> (0x01, 5)
+  | Rem -> (0x01, 6) | Remu -> (0x01, 7)
+
+let op32_functs = function
+  | Addw -> (0x00, 0) | Subw -> (0x20, 0) | Sllw -> (0x00, 1)
+  | Srlw -> (0x00, 5) | Sraw -> (0x20, 5)
+  | Mulw -> (0x01, 0) | Divw -> (0x01, 4) | Divuw -> (0x01, 5)
+  | Remw -> (0x01, 6) | Remuw -> (0x01, 7)
+
+let shamt_imm name v limit =
+  if v < 0L || v >= Int64.of_int limit then
+    invalid_arg (Printf.sprintf "Encode: %s shift amount %Ld out of range" name v);
+  v
+
+let encode = function
+  | Lui (rd, imm) -> u_type ~opcode:0x37 ~rd ~imm
+  | Auipc (rd, imm) -> u_type ~opcode:0x17 ~rd ~imm
+  | Jal (rd, imm) -> j_type ~opcode:0x6F ~rd ~imm
+  | Jalr (rd, rs1, imm) -> i_type ~opcode:0x67 ~funct3:0 ~rd ~rs1 ~imm
+  | Branch (op, rs1, rs2, imm) ->
+      b_type ~opcode:0x63 ~funct3:(branch_funct3 op) ~rs1 ~rs2 ~imm
+  | Load { width; unsigned; rd; rs1; imm } ->
+      i_type ~opcode:0x03 ~funct3:(load_funct3 width unsigned) ~rd ~rs1 ~imm
+  | Store { width; rs2; rs1; imm } ->
+      s_type ~opcode:0x23 ~funct3:(store_funct3 width) ~rs1 ~rs2 ~imm
+  | Op_imm (op, rd, rs1, imm) -> begin
+      let i ~funct3 imm = i_type ~opcode:0x13 ~funct3 ~rd ~rs1 ~imm in
+      match op with
+      | Addi -> i ~funct3:0 imm
+      | Slti -> i ~funct3:2 imm
+      | Sltiu -> i ~funct3:3 imm
+      | Xori -> i ~funct3:4 imm
+      | Ori -> i ~funct3:6 imm
+      | Andi -> i ~funct3:7 imm
+      | Slli -> i ~funct3:1 (shamt_imm "slli" imm 64)
+      | Srli -> i ~funct3:5 (shamt_imm "srli" imm 64)
+      | Srai ->
+          i ~funct3:5 (Int64.logor (shamt_imm "srai" imm 64) 0x400L)
+    end
+  | Op_imm32 (op, rd, rs1, imm) -> begin
+      let i ~funct3 imm = i_type ~opcode:0x1B ~funct3 ~rd ~rs1 ~imm in
+      match op with
+      | Addiw -> i ~funct3:0 imm
+      | Slliw -> i ~funct3:1 (shamt_imm "slliw" imm 32)
+      | Srliw -> i ~funct3:5 (shamt_imm "srliw" imm 32)
+      | Sraiw ->
+          i ~funct3:5 (Int64.logor (shamt_imm "sraiw" imm 32) 0x400L)
+    end
+  | Op (op, rd, rs1, rs2) ->
+      let funct7, funct3 = op_functs op in
+      r_type ~opcode:0x33 ~funct3 ~funct7 ~rd ~rs1 ~rs2
+  | Op32 (op, rd, rs1, rs2) ->
+      let funct7, funct3 = op32_functs op in
+      r_type ~opcode:0x3B ~funct3 ~funct7 ~rd ~rs1 ~rs2
+  | Fence -> 0x0F lor (0 lsl 12) lor 0x0FF00000
+  | Fence_i -> 0x0F lor (1 lsl 12)
+  | Ecall -> 0x73
+  | Ebreak -> 0x73 lor (1 lsl 20)
+  | Csr { op; rd; src; csr } ->
+      if csr < 0 || csr > 0xFFF then invalid_arg "Encode: CSR address";
+      let funct3, rs1 =
+        match (op, src) with
+        | Csrrw, Reg r -> (1, r)
+        | Csrrs, Reg r -> (2, r)
+        | Csrrc, Reg r -> (3, r)
+        | Csrrw, Imm z -> (5, z)
+        | Csrrs, Imm z -> (6, z)
+        | Csrrc, Imm z -> (7, z)
+      in
+      if rs1 < 0 || rs1 > 31 then invalid_arg "Encode: CSR zimm/rs1";
+      0x73 lor (rd lsl 7) lor (funct3 lsl 12) lor (rs1 lsl 15) lor (csr lsl 20)
+  | Mret -> 0x73 lor (0x302 lsl 20)
+  | Sret -> 0x73 lor (0x102 lsl 20)
+  | Wfi -> 0x73 lor (0x105 lsl 20)
+  | Sfence_vma (rs1, rs2) ->
+      r_type ~opcode:0x73 ~funct3:0 ~funct7:0x09 ~rd:0 ~rs1 ~rs2
+  | Amo { op; wide; aq; rl; rd; rs1; rs2 } ->
+      let funct5 =
+        match op with
+        | Lr -> 0x02 | Sc -> 0x03 | Swap -> 0x01 | Amoadd -> 0x00
+        | Amoxor -> 0x04 | Amoand -> 0x0C | Amoor -> 0x08
+        | Amomin -> 0x10 | Amomax -> 0x14 | Amominu -> 0x18
+        | Amomaxu -> 0x1C
+      in
+      let funct7 =
+        (funct5 lsl 2) lor (if aq then 2 else 0) lor if rl then 1 else 0
+      in
+      r_type ~opcode:0x2F ~funct3:(if wide then 3 else 2) ~funct7 ~rd ~rs1
+        ~rs2

@@ -1,0 +1,11 @@
+(** Instruction encoder — the inverse of {!Decode.decode}.
+
+    Used by the assembler to materialize firmware and kernel programs
+    as real instruction streams in simulated memory. The round-trip
+    [Decode.decode (encode i) = Some i] is a verified property (see the
+    decoder tests). *)
+
+val encode : Instr.t -> int
+(** [encode i] is the 32-bit encoding (as a non-negative [int]).
+    Raises [Invalid_argument] if an immediate does not fit its
+    field. *)

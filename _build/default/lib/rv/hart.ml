@@ -1,0 +1,39 @@
+type t = {
+  id : int;
+  mutable pc : int64;
+  regs : int64 array;
+  csr : Csr_file.t;
+  mutable priv : Priv.t;
+  mutable wfi : bool;
+  mutable halted : bool;
+  mutable cycles : int64;
+  mutable instret : int64;
+  mutable irq_stale : int;
+  mutable reservation : int64 option;
+}
+
+let create config ~id =
+  {
+    id;
+    pc = 0L;
+    regs = Array.make 32 0L;
+    csr = Csr_file.create config ~hart_id:id;
+    priv = Priv.M;
+    wfi = false;
+    halted = false;
+    cycles = 0L;
+    instret = 0L;
+    irq_stale = 0;
+    reservation = None;
+  }
+
+let get t r = if r = 0 then 0L else t.regs.(r)
+let set t r v = if r <> 0 then t.regs.(r) <- v
+
+let reset t ~pc =
+  t.pc <- pc;
+  t.reservation <- None;
+  Array.fill t.regs 0 32 0L;
+  t.priv <- Priv.M;
+  t.wfi <- false;
+  t.halted <- false

@@ -1,0 +1,33 @@
+(** Architectural state of one hart (hardware thread).
+
+    The general-purpose registers, program counter, privilege level and
+    CSR file. Cycle and retired-instruction counters are kept here so
+    the cost model (and the VFM, which charges emulation cycles) can
+    account time per hart. *)
+
+type t = {
+  id : int;
+  mutable pc : int64;
+  regs : int64 array;  (** 32 entries; x0 is forced to zero on read *)
+  csr : Csr_file.t;
+  mutable priv : Priv.t;
+  mutable wfi : bool;  (** stalled in [wfi] *)
+  mutable halted : bool;  (** stopped (HSM or test-finish) *)
+  mutable cycles : int64;
+  mutable instret : int64;
+  mutable irq_stale : int;  (** steps since the interrupt lines were
+                                refreshed (machine-internal) *)
+  mutable reservation : int64 option;
+      (** LR/SC reservation (physical address), cleared by stores and
+          traps *)
+}
+
+val create : Csr_spec.config -> id:int -> t
+val get : t -> int -> int64
+(** Read a register; x0 reads zero. *)
+
+val set : t -> int -> int64 -> unit
+(** Write a register; writes to x0 are discarded. *)
+
+val reset : t -> pc:int64 -> unit
+(** Reset to M-mode at the given PC (registers cleared). *)

@@ -1,0 +1,746 @@
+module Bits = Mir_util.Bits
+module Ms = Csr_spec.Mstatus
+
+type config = {
+  csr_config : Csr_spec.config;
+  nharts : int;
+  ram_base : int64;
+  ram_size : int;
+  cycles_per_tick : int;
+  hw_misaligned : bool;
+  trap_penalty : int;
+  xret_penalty : int;
+  mmio_penalty : int;
+}
+
+let default_config =
+  {
+    csr_config = Csr_spec.default_config;
+    nharts = 1;
+    ram_base = 0x80000000L;
+    ram_size = 16 * 1024 * 1024;
+    cycles_per_tick = 100;
+    hw_misaligned = false;
+    trap_penalty = 140;
+    xret_penalty = 100;
+    mmio_penalty = 60;
+  }
+
+type t = {
+  config : config;
+  harts : Hart.t array;
+  bus : Bus.t;
+  clint : Clint.t;
+  plic : Plic.t;
+  uart : Uart.t;
+  mutable blockdev : Blockdev.t option;
+  mutable nic : Nic.t option;
+  icache : (Instr.t * int) option array;
+  mutable mmode_hook : (t -> Hart.t -> Cause.t -> unit) option;
+  mutable on_trap :
+    (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
+  mutable poweroff : bool;
+  mutable instr_count : int64;
+}
+
+let syscon_base = 0x100000L
+
+let create config =
+  let ram = Memory.create ~base:config.ram_base ~size:config.ram_size in
+  let bus = Bus.create ~ram in
+  let clint = Clint.create ~nharts:config.nharts in
+  let plic = Plic.create ~nharts:config.nharts ~nsources:8 in
+  let uart = Uart.create () in
+  Bus.add_device bus (Clint.device clint ~base:Clint.default_base);
+  Bus.add_device bus (Plic.device plic ~base:Plic.default_base);
+  Bus.add_device bus (Uart.device uart ~base:Uart.default_base);
+  let m =
+    {
+      config;
+      harts =
+        Array.init config.nharts (fun id ->
+            Hart.create config.csr_config ~id);
+      bus;
+      clint;
+      plic;
+      uart;
+      blockdev = None;
+      nic = None;
+      icache = Array.make (config.ram_size / 4) None;
+      mmode_hook = None;
+      on_trap = None;
+      poweroff = false;
+      instr_count = 0L;
+    }
+  in
+  (* Test-finisher ("syscon"): a word write of 0x5555 powers off. *)
+  Bus.add_device bus
+    {
+      Device.name = "syscon";
+      base = syscon_base;
+      size = 0x1000L;
+      load = (fun _ _ -> 0L);
+      store =
+        (fun off _ v ->
+          if off = 0L && Int64.logand v 0xFFFFL = 0x5555L then
+            m.poweroff <- true);
+    };
+  m
+
+let attach_blockdev t ~capacity_sectors ~latency_ticks =
+  let dev =
+    Blockdev.create ~ram:(Bus.ram t.bus) ~capacity_sectors ~latency_ticks
+      ~irq:1
+  in
+  Bus.add_device t.bus (Blockdev.device dev ~base:Blockdev.default_base);
+  t.blockdev <- Some dev;
+  dev
+
+let attach_nic t =
+  let dev = Nic.create ~ram:(Bus.ram t.bus) ~irq:2 in
+  Bus.add_device t.bus (Nic.device dev ~base:Nic.default_base);
+  t.nic <- Some dev;
+  dev
+
+let phys_load t addr size = Bus.load t.bus addr size
+let phys_store t addr size v = Bus.store t.bus addr size v
+
+let icache_index t addr =
+  let off = Int64.sub addr t.config.ram_base in
+  if off >= 0L && off < Int64.of_int t.config.ram_size then
+    Some (Int64.to_int off / 4)
+  else None
+
+let icache_invalidate t addr size =
+  match icache_index t addr with
+  | Some i ->
+      t.icache.(i) <- None;
+      let last = Int64.add addr (Int64.of_int (size - 1)) in
+      (match icache_index t last with
+      | Some j when j <> i -> t.icache.(j) <- None
+      | _ -> ())
+  | None -> ()
+
+let flush_icache t = Array.fill t.icache 0 (Array.length t.icache) None
+let invalidate_icache t addr size = icache_invalidate t addr size
+
+let load_program t addr bytes =
+  Memory.store_bytes (Bus.ram t.bus) addr bytes;
+  flush_icache t
+
+let pmp_check t hart ~priv access ~addr ~size =
+  ignore t;
+  Pmp.check_ranges (Csr_file.pmp_ranges hart.Hart.csr) ~priv access ~addr
+    ~size
+
+let mstatus hart = Csr_file.read_raw hart.Hart.csr Csr_addr.mstatus
+
+let translate t hart ~priv access vaddr =
+  let satp = Csr_file.read_raw hart.Hart.csr Csr_addr.satp in
+  let ms = mstatus hart in
+  Vmem.translate
+    ~read:(fun a -> phys_load t a 8)
+    ~write:(fun a v -> ignore (phys_store t a 8 v))
+    ~satp ~priv ~sum:(Bits.test ms Ms.sum) ~mxr:(Bits.test ms Ms.mxr) access
+    vaddr
+
+let charge hart n = hart.Hart.cycles <- Int64.add hart.Hart.cycles (Int64.of_int n)
+
+let resume hart ~pc ~priv =
+  hart.Hart.pc <- pc;
+  hart.Hart.priv <- priv
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt lines and pending-interrupt selection                     *)
+(* ------------------------------------------------------------------ *)
+
+let update_irq_lines t hart =
+  let csr = hart.Hart.csr in
+  let h = hart.Hart.id in
+  Csr_file.set_mip_bits csr Csr_spec.Irq.mtip (Clint.mtip t.clint h);
+  Csr_file.set_mip_bits csr Csr_spec.Irq.msip (Clint.msip t.clint h);
+  Csr_file.set_mip_bits csr Csr_spec.Irq.meip (Plic.meip t.plic h);
+  Csr_file.set_mip_bits csr Csr_spec.Irq.seip (Plic.seip t.plic h);
+  (* Sstc: stimecmp drives STIP when menvcfg.STCE is set. *)
+  if t.config.csr_config.Csr_spec.has_sstc then begin
+    let menvcfg = Csr_file.read_raw csr Csr_addr.menvcfg in
+    if Bits.test menvcfg 63 then
+      let stimecmp = Csr_file.read_raw csr Csr_addr.stimecmp in
+      Csr_file.set_mip_bits csr Csr_spec.Irq.stip
+        (Bits.ule stimecmp (Clint.mtime t.clint))
+  end
+
+(* Standard priority: MEI, MSI, MTI, SEI, SSI, STI. *)
+let intr_priority =
+  Cause.
+    [
+      (Machine_external, 11);
+      (Machine_software, 3);
+      (Machine_timer, 7);
+      (Supervisor_external, 9);
+      (Supervisor_software, 1);
+      (Supervisor_timer, 5);
+    ]
+
+let pending_interrupt t hart =
+  ignore t;
+  let csr = hart.Hart.csr in
+  let mip = Csr_file.read_raw csr Csr_addr.mip in
+  let mie = Csr_file.read_raw csr Csr_addr.mie in
+  let pending = Int64.logand mip mie in
+  if pending = 0L then None
+  else begin
+    let mideleg = Csr_file.read_raw csr Csr_addr.mideleg in
+    let ms = mstatus hart in
+    let priv = hart.Hart.priv in
+    let m_enabled = priv <> Priv.M || Bits.test ms Ms.mie in
+    let s_enabled =
+      priv = Priv.U || (priv = Priv.S && Bits.test ms Ms.sie)
+    in
+    let m_pending = Int64.logand pending (Int64.lognot mideleg) in
+    let s_pending = Int64.logand pending mideleg in
+    let pick mask =
+      List.find_opt (fun (_, code) -> Bits.test mask code) intr_priority
+    in
+    if m_enabled && m_pending <> 0L then
+      match pick m_pending with Some (i, _) -> Some i | None -> None
+    else if s_enabled && s_pending <> 0L && priv <> Priv.M then
+      match pick s_pending with Some (i, _) -> Some i | None -> None
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Trap entry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tvec_target tvec cause =
+  let base = Int64.logand tvec (Int64.lognot 3L) in
+  match cause with
+  | Cause.Interrupt i when Int64.logand tvec 3L = 1L ->
+      Int64.add base (Int64.of_int (4 * Cause.intr_code i))
+  | _ -> base
+
+let take_trap t hart cause ~tval =
+  charge hart t.config.trap_penalty;
+  let csr = hart.Hart.csr in
+  let from_priv = hart.Hart.priv in
+  let delegated =
+    from_priv <> Priv.M
+    &&
+    match cause with
+    | Cause.Exception e ->
+        Bits.test (Csr_file.read_raw csr Csr_addr.medeleg) (Cause.exc_code e)
+    | Cause.Interrupt i ->
+        Bits.test (Csr_file.read_raw csr Csr_addr.mideleg) (Cause.intr_code i)
+  in
+  let to_m = not delegated in
+  if to_m then begin
+    Csr_file.write_raw csr Csr_addr.mepc hart.Hart.pc;
+    Csr_file.write_raw csr Csr_addr.mcause (Cause.to_xcause cause);
+    Csr_file.write_raw csr Csr_addr.mtval tval;
+    (match t.on_trap with
+    | Some f -> f t hart cause ~from_priv ~to_m
+    | None -> ());
+    let ms = mstatus hart in
+    let ms = Bits.write ms Ms.mpie (Bits.test ms Ms.mie) in
+    let ms = Bits.clear ms Ms.mie in
+    let ms = Ms.set_mpp ms from_priv in
+    Csr_file.write_raw csr Csr_addr.mstatus ms;
+    hart.Hart.priv <- Priv.M;
+    (match t.mmode_hook with
+    | Some hook -> hook t hart cause
+    | None ->
+        hart.Hart.pc <-
+          tvec_target (Csr_file.read_raw csr Csr_addr.mtvec) cause);
+    (* the handler (hook or firmware-to-be) may retire device state:
+       refresh the lines before the next interrupt decision *)
+    update_irq_lines t hart
+  end
+  else begin
+    Csr_file.write_raw csr Csr_addr.sepc hart.Hart.pc;
+    Csr_file.write_raw csr Csr_addr.scause (Cause.to_xcause cause);
+    Csr_file.write_raw csr Csr_addr.stval tval;
+    (match t.on_trap with
+    | Some f -> f t hart cause ~from_priv ~to_m
+    | None -> ());
+    let ms = mstatus hart in
+    let ms = Bits.write ms Ms.spie (Bits.test ms Ms.sie) in
+    let ms = Bits.clear ms Ms.sie in
+    let ms = Ms.set_spp ms from_priv in
+    Csr_file.write_raw csr Csr_addr.mstatus ms;
+    hart.Hart.priv <- Priv.S;
+    hart.Hart.pc <- tvec_target (Csr_file.read_raw csr Csr_addr.stvec) cause
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memory access from the interpreter                                  *)
+(* ------------------------------------------------------------------ *)
+
+let effective_priv hart =
+  let ms = mstatus hart in
+  if Bits.test ms Ms.mprv then Ms.get_mpp ms else hart.Hart.priv
+
+let access_fault (access : Vmem.access) =
+  match access with
+  | Vmem.Fetch -> Cause.Instr_access_fault
+  | Vmem.Load -> Cause.Load_access_fault
+  | Vmem.Store -> Cause.Store_access_fault
+
+let pmp_access (access : Vmem.access) =
+  match access with
+  | Vmem.Fetch -> Pmp.Exec
+  | Vmem.Load -> Pmp.Read
+  | Vmem.Store -> Pmp.Write
+
+(* Translate + PMP-check one access of [size] bytes at [vaddr];
+   raises Cause.Trap on fault. *)
+let resolve t hart ~priv access vaddr size =
+  let phys =
+    (* fast path: bare addressing / M-mode skips the walker (and the
+       closure allocation in [translate]) *)
+    if
+      priv = Priv.M
+      || Csr_file.read_raw hart.Hart.csr Csr_addr.satp = 0L
+    then vaddr
+    else
+      match translate t hart ~priv access vaddr with
+      | Ok p -> p
+      | Error e -> raise (Cause.Trap (e, vaddr))
+  in
+  if not (pmp_check t hart ~priv (pmp_access access) ~addr:phys ~size) then
+    raise (Cause.Trap (access_fault access, vaddr));
+  phys
+
+let vload t hart vaddr size ~signed =
+  let priv = effective_priv hart in
+  if not (Bits.is_aligned vaddr ~size) then begin
+    if not t.config.hw_misaligned then
+      raise (Cause.Trap (Cause.Load_misaligned, vaddr));
+    (* Slow byte-wise path for hardware-handled misaligned loads. *)
+    let v = ref 0L in
+    for i = size - 1 downto 0 do
+      let a = Int64.add vaddr (Int64.of_int i) in
+      let phys = resolve t hart ~priv Vmem.Load a 1 in
+      match phys_load t phys 1 with
+      | Some b -> v := Int64.logor (Int64.shift_left !v 8) b
+      | None -> raise (Cause.Trap (Cause.Load_access_fault, vaddr))
+    done;
+    if signed then Bits.sext !v ~width:(8 * size) else !v
+  end
+  else begin
+    let phys = resolve t hart ~priv Vmem.Load vaddr size in
+    if not (Memory.in_range (Bus.ram t.bus) phys size) then
+      charge hart t.config.mmio_penalty;
+    match phys_load t phys size with
+    | Some v -> if signed then Bits.sext v ~width:(8 * size) else v
+    | None -> raise (Cause.Trap (Cause.Load_access_fault, vaddr))
+  end
+
+let vstore t hart vaddr size v =
+  let priv = effective_priv hart in
+  if not (Bits.is_aligned vaddr ~size) then begin
+    if not t.config.hw_misaligned then
+      raise (Cause.Trap (Cause.Store_misaligned, vaddr));
+    for i = 0 to size - 1 do
+      let a = Int64.add vaddr (Int64.of_int i) in
+      let phys = resolve t hart ~priv Vmem.Store a 1 in
+      let byte = Bits.extract v ~lo:(8 * i) ~hi:((8 * i) + 7) in
+      if not (phys_store t phys 1 byte) then
+        raise (Cause.Trap (Cause.Store_access_fault, vaddr));
+      icache_invalidate t phys 1
+    done
+  end
+  else begin
+    let phys = resolve t hart ~priv Vmem.Store vaddr size in
+    if not (Memory.in_range (Bus.ram t.bus) phys size) then begin
+      charge hart t.config.mmio_penalty;
+      (* a device store may change interrupt lines (CLINT msip /
+         mtimecmp): force a refresh on every hart's next step *)
+      Array.iter (fun h -> h.Hart.irq_stale <- 16) t.harts
+    end;
+    if not (phys_store t phys size v) then
+      raise (Cause.Trap (Cause.Store_access_fault, vaddr));
+    (* stores break reservations overlapping the written bytes *)
+    Array.iter
+      (fun h ->
+        match h.Hart.reservation with
+        | Some r
+          when Bits.ult r (Int64.add phys (Int64.of_int size))
+               && Bits.ule phys r ->
+            h.Hart.reservation <- None
+        | _ -> ())
+      t.harts;
+    icache_invalidate t phys size
+  end
+
+let fetch t hart =
+  let pc = hart.Hart.pc in
+  if Int64.logand pc 3L <> 0L then
+    raise (Cause.Trap (Cause.Instr_misaligned, pc));
+  let phys = resolve t hart ~priv:hart.Hart.priv Vmem.Fetch pc 4 in
+  match icache_index t phys with
+  | Some idx -> begin
+      match t.icache.(idx) with
+      | Some entry -> entry
+      | None -> begin
+          match phys_load t phys 4 with
+          | None -> raise (Cause.Trap (Cause.Instr_access_fault, pc))
+          | Some word -> begin
+              let bits = Int64.to_int word in
+              match Decode.decode bits with
+              | Some i ->
+                  t.icache.(idx) <- Some (i, bits);
+                  (i, bits)
+              | None -> raise (Cause.Trap (Cause.Illegal_instr, word))
+            end
+        end
+    end
+  | None ->
+      (* Fetches must target RAM. *)
+      raise (Cause.Trap (Cause.Instr_access_fault, pc))
+
+(* ------------------------------------------------------------------ *)
+(* CSR instruction semantics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let illegal bits = raise (Cause.Trap (Cause.Illegal_instr, Int64.of_int bits))
+
+let counter_enabled t hart csr_addr =
+  (* cycle/time/instret gating by mcounteren (from S/U) and scounteren
+     (from U). *)
+  ignore t;
+  let bit = csr_addr land 0x1F in
+  let csr = hart.Hart.csr in
+  let ok_m =
+    hart.Hart.priv = Priv.M
+    || Bits.test (Csr_file.read_raw csr Csr_addr.mcounteren) bit
+  in
+  let ok_s =
+    hart.Hart.priv <> Priv.U
+    || Bits.test (Csr_file.read_raw csr Csr_addr.scounteren) bit
+  in
+  ok_m && ok_s
+
+let exec_csr t hart bits op rd src csr_addr =
+  let csr = hart.Hart.csr in
+  let priv = hart.Hart.priv in
+  if Priv.compare priv (Csr_addr.min_priv csr_addr) < 0 then illegal bits;
+  let write_needed =
+    match (op, src) with
+    | Instr.Csrrw, _ -> true
+    | (Instr.Csrrs | Instr.Csrrc), Instr.Reg 0 -> false
+    | (Instr.Csrrs | Instr.Csrrc), Instr.Imm 0 -> false
+    | (Instr.Csrrs | Instr.Csrrc), _ -> true
+  in
+  if write_needed && Csr_addr.is_read_only csr_addr then illegal bits;
+  (* TVM traps satp accesses from S-mode. *)
+  if
+    csr_addr = Csr_addr.satp && priv = Priv.S
+    && Bits.test (mstatus hart) Ms.tvm
+  then illegal bits;
+  let src_val =
+    match src with
+    | Instr.Reg r -> Hart.get hart r
+    | Instr.Imm z -> Int64.of_int z
+  in
+  let finish ?(storage = true) old =
+    (if write_needed && storage then
+       let value =
+         match op with
+         | Instr.Csrrw -> src_val
+         | Instr.Csrrs -> Int64.logor old src_val
+         | Instr.Csrrc -> Int64.logand old (Int64.lognot src_val)
+       in
+       Csr_file.write csr csr_addr value);
+    Hart.set hart rd old;
+    hart.Hart.pc <- Int64.add hart.Hart.pc 4L
+  in
+  (* Dynamic counters are not backed by CSR storage. *)
+  if csr_addr = Csr_addr.cycle then begin
+    if not (counter_enabled t hart csr_addr) then illegal bits;
+    finish hart.Hart.cycles
+  end
+  else if csr_addr = Csr_addr.time then begin
+    if not t.config.csr_config.Csr_spec.has_time_csr then illegal bits;
+    if not (counter_enabled t hart csr_addr) then illegal bits;
+    finish (Clint.mtime t.clint)
+  end
+  else if csr_addr = Csr_addr.instret then begin
+    if not (counter_enabled t hart csr_addr) then illegal bits;
+    finish hart.Hart.instret
+  end
+  else if csr_addr = Csr_addr.mcycle then
+    (* counter writes are dropped in this model *)
+    finish ~storage:false hart.Hart.cycles
+  else if csr_addr = Csr_addr.minstret then
+    finish ~storage:false hart.Hart.instret
+  else if not (Csr_file.exists csr csr_addr) then illegal bits
+  else finish (Csr_file.read csr csr_addr)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let jump t hart target =
+  ignore t;
+  if Int64.logand target 3L <> 0L then
+    raise (Cause.Trap (Cause.Instr_misaligned, target));
+  hart.Hart.pc <- target
+
+let exec t hart instr bits =
+  let next () = hart.Hart.pc <- Int64.add hart.Hart.pc 4L in
+  let ms () = mstatus hart in
+  match instr with
+  | Instr.Lui (rd, imm) ->
+      Hart.set hart rd imm;
+      next ()
+  | Instr.Auipc (rd, imm) ->
+      Hart.set hart rd (Int64.add hart.Hart.pc imm);
+      next ()
+  | Instr.Jal (rd, off) ->
+      let target = Int64.add hart.Hart.pc off in
+      let link = Int64.add hart.Hart.pc 4L in
+      jump t hart target;
+      Hart.set hart rd link
+  | Instr.Jalr (rd, rs1, off) ->
+      let target =
+        Int64.logand (Int64.add (Hart.get hart rs1) off) (Int64.lognot 1L)
+      in
+      let link = Int64.add hart.Hart.pc 4L in
+      jump t hart target;
+      Hart.set hart rd link
+  | Instr.Branch (op, rs1, rs2, off) ->
+      if Alu.branch_taken op (Hart.get hart rs1) (Hart.get hart rs2) then
+        jump t hart (Int64.add hart.Hart.pc off)
+      else next ()
+  | Instr.Load { width; unsigned; rd; rs1; imm } ->
+      let addr = Int64.add (Hart.get hart rs1) imm in
+      let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+      let v = vload t hart addr size ~signed:(not unsigned) in
+      Hart.set hart rd v;
+      next ()
+  | Instr.Store { width; rs2; rs1; imm } ->
+      let addr = Int64.add (Hart.get hart rs1) imm in
+      let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+      vstore t hart addr size (Hart.get hart rs2);
+      next ()
+  | Instr.Op_imm (op, rd, rs1, imm) ->
+      Hart.set hart rd (Alu.op_imm op (Hart.get hart rs1) imm);
+      next ()
+  | Instr.Op_imm32 (op, rd, rs1, imm) ->
+      Hart.set hart rd (Alu.op_imm32 op (Hart.get hart rs1) imm);
+      next ()
+  | Instr.Op (op, rd, rs1, rs2) ->
+      Hart.set hart rd (Alu.op op (Hart.get hart rs1) (Hart.get hart rs2));
+      next ()
+  | Instr.Op32 (op, rd, rs1, rs2) ->
+      Hart.set hart rd (Alu.op32 op (Hart.get hart rs1) (Hart.get hart rs2));
+      next ()
+  | Instr.Fence -> next ()
+  | Instr.Fence_i -> next ()
+  | Instr.Ecall ->
+      let cause =
+        match hart.Hart.priv with
+        | Priv.U -> Cause.Ecall_from_u
+        | Priv.S -> Cause.Ecall_from_s
+        | Priv.M -> Cause.Ecall_from_m
+      in
+      raise (Cause.Trap (cause, 0L))
+  | Instr.Ebreak -> raise (Cause.Trap (Cause.Breakpoint, hart.Hart.pc))
+  | Instr.Csr { op; rd; src; csr } -> exec_csr t hart bits op rd src csr
+  | Instr.Mret ->
+      if hart.Hart.priv <> Priv.M then illegal bits;
+      charge hart t.config.xret_penalty;
+      let csr = hart.Hart.csr in
+      let m = ms () in
+      let new_priv = Ms.get_mpp m in
+      let m = Bits.write m Ms.mie (Bits.test m Ms.mpie) in
+      let m = Bits.set m Ms.mpie in
+      let m = Ms.set_mpp m Priv.U in
+      let m = if new_priv <> Priv.M then Bits.clear m Ms.mprv else m in
+      Csr_file.write_raw csr Csr_addr.mstatus m;
+      hart.Hart.priv <- new_priv;
+      hart.Hart.pc <- Csr_file.read_raw csr Csr_addr.mepc
+  | Instr.Sret ->
+      if hart.Hart.priv = Priv.U then illegal bits;
+      if hart.Hart.priv = Priv.S && Bits.test (ms ()) Ms.tsr then illegal bits;
+      charge hart t.config.xret_penalty;
+      let csr = hart.Hart.csr in
+      let m = ms () in
+      let new_priv = Ms.get_spp m in
+      let m = Bits.write m Ms.sie (Bits.test m Ms.spie) in
+      let m = Bits.set m Ms.spie in
+      let m = Ms.set_spp m Priv.U in
+      let m = Bits.clear m Ms.mprv in
+      Csr_file.write_raw csr Csr_addr.mstatus m;
+      hart.Hart.priv <- new_priv;
+      hart.Hart.pc <- Csr_file.read_raw csr Csr_addr.sepc
+  | Instr.Wfi ->
+      if hart.Hart.priv = Priv.U then illegal bits;
+      if hart.Hart.priv = Priv.S && Bits.test (ms ()) Ms.tw then illegal bits;
+      hart.Hart.wfi <- true;
+      next ()
+  | Instr.Sfence_vma _ ->
+      if hart.Hart.priv = Priv.U then illegal bits;
+      if hart.Hart.priv = Priv.S && Bits.test (ms ()) Ms.tvm then illegal bits;
+      next ()
+  | Instr.Amo { op; wide; rd; rs1; rs2; _ } -> begin
+      let size = if wide then 8 else 4 in
+      let addr = Hart.get hart rs1 in
+      (* AMOs always require natural alignment *)
+      if not (Bits.is_aligned addr ~size) then
+        raise (Cause.Trap (Cause.Store_misaligned, addr));
+      let priv = effective_priv hart in
+      let sx v = if wide then v else Bits.sext32 v in
+      match op with
+      | Instr.Lr ->
+          let phys = resolve t hart ~priv Vmem.Load addr size in
+          (match phys_load t phys size with
+          | Some v ->
+              Hart.set hart rd (sx v);
+              hart.Hart.reservation <- Some phys;
+              next ()
+          | None -> raise (Cause.Trap (Cause.Load_access_fault, addr)))
+      | Instr.Sc ->
+          let phys = resolve t hart ~priv Vmem.Store addr size in
+          (match hart.Hart.reservation with
+          | Some r when r = phys ->
+              hart.Hart.reservation <- None;
+              if not (phys_store t phys size (Hart.get hart rs2)) then
+                raise (Cause.Trap (Cause.Store_access_fault, addr));
+              icache_invalidate t phys size;
+              Hart.set hart rd 0L;
+              next ()
+          | _ ->
+              hart.Hart.reservation <- None;
+              Hart.set hart rd 1L;
+              next ())
+      | Instr.Swap | Instr.Amoadd | Instr.Amoxor | Instr.Amoand
+      | Instr.Amoor | Instr.Amomin | Instr.Amomax | Instr.Amominu
+      | Instr.Amomaxu ->
+          (* read-modify-write; the write side is checked (AMOs need
+             both permissions, and W implies the store check here) *)
+          let phys = resolve t hart ~priv Vmem.Store addr size in
+          if not (pmp_check t hart ~priv Pmp.Read ~addr:phys ~size) then
+            raise (Cause.Trap (Cause.Store_access_fault, addr));
+          (match phys_load t phys size with
+          | None -> raise (Cause.Trap (Cause.Store_access_fault, addr))
+          | Some raw ->
+              let old = sx raw in
+              let src = if wide then Hart.get hart rs2
+                        else Bits.sext32 (Hart.get hart rs2) in
+              let result =
+                match op with
+                | Instr.Swap -> src
+                | Instr.Amoadd -> Int64.add old src
+                | Instr.Amoxor -> Int64.logxor old src
+                | Instr.Amoand -> Int64.logand old src
+                | Instr.Amoor -> Int64.logor old src
+                | Instr.Amomin -> if Int64.compare old src <= 0 then old else src
+                | Instr.Amomax -> if Int64.compare old src >= 0 then old else src
+                | Instr.Amominu -> if Bits.ule old src then old else src
+                | Instr.Amomaxu -> if Bits.ule src old then old else src
+                | Instr.Lr | Instr.Sc -> assert false
+              in
+              if not (phys_store t phys size result) then
+                raise (Cause.Trap (Cause.Store_access_fault, addr));
+              icache_invalidate t phys size;
+              (* an atomic write breaks other harts' reservations *)
+              Array.iter
+                (fun h ->
+                  if h != hart && h.Hart.reservation = Some phys then
+                    h.Hart.reservation <- None)
+                t.harts;
+              Hart.set hart rd old;
+              next ())
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Stepping and the run loop                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wfi_quantum = 16
+
+let step t hart =
+  if hart.Hart.halted then ()
+  else begin
+    (* interrupt lines change only with device state (time advances per
+       chunk; msip/PLIC on MMIO stores): refreshing every 16th step
+       keeps delivery latency tiny without paying the cost per
+       instruction *)
+    hart.Hart.irq_stale <- hart.Hart.irq_stale + 1;
+    if hart.Hart.irq_stale >= 16 || hart.Hart.wfi then begin
+      hart.Hart.irq_stale <- 0;
+      update_irq_lines t hart
+    end;
+    match pending_interrupt t hart with
+    | Some i ->
+        hart.Hart.wfi <- false;
+        take_trap t hart (Cause.Interrupt i) ~tval:0L
+    | None ->
+        if hart.Hart.wfi then begin
+          (* Wake on any pending-and-enabled interrupt; otherwise idle. *)
+          let csr = hart.Hart.csr in
+          let pending =
+            Int64.logand
+              (Csr_file.read_raw csr Csr_addr.mip)
+              (Csr_file.read_raw csr Csr_addr.mie)
+          in
+          if pending <> 0L then hart.Hart.wfi <- false
+          else charge hart wfi_quantum
+        end
+        else begin
+          match fetch t hart with
+          | exception Cause.Trap (e, tval) ->
+              take_trap t hart (Cause.Exception e) ~tval
+          | instr, bits -> begin
+              hart.Hart.cycles <- Int64.add hart.Hart.cycles 1L;
+              hart.Hart.instret <- Int64.add hart.Hart.instret 1L;
+              t.instr_count <- Int64.add t.instr_count 1L;
+              try exec t hart instr bits
+              with Cause.Trap (e, tval) ->
+                take_trap t hart (Cause.Exception e) ~tval
+            end
+        end
+  end
+
+let all_halted t =
+  Array.for_all (fun h -> h.Hart.halted) t.harts
+
+let now_ticks t = Clint.mtime t.clint
+
+let sync_time t =
+  let max_cycles =
+    Array.fold_left (fun acc h -> max acc h.Hart.cycles) 0L t.harts
+  in
+  Clint.set_mtime t.clint
+    (Int64.div max_cycles (Int64.of_int t.config.cycles_per_tick))
+
+let poll_devices t =
+  (match t.blockdev with
+  | Some bd -> Blockdev.poll bd ~now:(now_ticks t) (Plic.raise_irq t.plic)
+  | None -> ());
+  match t.nic with
+  | Some nic ->
+      if Nic.irq_line nic then Plic.raise_irq t.plic (Nic.irq nic)
+      else Plic.lower_irq t.plic (Nic.irq nic)
+  | None -> ()
+
+let run ?(max_instrs = Int64.max_int) ?(chunk = 32) t =
+  let start = t.instr_count in
+  let budget_left () = Int64.sub max_instrs (Int64.sub t.instr_count start) in
+  while (not t.poweroff) && (not (all_halted t)) && budget_left () > 0L do
+    Array.iter
+      (fun hart ->
+        let n = ref 0 in
+        while
+          !n < chunk && (not t.poweroff) && not hart.Hart.halted
+        do
+          step t hart;
+          incr n
+        done)
+      t.harts;
+    sync_time t;
+    poll_devices t
+  done;
+  sync_time t

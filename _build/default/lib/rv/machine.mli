@@ -1,0 +1,103 @@
+(** The simulated RISC-V machine: harts, bus, devices, interpreter.
+
+    This module is the executable ISA specification: it implements
+    instruction fetch/decode/execute, privilege checking, PMP
+    enforcement, Sv39 translation, trap taking with delegation, and
+    interrupt delivery — the [hw : C × S × I → S] transition function
+    of the paper's §6.1.
+
+    The key extension point for the VFM is {!field:t.mmode_hook}: when
+    set, a trap whose architectural target is M-mode updates the
+    M-level CSRs exactly as hardware would and then invokes the hook
+    instead of redirecting to [mtvec]. The hook — Miralis — is thus the
+    machine's M-mode software, without the OCaml runtime having to run
+    on the simulated CPU (see DESIGN.md, substitution table). *)
+
+type config = {
+  csr_config : Csr_spec.config;
+  nharts : int;
+  ram_base : int64;
+  ram_size : int;
+  cycles_per_tick : int;  (** CPU cycles per mtime tick *)
+  hw_misaligned : bool;  (** hardware performs misaligned accesses *)
+  trap_penalty : int;  (** pipeline cost of taking any trap *)
+  xret_penalty : int;  (** pipeline cost of mret/sret *)
+  mmio_penalty : int;  (** uncached device access cost *)
+}
+
+val default_config : config
+(** One hart, 16 MiB of RAM at 0x8000_0000, CLINT/PLIC/UART mapped at
+    their conventional addresses, misaligned accesses trapping (like
+    the VisionFive 2). *)
+
+type t = {
+  config : config;
+  harts : Hart.t array;
+  bus : Bus.t;
+  clint : Clint.t;
+  plic : Plic.t;
+  uart : Uart.t;
+  mutable blockdev : Blockdev.t option;
+  mutable nic : Nic.t option;
+  icache : (Instr.t * int) option array;
+      (** decoded-instruction cache (instruction, raw bits) *)
+  mutable mmode_hook : (t -> Hart.t -> Cause.t -> unit) option;
+  mutable on_trap :
+    (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
+      (** observation hook fired on every trap, for statistics *)
+  mutable poweroff : bool;
+  mutable instr_count : int64;
+}
+
+val create : config -> t
+val attach_blockdev : t -> capacity_sectors:int -> latency_ticks:int64 -> Blockdev.t
+val attach_nic : t -> Nic.t
+
+val phys_load : t -> int64 -> int -> int64 option
+(** Unchecked physical access (used by loaders and by the VFM, which
+    conceptually runs in M-mode). *)
+
+val phys_store : t -> int64 -> int -> int64 -> bool
+
+val load_program : t -> int64 -> bytes -> unit
+(** Copy a program image into RAM and invalidate the icache. *)
+
+val pmp_check :
+  t -> Hart.t -> priv:Priv.t -> Pmp.access -> addr:int64 -> size:int -> bool
+(** The hart's current physical PMP applied to an access. *)
+
+val translate :
+  t -> Hart.t -> priv:Priv.t -> Vmem.access -> int64 ->
+  (int64, Cause.exc) result
+(** Sv39 translation using the hart's satp/mstatus context. *)
+
+val take_trap : t -> Hart.t -> Cause.t -> tval:int64 -> unit
+(** Architectural trap entry (delegation, CSR updates, hook). *)
+
+val pending_interrupt : t -> Hart.t -> Cause.intr option
+(** The interrupt the hart would take next, per the architectural
+    enable/delegation/priority rules (exposed for the verifier). *)
+
+val step : t -> Hart.t -> unit
+(** Execute one instruction (or deliver one interrupt / idle one
+    quantum in WFI). *)
+
+val charge : Hart.t -> int -> unit
+(** Add cost-model cycles to a hart. *)
+
+val resume : Hart.t -> pc:int64 -> priv:Priv.t -> unit
+(** Redirect a hart (used by the VFM when returning from emulation). *)
+
+val run : ?max_instrs:int64 -> ?chunk:int -> t -> unit
+(** Run all harts round-robin until power-off, all harts halt, or the
+    instruction budget is exhausted. *)
+
+val all_halted : t -> bool
+val now_ticks : t -> int64
+(** Current mtime. *)
+
+val flush_icache : t -> unit
+
+val invalidate_icache : t -> int64 -> int -> unit
+(** Invalidate the decoded-instruction cache for a physical range
+    (used by the verifier, which patches instructions directly). *)

@@ -1,0 +1,36 @@
+type t = { base : int64; data : Bytes.t }
+
+let create ~base ~size = { base; data = Bytes.make size '\000' }
+let base t = t.base
+let size t = Bytes.length t.data
+
+let in_range t addr len =
+  let off = Int64.sub addr t.base in
+  off >= 0L && Int64.add off (Int64.of_int len) <= Int64.of_int (Bytes.length t.data)
+
+let offset t addr = Int64.to_int (Int64.sub addr t.base)
+
+let load t addr size =
+  let o = offset t addr in
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.get t.data o))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data o)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data o)) 0xFFFFFFFFL
+  | 8 -> Bytes.get_int64_le t.data o
+  | _ -> invalid_arg "Memory.load: size"
+
+let store t addr size v =
+  let o = offset t addr in
+  match size with
+  | 1 -> Bytes.set t.data o (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le t.data o (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le t.data o (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le t.data o v
+  | _ -> invalid_arg "Memory.store: size"
+
+let load_bytes t addr len = Bytes.sub t.data (offset t addr) len
+
+let store_bytes t addr b =
+  Bytes.blit b 0 t.data (offset t addr) (Bytes.length b)
+
+let fill t addr len c = Bytes.fill t.data (offset t addr) len c

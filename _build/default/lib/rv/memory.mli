@@ -1,0 +1,25 @@
+(** Flat physical RAM (little-endian).
+
+    The evaluation platforms carry 4–16 GB; the simulator allocates a
+    configurable window (default 32 MiB) at the standard RISC-V DRAM
+    base, which is ample for the firmware, kernels and workload
+    buffers while keeping allocation cheap. *)
+
+type t
+
+val create : base:int64 -> size:int -> t
+val base : t -> int64
+val size : t -> int
+val in_range : t -> int64 -> int -> bool
+(** [in_range t addr len] is true iff [addr, addr+len) is backed. *)
+
+val load : t -> int64 -> int -> int64
+(** [load t addr size] reads [size] ∈ {1,2,4,8} bytes, zero-extended.
+    The caller guarantees range and alignment. *)
+
+val store : t -> int64 -> int -> int64 -> unit
+(** [store t addr size v] writes the low [size] bytes of [v]. *)
+
+val load_bytes : t -> int64 -> int -> bytes
+val store_bytes : t -> int64 -> bytes -> unit
+val fill : t -> int64 -> int -> char -> unit

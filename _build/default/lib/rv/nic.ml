@@ -1,0 +1,63 @@
+let default_base = 0x10002000L
+
+type t = {
+  ram : Memory.t;
+  rx : bytes Queue.t;
+  tx : bytes Queue.t;
+  irq : int;
+  mutable rx_addr : int64;
+  mutable tx_addr : int64;
+  mutable tx_len : int64;
+}
+
+let create ~ram ~irq =
+  { ram; rx = Queue.create (); tx = Queue.create (); irq;
+    rx_addr = 0L; tx_addr = 0L; tx_len = 0L }
+
+let inject_rx t pkt = Queue.add pkt t.rx
+let rx_pending t = Queue.length t.rx
+let take_tx t = if Queue.is_empty t.tx then None else Some (Queue.pop t.tx)
+let irq_line t = not (Queue.is_empty t.rx)
+let irq t = t.irq
+
+let load t off size =
+  if size <> 8 then 0L
+  else
+    match Int64.to_int off with
+    | 0x00 ->
+        if Queue.is_empty t.rx then 0L
+        else Int64.of_int (Bytes.length (Queue.peek t.rx))
+    | 0x08 -> t.rx_addr
+    | 0x18 -> t.tx_addr
+    | 0x20 -> t.tx_len
+    | _ -> 0L
+
+let store t off size v =
+  if size <> 8 then ()
+  else
+    match Int64.to_int off with
+    | 0x08 -> t.rx_addr <- v
+    | 0x10 ->
+        if v = 1L && not (Queue.is_empty t.rx) then begin
+          let pkt = Queue.pop t.rx in
+          if Memory.in_range t.ram t.rx_addr (Bytes.length pkt) then
+            Memory.store_bytes t.ram t.rx_addr pkt
+        end
+    | 0x18 -> t.tx_addr <- v
+    | 0x20 -> t.tx_len <- v
+    | 0x28 ->
+        if v = 1L then begin
+          let len = Int64.to_int t.tx_len in
+          if len >= 0 && Memory.in_range t.ram t.tx_addr len then
+            Queue.add (Memory.load_bytes t.ram t.tx_addr len) t.tx
+        end
+    | _ -> ()
+
+let device t ~base =
+  {
+    Device.name = "nic";
+    base;
+    size = 0x1000L;
+    load = load t;
+    store = store t;
+  }

@@ -1,0 +1,30 @@
+(** A simple DMA-capable network interface.
+
+    Models the request/response traffic of the network benchmarks:
+    the host side (workload driver) injects request packets; the guest
+    OS consumes them, processes, and transmits replies which the driver
+    collects. Arrival raises a PLIC interrupt.
+
+    Register layout (8-byte registers):
+    - 0x00 rx length of head packet (read; 0 = empty),
+    - 0x08 rx dma address (write),
+    - 0x10 rx consume: DMA head packet to rx address and pop (write 1),
+    - 0x18 tx dma address, 0x20 tx length, 0x28 tx doorbell (write 1). *)
+
+type t
+
+val default_base : int64
+val create : ram:Memory.t -> irq:int -> t
+val device : t -> base:int64 -> Device.t
+
+val inject_rx : t -> bytes -> unit
+(** Host side: enqueue an incoming packet. *)
+
+val rx_pending : t -> int
+val take_tx : t -> bytes option
+(** Host side: collect the next transmitted packet. *)
+
+val irq_line : t -> bool
+(** Level of the interrupt line (high while packets wait). *)
+
+val irq : t -> int

@@ -1,0 +1,113 @@
+type t = {
+  nsources : int;
+  priority : int array;
+  pending : bool array;
+  claimed : bool array;
+  enable : int array; (* bitmask of sources, per context *)
+  threshold : int array;
+  nctx : int;
+}
+
+let default_base = 0xC000000L
+let window_size = 0x4000000L
+
+let create ~nharts ~nsources =
+  assert (nsources < 32);
+  let nctx = 2 * nharts in
+  {
+    nsources;
+    priority = Array.make (nsources + 1) 0;
+    pending = Array.make (nsources + 1) false;
+    claimed = Array.make (nsources + 1) false;
+    enable = Array.make nctx 0;
+    threshold = Array.make nctx 0;
+    nctx;
+  }
+
+let raise_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- true
+let lower_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- false
+
+let best_candidate t ~ctx =
+  let best = ref 0 and best_prio = ref t.threshold.(ctx) in
+  for src = 1 to t.nsources do
+    if
+      t.pending.(src) && (not t.claimed.(src))
+      && t.enable.(ctx) land (1 lsl src) <> 0
+      && t.priority.(src) > !best_prio
+    then begin
+      best := src;
+      best_prio := t.priority.(src)
+    end
+  done;
+  !best
+
+let pending_for t ~ctx = best_candidate t ~ctx <> 0
+let meip t h = pending_for t ~ctx:(2 * h)
+let seip t h = pending_for t ~ctx:((2 * h) + 1)
+
+let claim t ~ctx =
+  let src = best_candidate t ~ctx in
+  if src <> 0 then t.claimed.(src) <- true;
+  src
+
+let complete t ~ctx:_ src =
+  if src > 0 && src <= t.nsources then t.claimed.(src) <- false
+
+let load t off size =
+  let off = Int64.to_int off in
+  if size <> 4 then 0L
+  else if off < 0x1000 then begin
+    let src = off / 4 in
+    if src <= t.nsources then Int64.of_int t.priority.(src) else 0L
+  end
+  else if off = 0x1000 then begin
+    let v = ref 0 in
+    for src = 1 to t.nsources do
+      if t.pending.(src) then v := !v lor (1 lsl src)
+    done;
+    Int64.of_int !v
+  end
+  else if off >= 0x2000 && off < 0x2000 + (0x80 * t.nctx) then begin
+    let ctx = (off - 0x2000) / 0x80 in
+    if (off - 0x2000) mod 0x80 = 0 then Int64.of_int t.enable.(ctx) else 0L
+  end
+  else if off >= 0x200000 then begin
+    let ctx = (off - 0x200000) / 0x1000 in
+    if ctx >= t.nctx then 0L
+    else
+      match (off - 0x200000) mod 0x1000 with
+      | 0 -> Int64.of_int t.threshold.(ctx)
+      | 4 -> Int64.of_int (claim t ~ctx)
+      | _ -> 0L
+  end
+  else 0L
+
+let store t off size v =
+  let off = Int64.to_int off in
+  let v = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  if size <> 4 then ()
+  else if off < 0x1000 then begin
+    let src = off / 4 in
+    if src <= t.nsources then t.priority.(src) <- v land 0x7
+  end
+  else if off >= 0x2000 && off < 0x2000 + (0x80 * t.nctx) then begin
+    let ctx = (off - 0x2000) / 0x80 in
+    if (off - 0x2000) mod 0x80 = 0 then t.enable.(ctx) <- v
+  end
+  else if off >= 0x200000 then begin
+    let ctx = (off - 0x200000) / 0x1000 in
+    if ctx < t.nctx then
+      match (off - 0x200000) mod 0x1000 with
+      | 0 -> t.threshold.(ctx) <- v land 0x7
+      | 4 -> complete t ~ctx v
+      | _ -> ()
+  end
+
+let device t ~base =
+  {
+    Device.name = "plic";
+    base;
+    size = window_size;
+    load = load t;
+    store = store t;
+  }

@@ -1,0 +1,40 @@
+(** Platform-Level Interrupt Controller (minimal but functional).
+
+    Supports [nsources] level-triggered sources and one context per
+    hart per privilege target (M and S). Layout (relative to base):
+    - [0x000000 + 4*src]: priority of source [src]
+    - [0x001000]: pending bits (read-only, word 0)
+    - [0x002000 + 0x80*ctx]: enable bits, word 0 of context [ctx]
+    - [0x200000 + 0x1000*ctx]: threshold
+    - [0x200004 + 0x1000*ctx]: claim/complete
+
+    Context numbering: [2*h] targets M-mode of hart [h], [2*h+1]
+    targets S-mode of hart [h] (the QEMU virt convention). *)
+
+type t
+
+val default_base : int64
+val window_size : int64
+val create : nharts:int -> nsources:int -> t
+
+val raise_irq : t -> int -> unit
+(** Mark a source pending (level high). *)
+
+val lower_irq : t -> int -> unit
+
+val pending_for : t -> ctx:int -> bool
+(** True iff some enabled source with priority above the context's
+    threshold is pending and unclaimed — i.e. the external interrupt
+    line for that context is high. *)
+
+val meip : t -> int -> bool
+(** External interrupt line to M-mode of a hart. *)
+
+val seip : t -> int -> bool
+(** External interrupt line to S-mode of a hart. *)
+
+val claim : t -> ctx:int -> int
+(** Claim the highest-priority pending enabled source (0 if none). *)
+
+val complete : t -> ctx:int -> int -> unit
+val device : t -> base:int64 -> Device.t

@@ -1,0 +1,195 @@
+module Bits = Mir_util.Bits
+
+type amode = Off | Tor | Na4 | Napot
+type access = Read | Write | Exec
+
+type entry = {
+  r : bool;
+  w : bool;
+  x : bool;
+  a : amode;
+  l : bool;
+  addr : int64;
+}
+
+let amode_of_int = function
+  | 0 -> Off
+  | 1 -> Tor
+  | 2 -> Na4
+  | 3 -> Napot
+  | _ -> assert false
+
+let amode_to_int = function Off -> 0 | Tor -> 1 | Na4 -> 2 | Napot -> 3
+
+let entry_of_cfg_byte b ~addr =
+  {
+    r = b land 0x1 <> 0;
+    w = b land 0x2 <> 0;
+    x = b land 0x4 <> 0;
+    a = amode_of_int ((b lsr 3) land 0x3);
+    l = b land 0x80 <> 0;
+    addr;
+  }
+
+let cfg_byte_of_entry e =
+  (if e.r then 0x1 else 0)
+  lor (if e.w then 0x2 else 0)
+  lor (if e.x then 0x4 else 0)
+  lor (amode_to_int e.a lsl 3)
+  lor if e.l then 0x80 else 0
+
+let off_entry = { r = false; w = false; x = false; a = Off; l = false; addr = 0L }
+
+let range ~prev_addr e =
+  match e.a with
+  | Off -> None
+  | Tor ->
+      let lo = Int64.shift_left prev_addr 2
+      and hi = Int64.shift_left e.addr 2 in
+      if Bits.ult lo hi then Some (lo, hi) else None
+  | Na4 -> Some (Int64.shift_left e.addr 2, Int64.shift_left (Int64.add e.addr 1L) 2)
+  | Napot ->
+      (* Count trailing ones: z trailing ones encode a 2^(z+3)-byte
+         naturally aligned region. *)
+      let z = Bits.ctz (Int64.lognot e.addr) in
+      if z >= 54 then
+        (* pmpaddr of all-ones: the entire address space. *)
+        Some (0L, -1L (* treated as 2^64; Bits.ult handles it *))
+      else
+        let size = Int64.shift_left 1L (z + 3) in
+        let base =
+          Int64.shift_left (Int64.logand e.addr (Int64.lognot (Bits.mask (z + 1)))) 2
+        in
+        Some (base, Int64.add base size)
+
+let napot_encode ~base ~size =
+  assert (size >= 8L);
+  assert (Int64.logand size (Int64.sub size 1L) = 0L);
+  assert (Int64.logand base (Int64.sub size 1L) = 0L);
+  let k = Bits.ctz size in
+  (* addr[55:2] = base >> 2, with the low (k-3) bits set to 0111..1. *)
+  Int64.logor
+    (Int64.shift_right_logical base 2)
+    (Bits.mask (k - 3))
+
+let tor_encode byte_addr = Int64.shift_right_logical byte_addr 2
+
+type verdict = Allowed | Denied | No_match
+
+(* An access [addr, addr+size) overlaps/contains a range [lo, hi).
+   hi = -1L means "to the top of the address space". *)
+let overlaps ~lo ~hi ~addr ~size =
+  let last = Int64.add addr (Int64.of_int (size - 1)) in
+  (* overlap iff addr < hi && last >= lo *)
+  (hi = -1L || Bits.ult addr hi) && Bits.ule lo last
+
+let contains ~lo ~hi ~addr ~size =
+  let last = Int64.add addr (Int64.of_int (size - 1)) in
+  Bits.ule lo addr && (hi = -1L || Bits.ult last hi)
+
+let perm_ok e = function
+  | Read -> e.r
+  | Write -> e.w
+  | Exec -> e.x
+
+let lookup ~entries access ~addr ~size =
+  let n = Array.length entries in
+  let rec go i prev_addr =
+    if i >= n then No_match
+    else
+      let e = entries.(i) in
+      let matched =
+        match range ~prev_addr e with
+        | None -> None
+        | Some (lo, hi) ->
+            if overlaps ~lo ~hi ~addr ~size then Some (lo, hi) else None
+      in
+      match matched with
+      | Some (lo, hi) ->
+          if contains ~lo ~hi ~addr ~size && perm_ok e access then Allowed
+          else Denied
+      | None -> go (i + 1) e.addr
+  in
+  go 0 0L
+
+(* Like lookup, but also reports whether the deciding entry is locked
+   (needed for the M-mode rule). *)
+let lookup_entry ~entries access ~addr ~size =
+  let n = Array.length entries in
+  let rec go i prev_addr =
+    if i >= n then None
+    else
+      let e = entries.(i) in
+      let matched =
+        match range ~prev_addr e with
+        | None -> None
+        | Some (lo, hi) ->
+            if overlaps ~lo ~hi ~addr ~size then Some (lo, hi) else None
+      in
+      match matched with
+      | Some (lo, hi) ->
+          Some (e, contains ~lo ~hi ~addr ~size && perm_ok e access)
+      | None -> go (i + 1) e.addr
+  in
+  go 0 0L
+
+let check ~entries ~priv access ~addr ~size =
+  match priv with
+  | Priv.M -> begin
+      match lookup_entry ~entries access ~addr ~size with
+      | None -> true (* M-mode default: allowed *)
+      | Some (e, ok) -> if e.l then ok else true
+    end
+  | Priv.S | Priv.U -> begin
+      match lookup ~entries access ~addr ~size with
+      | Allowed -> true
+      | Denied -> false
+      | No_match -> Array.length entries = 0
+    end
+
+type ranges = {
+  items : (int64 * int64 * entry) array;
+  implemented : bool;
+}
+
+let precompute entries =
+  let acc = ref [] in
+  let n = Array.length entries in
+  for i = n - 1 downto 0 do
+    let prev_addr = if i = 0 then 0L else entries.(i - 1).addr in
+    match range ~prev_addr entries.(i) with
+    | Some (lo, hi) -> acc := (lo, hi, entries.(i)) :: !acc
+    | None -> ()
+  done;
+  { items = Array.of_list !acc; implemented = n > 0 }
+
+let check_ranges ranges ~priv access ~addr ~size =
+  let items = ranges.items in
+  let n = Array.length items in
+  let last = Int64.add addr (Int64.of_int (size - 1)) in
+  let rec go i =
+    if i >= n then
+      (* no active entry matched *)
+      (match priv with
+      | Priv.M -> true
+      | Priv.S | Priv.U -> not ranges.implemented)
+    else
+      let lo, hi, e = items.(i) in
+      if (hi = -1L || Bits.ult addr hi) && Bits.ule lo last then begin
+        (* overlap: this entry decides *)
+        let contained = Bits.ule lo addr && (hi = -1L || Bits.ult last hi) in
+        let ok = contained && perm_ok e access in
+        match priv with
+        | Priv.M -> if e.l then ok else true
+        | Priv.S | Priv.U -> ok
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let locked entries i =
+  let n = Array.length entries in
+  if i < 0 || i >= n then false
+  else
+    entries.(i).l
+    || (i + 1 < n && entries.(i + 1).l && entries.(i + 1).a = Tor)

@@ -1,0 +1,81 @@
+(** Physical Memory Protection: entry decoding and access checks.
+
+    This is the reference [pmpCheck] the paper verifies faithful
+    execution against: rules are evaluated in priority order, the first
+    entry whose region overlaps the access decides, an access that is
+    not fully contained in the matching region fails, and M-mode is
+    only constrained by locked entries. *)
+
+(** Address-matching mode of an entry. *)
+type amode = Off | Tor | Na4 | Napot
+
+type access = Read | Write | Exec
+
+(** One decoded PMP entry. [addr] is the raw pmpaddr register value
+    (physical address bits 55:2). *)
+type entry = {
+  r : bool;
+  w : bool;
+  x : bool;
+  a : amode;
+  l : bool;
+  addr : int64;
+}
+
+val entry_of_cfg_byte : int -> addr:int64 -> entry
+(** Decode a pmpcfg byte plus its pmpaddr register. *)
+
+val cfg_byte_of_entry : entry -> int
+(** Re-encode the configuration byte of an entry. *)
+
+val off_entry : entry
+(** An all-zero (disabled) entry. *)
+
+val range : prev_addr:int64 -> entry -> (int64 * int64) option
+(** [range ~prev_addr e] is the byte range [lo, hi) matched by [e]
+    ([prev_addr] is the preceding pmpaddr register, used by TOR), or
+    [None] when the entry is off or matches nothing. *)
+
+val napot_encode : base:int64 -> size:int64 -> int64
+(** The pmpaddr value for a naturally aligned power-of-two region
+    ([size >= 8], [base] aligned to [size]). *)
+
+val tor_encode : int64 -> int64
+(** The pmpaddr value whose TOR boundary is the given byte address. *)
+
+(** Result of looking up an access. *)
+type verdict =
+  | Allowed
+  | Denied
+  | No_match  (** no entry matched: M-mode allows, S/U denies *)
+
+val lookup :
+  entries:entry array -> access -> addr:int64 -> size:int -> verdict
+(** Priority-ordered match of an access against the entry list,
+    ignoring privilege. *)
+
+val check :
+  entries:entry array -> priv:Priv.t -> access -> addr:int64 -> size:int ->
+  bool
+(** Full check including the M-mode lock rule and the default
+    (no-match) rule. [priv] is the *effective* privilege (after
+    MPRV). *)
+
+val locked : entry array -> int -> bool
+(** [locked entries i] is true iff writes to entry [i]'s configuration
+    or address register must be ignored: the entry itself is locked, or
+    (for the address register) the next entry is a locked TOR entry. *)
+
+type ranges = {
+  items : (int64 * int64 * entry) array;
+      (** [lo, hi) byte ranges of active entries, priority order *)
+  implemented : bool;  (** at least one PMP entry exists at all *)
+}
+(** The hot-path representation: {!range} is evaluated once per
+    configuration instead of once per access. *)
+
+val precompute : entry array -> ranges
+
+val check_ranges :
+  ranges -> priv:Priv.t -> access -> addr:int64 -> size:int -> bool
+(** Same verdict as {!check}, using precomputed ranges. *)

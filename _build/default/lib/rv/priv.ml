@@ -1,0 +1,7 @@
+type t = U | S | M
+
+let to_int = function U -> 0 | S -> 1 | M -> 3
+let of_int = function 0 -> Some U | 1 -> Some S | 3 -> Some M | _ -> None
+let compare a b = Int.compare (to_int a) (to_int b)
+let to_string = function U -> "U" | S -> "S" | M -> "M"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,20 @@
+(** RISC-V privilege levels.
+
+    The simulator models the three classic levels; the hypervisor
+    extension used by the ACE policy is handled as additional CSR state
+    rather than as extra levels, mirroring the paper's observation that
+    HS/VS-mode support reduces to more CSRs to shadow. *)
+
+type t = U | S | M
+
+val to_int : t -> int
+(** Architectural encoding: U=0, S=1, M=3. *)
+
+val of_int : int -> t option
+(** Inverse of {!to_int}; [None] for the reserved encoding 2. *)
+
+val compare : t -> t -> int
+(** Orders by privilege: U < S < M. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

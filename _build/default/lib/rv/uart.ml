@@ -1,0 +1,23 @@
+type t = { buf : Buffer.t }
+
+let default_base = 0x10000000L
+let create () = { buf = Buffer.create 256 }
+let output t = Buffer.contents t.buf
+let clear t = Buffer.clear t.buf
+
+let load _t off size =
+  (* LSR: THR empty + idle. *)
+  if Int64.to_int off = 5 && size = 1 then 0x60L else 0L
+
+let store t off size v =
+  if off = 0L && size = 1 then
+    Buffer.add_char t.buf (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+
+let device t ~base =
+  {
+    Device.name = "uart";
+    base;
+    size = 0x100L;
+    load = load t;
+    store = store t;
+  }

@@ -1,0 +1,15 @@
+(** A console UART (transmit-only 16550 subset).
+
+    Byte writes to offset 0 append to an output buffer that tests and
+    the CLI read back; offset 5 (LSR) always reports "transmit
+    ready". *)
+
+type t
+
+val default_base : int64
+val create : unit -> t
+val output : t -> string
+(** Everything written so far. *)
+
+val clear : t -> unit
+val device : t -> base:int64 -> Device.t

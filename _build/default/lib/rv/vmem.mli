@@ -1,0 +1,37 @@
+(** Sv39 virtual-memory translation.
+
+    Used for S/U-mode execution when [satp] selects Sv39 and by the
+    VFM's MPRV emulation path, which must walk the OS page tables to
+    perform accesses on behalf of the virtualized firmware. *)
+
+type access = Fetch | Load | Store
+
+val translate :
+  read:(int64 -> int64 option) ->
+  write:(int64 -> int64 -> unit) ->
+  satp:int64 ->
+  priv:Priv.t ->
+  sum:bool ->
+  mxr:bool ->
+  access ->
+  int64 ->
+  (int64, Cause.exc) result
+(** [translate ~read ~write ~satp ~priv ~sum ~mxr access vaddr] walks
+    the page tables using [read] (8-byte physical loads, [None] = bus
+    error) and [write] (to update A/D bits, hardware-managed style).
+    Returns the physical address or the page-fault cause appropriate
+    to the access type. If [satp] is Bare or [priv] is M, the address
+    is returned unchanged. *)
+
+val pte_ppn : int64 -> int64
+(** The physical page number field of a PTE. *)
+
+(* PTE permission bits, exported for page-table construction. *)
+val pte_v : int64
+val pte_r : int64
+val pte_w : int64
+val pte_x : int64
+val pte_u : int64
+val pte_g : int64
+val pte_a : int64
+val pte_d : int64

@@ -1,0 +1,1 @@
+lib/sbi/sbi.mli:

@@ -1,0 +1,79 @@
+let ext_base = 0x10L
+let ext_time = 0x54494D45L (* "TIME" *)
+let ext_ipi = 0x735049L (* "sPI" *)
+let ext_rfence = 0x52464E43L (* "RFNC" *)
+let ext_hsm = 0x48534DL (* "HSM" *)
+let ext_srst = 0x53525354L (* "SRST" *)
+let ext_dbcn = 0x4442434EL (* "DBCN" *)
+let ext_legacy_set_timer = 0x00L
+let ext_legacy_console_putchar = 0x01L
+let ext_keystone = 0x4B455953L (* "KEYS" *)
+let ext_covh = 0x434F5648L (* "COVH" *)
+let fid_base_get_spec_version = 0L
+let fid_base_get_impl_id = 1L
+let fid_base_get_impl_version = 2L
+let fid_base_probe_extension = 3L
+let fid_base_get_mvendorid = 4L
+let fid_base_get_marchid = 5L
+let fid_base_get_mimpid = 6L
+let fid_time_set_timer = 0L
+let fid_ipi_send_ipi = 0L
+let fid_rfence_fence_i = 0L
+let fid_rfence_sfence_vma = 1L
+let fid_rfence_sfence_vma_asid = 2L
+let fid_hsm_hart_start = 0L
+let fid_hsm_hart_stop = 1L
+let fid_hsm_hart_get_status = 2L
+let fid_srst_system_reset = 0L
+let fid_dbcn_console_write = 0L
+let fid_dbcn_console_write_byte = 2L
+let success = 0L
+let err_failed = -1L
+let err_not_supported = -2L
+let err_invalid_param = -3L
+let err_denied = -4L
+let err_invalid_address = -5L
+let err_already_available = -6L
+
+(* The argument-register table, transcribed from the SBI spec function
+   signatures. The sandbox policy only forwards a0..a(n-1), a6 and a7
+   on calls into the virtualized firmware. *)
+let arg_count ~ext ~fid =
+  let v n = Some n in
+  if ext = ext_base then
+    if fid >= 0L && fid <= 6L then if fid = 3L then v 1 else v 0 else None
+  else if ext = ext_time then (if fid = 0L then v 1 else None)
+  else if ext = ext_ipi then (if fid = 0L then v 2 else None)
+  else if ext = ext_rfence then begin
+    if fid = 0L then v 2 (* fence_i: hart_mask, base *)
+    else if fid = 1L then v 4 (* sfence_vma: mask, base, start, size *)
+    else if fid = 2L then v 5
+    else None
+  end
+  else if ext = ext_hsm then begin
+    if fid = 0L then v 3 (* hart_start: hartid, start_addr, opaque *)
+    else if fid = 1L then v 0
+    else if fid = 2L then v 1
+    else None
+  end
+  else if ext = ext_srst then (if fid = 0L then v 2 else None)
+  else if ext = ext_dbcn then begin
+    if fid = 0L then v 3 (* write: num_bytes, base_lo, base_hi *)
+    else if fid = 2L then v 1
+    else None
+  end
+  else if ext = ext_legacy_set_timer then v 1
+  else if ext = ext_legacy_console_putchar then v 1
+  else None
+
+let ext_name ext =
+  if ext = ext_base then "base"
+  else if ext = ext_time then "time"
+  else if ext = ext_ipi then "ipi"
+  else if ext = ext_rfence then "rfence"
+  else if ext = ext_hsm then "hsm"
+  else if ext = ext_srst then "srst"
+  else if ext = ext_dbcn then "debug-console"
+  else if ext = ext_legacy_set_timer then "legacy-set-timer"
+  else if ext = ext_legacy_console_putchar then "legacy-console-putchar"
+  else Printf.sprintf "ext-0x%Lx" ext

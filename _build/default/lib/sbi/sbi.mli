@@ -1,0 +1,64 @@
+(** The RISC-V Supervisor Binary Interface (SBI) specification as data.
+
+    The OS requests firmware services via [ecall] from S-mode with the
+    extension ID in a7, the function ID in a6, arguments in a0..a5 and
+    the (error, value) result in a0/a1. The VFM's fast-path offload and
+    the firmware sandbox policy both key off these tables; in
+    particular the per-call argument-register allow-list that the
+    sandbox uses to limit register leakage across worlds is generated
+    from {!arg_count}, mirroring the paper's auto-generated
+    allow-lists. *)
+
+(* Extension IDs *)
+val ext_base : int64
+val ext_time : int64
+val ext_ipi : int64
+val ext_rfence : int64
+val ext_hsm : int64
+val ext_srst : int64
+val ext_dbcn : int64
+val ext_legacy_set_timer : int64
+val ext_legacy_console_putchar : int64
+
+val ext_keystone : int64
+(** The Keystone policy's enclave-lifecycle extension ("KEYS"). *)
+
+val ext_covh : int64
+(** The ACE policy's confidential-VM extension ("COVH"). *)
+
+(* Function IDs *)
+val fid_base_get_spec_version : int64
+val fid_base_get_impl_id : int64
+val fid_base_get_impl_version : int64
+val fid_base_probe_extension : int64
+val fid_base_get_mvendorid : int64
+val fid_base_get_marchid : int64
+val fid_base_get_mimpid : int64
+val fid_time_set_timer : int64
+val fid_ipi_send_ipi : int64
+val fid_rfence_fence_i : int64
+val fid_rfence_sfence_vma : int64
+val fid_rfence_sfence_vma_asid : int64
+val fid_hsm_hart_start : int64
+val fid_hsm_hart_stop : int64
+val fid_hsm_hart_get_status : int64
+val fid_srst_system_reset : int64
+val fid_dbcn_console_write : int64
+val fid_dbcn_console_write_byte : int64
+
+(* Error codes *)
+val success : int64
+val err_failed : int64
+val err_not_supported : int64
+val err_invalid_param : int64
+val err_denied : int64
+val err_invalid_address : int64
+val err_already_available : int64
+
+val arg_count : ext:int64 -> fid:int64 -> int option
+(** Number of argument registers (a0...) the call consumes per the SBI
+    spec, or [None] for an unknown call. This is the source of the
+    sandbox policy's register allow-list. *)
+
+val ext_name : int64 -> string
+(** Human-readable extension name. *)

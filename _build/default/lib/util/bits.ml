@@ -1,0 +1,55 @@
+let mask n =
+  if n < 0 || n > 64 then invalid_arg "Bits.mask"
+  else if n = 64 then -1L
+  else Int64.sub (Int64.shift_left 1L n) 1L
+
+let extract v ~lo ~hi =
+  assert (0 <= lo && lo <= hi && hi <= 63);
+  Int64.logand (Int64.shift_right_logical v lo) (mask (hi - lo + 1))
+
+let insert v ~lo ~hi ~value =
+  assert (0 <= lo && lo <= hi && hi <= 63);
+  let m = Int64.shift_left (mask (hi - lo + 1)) lo in
+  Int64.logor
+    (Int64.logand v (Int64.lognot m))
+    (Int64.logand (Int64.shift_left value lo) m)
+
+let test v i = Int64.logand (Int64.shift_right_logical v i) 1L = 1L
+let set v i = Int64.logor v (Int64.shift_left 1L i)
+let clear v i = Int64.logand v (Int64.lognot (Int64.shift_left 1L i))
+let write v i b = if b then set v i else clear v i
+
+let sext v ~width =
+  assert (1 <= width && width <= 64);
+  if width = 64 then v
+  else
+    let shift = 64 - width in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+let zext v ~width = Int64.logand v (mask width)
+let sext32 v = sext v ~width:32
+let is_aligned a ~size = Int64.logand a (Int64.of_int (size - 1)) = 0L
+
+let align_down a ~size =
+  Int64.logand a (Int64.lognot (Int64.of_int (size - 1)))
+
+let ucompare = Int64.unsigned_compare
+let ult a b = Int64.unsigned_compare a b < 0
+let ule a b = Int64.unsigned_compare a b <= 0
+let udiv = Int64.unsigned_div
+let urem = Int64.unsigned_rem
+let pp_hex fmt v = Format.fprintf fmt "0x%Lx" v
+let to_hex v = Printf.sprintf "0x%Lx" v
+
+let popcount v =
+  let rec go v acc = if v = 0L then acc
+    else go (Int64.shift_right_logical v 1)
+        (acc + Int64.to_int (Int64.logand v 1L))
+  in
+  go v 0
+
+let ctz v =
+  if v = 0L then 64
+  else
+    let rec go v i = if test v i then i else go v (i + 1) in
+    go v 0

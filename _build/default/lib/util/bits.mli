@@ -1,0 +1,76 @@
+(** 64-bit bit-manipulation helpers.
+
+    All architectural values in the simulator are [int64]. This module
+    gathers the field-extraction, masking and sign-extension operations
+    used by the decoder, the CSR file and the PMP logic. *)
+
+val mask : int -> int64
+(** [mask n] is an [int64] with the low [n] bits set. [mask 64] is all
+    ones and [mask 0] is zero. Raises [Invalid_argument] outside
+    [0..64]. *)
+
+val extract : int64 -> lo:int -> hi:int -> int64
+(** [extract v ~lo ~hi] is bits [hi..lo] (inclusive) of [v], shifted
+    down to bit 0. Requires [0 <= lo <= hi <= 63]. *)
+
+val insert : int64 -> lo:int -> hi:int -> value:int64 -> int64
+(** [insert v ~lo ~hi ~value] replaces bits [hi..lo] of [v] with the low
+    bits of [value]. *)
+
+val test : int64 -> int -> bool
+(** [test v i] is true iff bit [i] of [v] is set. *)
+
+val set : int64 -> int -> int64
+(** [set v i] sets bit [i]. *)
+
+val clear : int64 -> int -> int64
+(** [clear v i] clears bit [i]. *)
+
+val write : int64 -> int -> bool -> int64
+(** [write v i b] sets bit [i] to [b]. *)
+
+val sext : int64 -> width:int -> int64
+(** [sext v ~width] sign-extends the low [width] bits of [v] to 64
+    bits. Requires [1 <= width <= 64]. *)
+
+val zext : int64 -> width:int -> int64
+(** [zext v ~width] zero-extends, i.e. keeps only the low [width]
+    bits. *)
+
+val sext32 : int64 -> int64
+(** [sext32 v] sign-extends the low 32 bits (the RV64 "W" result
+    rule). *)
+
+val is_aligned : int64 -> size:int -> bool
+(** [is_aligned a ~size] is true iff [a] is a multiple of [size]
+    ([size] a power of two). *)
+
+val align_down : int64 -> size:int -> int64
+(** [align_down a ~size] rounds [a] down to a multiple of [size]. *)
+
+val ucompare : int64 -> int64 -> int
+(** Unsigned comparison. *)
+
+val ult : int64 -> int64 -> bool
+(** Unsigned less-than. *)
+
+val ule : int64 -> int64 -> bool
+(** Unsigned less-or-equal. *)
+
+val udiv : int64 -> int64 -> int64
+(** Unsigned division (divisor must be non-zero). *)
+
+val urem : int64 -> int64 -> int64
+(** Unsigned remainder (divisor must be non-zero). *)
+
+val pp_hex : Format.formatter -> int64 -> unit
+(** Prints as [0x%Lx]. *)
+
+val to_hex : int64 -> string
+(** Hexadecimal rendering with [0x] prefix. *)
+
+val popcount : int64 -> int
+(** Number of set bits. *)
+
+val ctz : int64 -> int
+(** Count of trailing zero bits; 64 for zero. *)

@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+(* splitmix64: fast, well-distributed, trivially seedable. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64_below t n =
+  assert (n > 0L);
+  (* Rejection-free modulo is fine for our (non-cryptographic) uses. *)
+  Int64.unsigned_rem (next t) n
+
+let int_below t n =
+  assert (n > 0);
+  Int64.to_int (int64_below t (Int64.of_int n))
+
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = max 1e-12 (float t) and u2 = float t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int_below t (Array.length a))
+
+let split t = { state = next t }

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64 core).
+
+    Experiments must be reproducible run-to-run, so all stochastic
+    components (workload generators, state samplers in the verifier)
+    draw from an explicitly seeded generator rather than [Random]. *)
+
+type t
+
+val create : seed:int64 -> t
+(** A fresh generator. Equal seeds yield equal streams. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val int64_below : t -> int64 -> int64
+(** Uniform in [0, n) for an [int64] bound. Requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed (Box–Muller). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val split : t -> t
+(** A new generator seeded from [t]'s stream, usable independently. *)

@@ -1,0 +1,78 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 64 0.0; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0.0 t
+let mean t = if t.len = 0 then 0.0 else total t /. float_of_int t.len
+let min_value t = fold min infinity t
+let max_value t = fold max neg_infinity t
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.len - 1))
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.len in
+    Array.sort compare sub;
+    Array.blit sub 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Stats.percentile: empty sample";
+  ensure_sorted t;
+  let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (t.data.(lo) *. (1.0 -. frac)) +. (t.data.(hi) *. frac)
+
+let median t = percentile t 50.0
+
+let histogram t ~bins =
+  assert (bins > 0);
+  let lo = min_value t and hi = max_value t in
+  let width =
+    if hi > lo then (hi -. lo) /. float_of_int bins else 1.0
+  in
+  let counts = Array.make bins 0 in
+  for i = 0 to t.len - 1 do
+    let b = int_of_float ((t.data.(i) -. lo) /. width) in
+    let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.mapi
+    (fun i c ->
+      (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), c))
+    counts
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t

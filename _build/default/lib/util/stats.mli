@@ -1,0 +1,33 @@
+(** Sample statistics for benchmark reporting.
+
+    Collects raw observations and answers the summary queries the
+    evaluation harness prints: mean, percentiles, histograms. *)
+
+type t
+
+val create : unit -> t
+(** An empty sample set. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val mean : t -> float
+val total : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (0 for fewer than two observations). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100], by linear interpolation on
+    the sorted sample. Raises [Invalid_argument] on an empty sample. *)
+
+val median : t -> float
+
+val histogram : t -> bins:int -> (float * float * int) array
+(** [histogram t ~bins] buckets the sample into [bins] equal-width
+    ranges and returns [(lo, hi, count)] per bucket. *)
+
+val of_list : float list -> t

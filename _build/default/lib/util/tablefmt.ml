@@ -1,0 +1,102 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render ?title ~headers ?aligns rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.of_list (List.map String.length headers) in
+  let note_row row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter note_row rows;
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let fmt_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let a = List.nth aligns i in
+          " " ^ pad a widths.(i) cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (fmt_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?title ~headers ?aligns rows =
+  print_endline (render ?title ~headers ?aligns rows)
+
+let bar_chart ?title ?(width = 48) () entries =
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0.0 entries in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if max_v <= 0.0 then 0
+        else int_of_float (v /. max_v *. float_of_int width)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s | %s %.3f\n"
+           (pad Left label_w label) (String.make n '#') v))
+    entries;
+  Buffer.contents buf
+
+let series_chart ?title ~labels series =
+  let headers = "" :: List.map fst series in
+  let rows =
+    List.mapi
+      (fun i label ->
+        label
+        :: List.map
+             (fun (_, vs) ->
+               match List.nth_opt vs i with
+               | Some v -> Printf.sprintf "%.3f" v
+               | None -> "-")
+             series)
+      labels
+  in
+  render ?title ~headers rows

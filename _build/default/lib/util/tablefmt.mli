@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Produces aligned, boxed tables resembling the paper's tables so the
+    benchmark output can be compared to the published numbers at a
+    glance. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> string
+
+val print :
+  ?title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> unit
+
+val bar_chart :
+  ?title:string -> ?width:int -> unit -> (string * float) list -> string
+(** Horizontal ASCII bar chart, used for "figure" reproductions.
+    [width] is the maximum bar width in characters (default 48). *)
+
+val series_chart :
+  ?title:string -> labels:string list -> (string * float list) list -> string
+(** Renders one row per x-label with one numeric column per series;
+    used for multi-series figures (e.g. latency distributions). *)

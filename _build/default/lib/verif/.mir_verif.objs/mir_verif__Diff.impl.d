@@ -1,0 +1,1 @@
+lib/verif/diff.ml: Array Int64 List Mir_rv Mir_util Miralis Option Printf

@@ -1,0 +1,1 @@
+lib/verif/diff.mli: Mir_rv Mir_util Miralis

@@ -1,0 +1,1 @@
+lib/verif/faithful_execution.ml: Array Fun Int64 List Mir_rv Mir_util Miralis Printf Tasks

@@ -1,0 +1,1 @@
+lib/verif/faithful_execution.mli: Miralis Tasks

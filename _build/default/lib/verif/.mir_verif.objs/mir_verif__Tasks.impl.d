@@ -1,0 +1,1 @@
+lib/verif/tasks.ml: Diff Format Fun Int64 List Mir_rv Mir_util Miralis Printf Sys

@@ -1,0 +1,1 @@
+lib/verif/tasks.mli: Format Miralis

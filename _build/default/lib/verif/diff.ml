@@ -1,0 +1,278 @@
+module Bits = Mir_util.Bits
+module Prng = Mir_util.Prng
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Csr_spec = Mir_rv.Csr_spec
+module Clint = Mir_rv.Clint
+module Cause = Mir_rv.Cause
+module Priv = Mir_rv.Priv
+module Instr = Mir_rv.Instr
+module Pmp = Mir_rv.Pmp
+module Ms = Csr_spec.Mstatus
+
+type t = {
+  config : Miralis.Config.t;
+  machine : Machine.t;
+  hart : Hart.t;
+  vhart : Miralis.Vhart.t;
+  vregs : int64 array;
+  addresses : int list;  (* implemented CSR addresses, cached *)
+  pc0 : int64;
+}
+
+let create ?inject_bug () =
+  (* A small host: the derived virtual configuration is what both
+     sides use. *)
+  let host =
+    {
+      Machine.default_config with
+      Machine.ram_size = 64 * 1024;
+      nharts = 1;
+    }
+  in
+  let config = Miralis.Config.make ?inject_bug ~machine:host () in
+  let ref_machine_config =
+    { host with Machine.csr_config = config.Miralis.Config.vcsr_config }
+  in
+  let machine = Machine.create ref_machine_config in
+  let hart = machine.Machine.harts.(0) in
+  let vhart = Miralis.Vhart.create config ~id:0 in
+  {
+    config;
+    machine;
+    hart;
+    vhart;
+    vregs = Array.make 32 0L;
+    addresses = Csr_spec.all_addresses config.Miralis.Config.vcsr_config;
+    pc0 = Int64.add host.Machine.ram_base 0x1000L;
+  }
+
+let config t = t.config
+
+type sample = {
+  csrs : (int * int64) list;
+  gprs : int64 array;
+  mtip : bool;
+  msip : bool;
+}
+
+let value_patterns =
+  [| 0L; -1L; 1L; 0x5555555555555555L; 0xAAAAAAAAAAAAAAAAL;
+     0x8000000000000000L; 0x7FFFFFFFFFFFFFFFL; 0x1800L; 0x222L; 0x80L |]
+
+let gen_value prng =
+  match Prng.int_below prng 3 with
+  | 0 -> Prng.choose prng value_patterns
+  | 1 -> Int64.shift_left 1L (Prng.int_below prng 64) (* one-hot *)
+  | _ -> Prng.next prng
+
+let gen_sample t prng =
+  let vcfg = t.config.Miralis.Config.vcsr_config in
+  let csrs =
+    List.map
+      (fun addr ->
+        let spec = Option.get (Csr_spec.find vcfg addr) in
+        let raw = gen_value prng in
+        let v = Csr_spec.apply_write spec ~old:spec.Csr_spec.reset ~value:raw in
+        let v =
+          if addr = Csr_addr.mstatus then
+            (* MIE clear so the reference executes the instruction. *)
+            Bits.clear v Ms.mie
+          else if addr = Csr_addr.mip then
+            (* line-driven bits are set separately *)
+            Int64.logand v Csr_spec.Irq.ssip
+          else if Csr_addr.is_pmpcfg addr then
+            (* keep entries unlocked so the reference fetch at pc0 is
+               never blocked by a locked M-mode rule; lock semantics
+               are covered by the dedicated PMP task *)
+            Int64.logand v 0x7F7F7F7F7F7F7F7FL
+          else v
+        in
+        (addr, v))
+      t.addresses
+  in
+  {
+    csrs;
+    gprs = Array.init 32 (fun i -> if i = 0 then 0L else gen_value prng);
+    mtip = Prng.bool prng;
+    msip = Prng.bool prng;
+  }
+
+let apply_sample t sample =
+  let hcsr = t.hart.Hart.csr and vcsr = t.vhart.Miralis.Vhart.csr in
+  List.iter
+    (fun (addr, v) ->
+      Csr_file.write_raw hcsr addr v;
+      Csr_file.write_raw vcsr addr v)
+    sample.csrs;
+  (* interrupt lines *)
+  Clint.set_mtime t.machine.Machine.clint 1000L;
+  Clint.set_mtimecmp t.machine.Machine.clint 0
+    (if sample.mtip then 0L else -1L);
+  Clint.set_msip t.machine.Machine.clint 0 sample.msip;
+  List.iter
+    (fun (bits, on) ->
+      Csr_file.set_mip_bits hcsr bits on;
+      Csr_file.set_mip_bits vcsr bits on)
+    [ (Csr_spec.Irq.mtip, sample.mtip); (Csr_spec.Irq.msip, sample.msip) ];
+  Array.iteri
+    (fun i v ->
+      Hart.set t.hart i v;
+      t.vregs.(i) <- v)
+    sample.gprs;
+  t.hart.Hart.pc <- t.pc0;
+  t.hart.Hart.priv <- Priv.M;
+  t.hart.Hart.wfi <- false;
+  t.vhart.Miralis.Vhart.world <- Miralis.Vhart.Firmware;
+  t.vhart.Miralis.Vhart.mprv_active <- false
+
+type verdict = Agree | Skip | Disagree of string
+
+let tvec_target tvec cause =
+  let base = Int64.logand tvec (Int64.lognot 3L) in
+  match cause with
+  | Cause.Interrupt i when Int64.logand tvec 3L = 1L ->
+      Int64.add base (Int64.of_int (4 * Cause.intr_code i))
+  | _ -> base
+
+(* Apply the hardware trap-entry transform to the virtual CSRs —
+   identical to what the machine's take_trap does on the reference. *)
+let apply_vtrap t cause ~tval =
+  let vcsr = t.vhart.Miralis.Vhart.csr in
+  Csr_file.write_raw vcsr Csr_addr.mepc t.pc0;
+  Csr_file.write_raw vcsr Csr_addr.mcause (Cause.to_xcause cause);
+  Csr_file.write_raw vcsr Csr_addr.mtval tval;
+  let m = Csr_file.read_raw vcsr Csr_addr.mstatus in
+  let m = Bits.write m Ms.mpie (Bits.test m Ms.mie) in
+  let m = Bits.clear m Ms.mie in
+  let m = Ms.set_mpp m Priv.M in
+  Csr_file.write_raw vcsr Csr_addr.mstatus m;
+  tvec_target (Csr_file.read_raw vcsr Csr_addr.mtvec) cause
+
+let compare_states t ~vpc ~vpriv ~vwfi instr =
+  let hcsr = t.hart.Hart.csr and vcsr = t.vhart.Miralis.Vhart.csr in
+  let fail fmt = Printf.ksprintf (fun s -> Some s) fmt in
+  let istr = Instr.to_string instr in
+  let csr_mismatch =
+    List.find_map
+      (fun addr ->
+        let h = Csr_file.read_raw hcsr addr
+        and v = Csr_file.read_raw vcsr addr in
+        if h <> v then
+          fail "%s: %s differs (hw=%Lx vfm=%Lx)" istr (Csr_addr.name addr) h v
+        else None)
+      t.addresses
+  in
+  match csr_mismatch with
+  | Some _ as m -> m
+  | None ->
+      let rec regs i =
+        if i >= 32 then None
+        else if Hart.get t.hart i <> t.vregs.(i) then
+          fail "%s: x%d differs (hw=%Lx vfm=%Lx)" istr i (Hart.get t.hart i)
+            t.vregs.(i)
+        else regs (i + 1)
+      in
+      (match regs 1 with
+      | Some _ as m -> m
+      | None ->
+          if t.hart.Hart.pc <> vpc then
+            fail "%s: pc differs (hw=%Lx vfm=%Lx)" istr t.hart.Hart.pc vpc
+          else if t.hart.Hart.priv <> vpriv then
+            fail "%s: priv differs (hw=%s vfm=%s)" istr
+              (Priv.to_string t.hart.Hart.priv)
+              (Priv.to_string vpriv)
+          else if t.hart.Hart.wfi <> vwfi then
+            fail "%s: wfi differs (hw=%b vfm=%b)" istr t.hart.Hart.wfi vwfi
+          else None)
+
+let check t sample instr =
+  apply_sample t sample;
+  (* The reference fetch at pc0 must be allowed by the sampled PMP. *)
+  if
+    not
+      (Pmp.check
+         ~entries:(Csr_file.pmp_entries t.hart.Hart.csr)
+         ~priv:Priv.M Pmp.Exec ~addr:t.pc0 ~size:4)
+  then Skip
+  else begin
+    let bits = Mir_rv.Encode.encode instr in
+    ignore (Machine.phys_store t.machine t.pc0 4 (Int64.of_int bits));
+    Machine.invalidate_icache t.machine t.pc0 4;
+    (* reference step *)
+    let pre_cycles = t.hart.Hart.cycles and pre_instret = t.hart.Hart.instret in
+    Machine.step t.machine t.hart;
+    (* virtual emulation *)
+    let ctx =
+      {
+        Miralis.Emulator.read_gpr = (fun i -> t.vregs.(i));
+        write_gpr = (fun i v -> if i <> 0 then t.vregs.(i) <- v);
+        pc = t.pc0;
+        cycles = Int64.add pre_cycles 1L;
+        instret = Int64.add pre_instret 1L;
+        phys_custom_read = (fun _ -> 0L);
+        phys_custom_write = (fun _ _ -> ());
+      }
+    in
+    let out = Miralis.Emulator.emulate t.config t.vhart ctx ~bits instr in
+    let vpc, vpriv, vwfi =
+      match out.Miralis.Emulator.action with
+      | Miralis.Emulator.Next -> (Int64.add t.pc0 4L, Priv.M, false)
+      | Miralis.Emulator.Jump pc -> (pc, Priv.M, false)
+      | Miralis.Emulator.Exit_to_os { pc; priv } -> (pc, priv, false)
+      | Miralis.Emulator.Vtrap (e, tval) ->
+          (apply_vtrap t (Cause.Exception e) ~tval, Priv.M, false)
+      | Miralis.Emulator.Wfi -> (Int64.add t.pc0 4L, Priv.M, true)
+      | Miralis.Emulator.Unsupported -> (0L, Priv.M, false)
+    in
+    if out.Miralis.Emulator.action = Miralis.Emulator.Unsupported then
+      Disagree (Instr.to_string instr ^ ": emulator reports Unsupported")
+    else
+      match compare_states t ~vpc ~vpriv ~vwfi instr with
+      | None -> Agree
+      | Some msg -> Disagree msg
+  end
+
+let check_interrupt_case t ~mip ~mie ~mstatus_mie ~world =
+  let hcsr = t.hart.Hart.csr and vcsr = t.vhart.Miralis.Vhart.csr in
+  (* Prime both sides. The reference runs at the privilege the world
+     implies: M for vM-mode (gated by mstatus.MIE), S for the OS
+     (M-level interrupts always enabled). *)
+  Csr_file.write_raw hcsr Csr_addr.mip mip;
+  Csr_file.write_raw vcsr Csr_addr.mip mip;
+  Csr_file.write_raw hcsr Csr_addr.mie mie;
+  Csr_file.write_raw vcsr Csr_addr.mie mie;
+  let videleg = Csr_file.read_raw vcsr Csr_addr.mideleg in
+  Csr_file.write_raw hcsr Csr_addr.mideleg videleg;
+  let m = Csr_file.read_raw hcsr Csr_addr.mstatus in
+  let m = Bits.write m Ms.mie mstatus_mie in
+  (* keep S-level interrupts globally off on the reference so only the
+     M-level (non-delegated) selection is compared *)
+  let m = Bits.clear m Ms.sie in
+  Csr_file.write_raw hcsr Csr_addr.mstatus m;
+  Csr_file.write_raw vcsr Csr_addr.mstatus m;
+  t.hart.Hart.priv <-
+    (match world with Miralis.Vhart.Firmware -> Priv.M | Miralis.Vhart.Os -> Priv.S);
+  t.vhart.Miralis.Vhart.world <- world;
+  let reference =
+    match Machine.pending_interrupt t.machine t.hart with
+    | Some i when not (Bits.test videleg (Cause.intr_code i)) -> Some i
+    | Some _ | None -> None
+    (* delegated interrupts are delivered natively, not injected *)
+  in
+  let vfm = Miralis.Emulator.check_virtual_interrupt t.config t.vhart in
+  if reference = vfm then Agree
+  else
+    Disagree
+      (Printf.sprintf
+         "interrupt: mip=%Lx mie=%Lx MIE=%b world=%s: hw=%s vfm=%s" mip mie
+         mstatus_mie
+         (Miralis.Vhart.world_name world)
+         (match reference with
+         | Some i -> Cause.to_string (Cause.Interrupt i)
+         | None -> "none")
+         (match vfm with
+         | Some i -> Cause.to_string (Cause.Interrupt i)
+         | None -> "none"))

@@ -1,0 +1,48 @@
+(** The differential checker behind faithful emulation (Definition 1).
+
+    One side is the reference machine — the executable ISA
+    specification, instantiated with the *virtual* configuration
+    [c_r] and executing the instruction natively in M-mode. The other
+    side is Miralis's emulator operating on a virtual hart. Both start
+    from the same sampled architectural state; the checker demands
+    bit-identical post-states (CSRs, registers, pc, privilege, wfi),
+    with traps compared through the common hardware trap-entry
+    transform.
+
+    This is the OCaml analogue of the paper's Kani setup: instead of
+    symbolic execution over all states, we do bounded-exhaustive
+    enumeration over the instruction space crossed with adversarial
+    state samples (boundary patterns plus seeded-random values). *)
+
+type t
+
+val create : ?inject_bug:Miralis.Config.bug -> unit -> t
+(** A checker instance: a one-hart reference machine configured with
+    the virtual configuration, plus a virtual hart. *)
+
+val config : t -> Miralis.Config.t
+
+(** One sampled machine state. *)
+type sample
+
+val gen_sample : t -> Mir_util.Prng.t -> sample
+(** Draw a state: every implemented CSR gets a boundary or random
+    value (legalized through the shared WARL spec so both sides can
+    hold it), the registers are random, and the timer/software
+    interrupt lines are sampled booleans. mstatus.MIE is forced clear
+    so the reference machine executes the instruction rather than
+    taking an interrupt. *)
+
+(** Result of checking one (state, instruction) pair. *)
+type verdict =
+  | Agree
+  | Skip  (** the sampled PMP forbids the reference fetch *)
+  | Disagree of string
+
+val check : t -> sample -> Mir_rv.Instr.t -> verdict
+
+val check_interrupt_case :
+  t -> mip:int64 -> mie:int64 -> mstatus_mie:bool ->
+  world:Miralis.Vhart.world -> verdict
+(** Compare the virtual-interrupt injection decision against the
+    reference machine's M-level interrupt selection. *)

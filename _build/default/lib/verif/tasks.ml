@@ -1,0 +1,230 @@
+module Prng = Mir_util.Prng
+module Instr = Mir_rv.Instr
+module Csr_spec = Mir_rv.Csr_spec
+
+type report = {
+  name : string;
+  cases : int;
+  skipped : int;
+  mismatches : int;
+  first_counterexample : string option;
+  seconds : float;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-22s %8d cases %6d skipped %4d mismatches %8.2fs%s"
+    r.name r.cases r.skipped r.mismatches r.seconds
+    (match r.first_counterexample with
+    | Some c -> "\n    first: " ^ c
+    | None -> "")
+
+let timed name f =
+  let t0 = Sys.time () in
+  let cases, skipped, mismatches, first = f () in
+  {
+    name;
+    cases;
+    skipped;
+    mismatches;
+    first_counterexample = first;
+    seconds = Sys.time () -. t0;
+  }
+
+(* Run [instrs] against [samples] fresh state samples each. *)
+let sweep ?inject_bug ~name ~samples instrs =
+  timed name (fun () ->
+      let d = Diff.create ?inject_bug () in
+      let prng = Prng.create ~seed:0x5EEDL in
+      let cases = ref 0 and skipped = ref 0 and bad = ref 0 in
+      let first = ref None in
+      for _ = 1 to samples do
+        let sample = Diff.gen_sample d prng in
+        List.iter
+          (fun instr ->
+            incr cases;
+            match Diff.check d sample instr with
+            | Diff.Agree -> ()
+            | Diff.Skip -> incr skipped
+            | Diff.Disagree msg ->
+                incr bad;
+                if !first = None then first := Some msg)
+          instrs
+      done;
+      (!cases, !skipped, !bad, !first))
+
+let mret_instr = Instr.Mret
+let sret_instr = Instr.Sret
+
+let mret ?(samples = 3000) ?inject_bug () =
+  sweep ?inject_bug ~name:"mret instruction" ~samples [ mret_instr ]
+
+let sret ?(samples = 3000) ?inject_bug () =
+  sweep ?inject_bug ~name:"sret instruction" ~samples [ sret_instr ]
+
+let wfi ?(samples = 3000) ?inject_bug () =
+  sweep ?inject_bug ~name:"wfi instruction" ~samples
+    [ Instr.Wfi; Instr.Sfence_vma (0, 0); Instr.Ecall; Instr.Ebreak ]
+
+(* The CSR tasks sweep the *entire* 12-bit CSR address space —
+   implemented CSRs must match the reference bit-for-bit and
+   unimplemented ones must fault identically on both sides. This is
+   what caught the vPMP overrun bug (an out-of-range pmpaddr index the
+   emulator accepted). *)
+let csr_probe_addrs _config = List.init 4096 Fun.id
+
+let read_forms csr =
+  [
+    Instr.Csr { op = Instr.Csrrs; rd = 11; src = Instr.Reg 0; csr };
+    Instr.Csr { op = Instr.Csrrc; rd = 12; src = Instr.Reg 0; csr };
+    Instr.Csr { op = Instr.Csrrs; rd = 13; src = Instr.Imm 0; csr };
+    Instr.Csr { op = Instr.Csrrc; rd = 0; src = Instr.Imm 0; csr };
+  ]
+
+let write_forms csr =
+  [
+    Instr.Csr { op = Instr.Csrrw; rd = 11; src = Instr.Reg 5; csr };
+    Instr.Csr { op = Instr.Csrrw; rd = 0; src = Instr.Reg 6; csr };
+    Instr.Csr { op = Instr.Csrrs; rd = 12; src = Instr.Reg 7; csr };
+    Instr.Csr { op = Instr.Csrrc; rd = 13; src = Instr.Reg 28; csr };
+    Instr.Csr { op = Instr.Csrrw; rd = 14; src = Instr.Imm 31; csr };
+    Instr.Csr { op = Instr.Csrrs; rd = 15; src = Instr.Imm 21; csr };
+    Instr.Csr { op = Instr.Csrrc; rd = 5; src = Instr.Imm 9; csr };
+  ]
+
+let csr_read ?(samples = 40) ?inject_bug () =
+  let d = Diff.create ?inject_bug () in
+  let addrs =
+    csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
+  in
+  sweep ?inject_bug ~name:"CSR read" ~samples
+    (List.concat_map read_forms addrs)
+
+let csr_write ?(samples = 60) ?inject_bug () =
+  let d = Diff.create ?inject_bug () in
+  let addrs =
+    csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
+  in
+  sweep ?inject_bug ~name:"CSR write" ~samples
+    (List.concat_map write_forms addrs)
+
+let decoder ?(words = 400_000) () =
+  timed "instruction decoder" (fun () ->
+      let prng = Prng.create ~seed:0xDECL in
+      let cases = ref 0 and bad = ref 0 in
+      let first = ref None in
+      let note ok msg =
+        incr cases;
+        if not ok then begin
+          incr bad;
+          if !first = None then first := Some (msg ())
+        end
+      in
+      (* Exhaustive round-trip over the privileged encoding space:
+         every CSR address x op x representative registers. *)
+      List.iter
+        (fun csr ->
+          List.iter
+            (fun op ->
+              List.iter
+                (fun (rd, r) ->
+                  List.iter
+                    (fun use_imm ->
+                      let src =
+                        if use_imm then Instr.Imm r else Instr.Reg r
+                      in
+                      let i = Instr.Csr { op; rd; src; csr } in
+                      let ok =
+                        Mir_rv.Decode.decode (Mir_rv.Encode.encode i)
+                        = Some i
+                      in
+                      note ok (fun () ->
+                          "roundtrip failed: " ^ Instr.to_string i))
+                    [ false; true ])
+                [ (0, 0); (1, 31); (31, 1); (17, 17) ])
+            [ Instr.Csrrw; Instr.Csrrs; Instr.Csrrc ])
+        (List.init 4096 Fun.id);
+      (* The SYSTEM privileged encodings. *)
+      List.iter
+        (fun i ->
+          let ok = Mir_rv.Decode.decode (Mir_rv.Encode.encode i) = Some i in
+          note ok (fun () -> "roundtrip failed: " ^ Instr.to_string i))
+        ([ Instr.Mret; Instr.Sret; Instr.Wfi; Instr.Ecall; Instr.Ebreak ]
+        @ List.concat_map
+            (fun a -> [ Instr.Sfence_vma (a, 0); Instr.Sfence_vma (a, a) ])
+            [ 0; 1; 15; 31 ]);
+      (* Totality: decode never raises on random words. *)
+      for _ = 1 to words do
+        let w = Int64.to_int (Int64.logand (Prng.next prng) 0xFFFFFFFFL) in
+        let ok =
+          match Mir_rv.Decode.decode w with
+          | Some _ | None -> true
+          | exception _ -> false
+        in
+        note ok (fun () -> Printf.sprintf "decode raised on %08x" w)
+      done;
+      (!cases, 0, !bad, !first))
+
+let virtual_interrupt ?inject_bug () =
+  timed "virtual interrupt" (fun () ->
+      let d = Diff.create ?inject_bug () in
+      let cases = ref 0 and bad = ref 0 in
+      let first = ref None in
+      (* All combinations of the six standard bits in mip and mie. *)
+      let expand bits =
+        List.fold_left
+          (fun acc (i, bit) ->
+            if bits land (1 lsl i) <> 0 then Int64.logor acc bit else acc)
+          0L
+          [
+            (0, Csr_spec.Irq.ssip); (1, Csr_spec.Irq.msip);
+            (2, Csr_spec.Irq.stip); (3, Csr_spec.Irq.mtip);
+            (4, Csr_spec.Irq.seip); (5, Csr_spec.Irq.meip);
+          ]
+      in
+      for mip_bits = 0 to 63 do
+        for mie_bits = 0 to 63 do
+          List.iter
+            (fun (mstatus_mie, world) ->
+              incr cases;
+              match
+                Diff.check_interrupt_case d ~mip:(expand mip_bits)
+                  ~mie:(expand mie_bits) ~mstatus_mie ~world
+              with
+              | Diff.Agree | Diff.Skip -> ()
+              | Diff.Disagree msg ->
+                  incr bad;
+                  if !first = None then first := Some msg)
+            [
+              (true, Miralis.Vhart.Firmware);
+              (false, Miralis.Vhart.Firmware);
+              (true, Miralis.Vhart.Os);
+              (false, Miralis.Vhart.Os);
+            ]
+        done
+      done;
+      (!cases, 0, !bad, !first))
+
+let end_to_end ?(samples = 25) ?inject_bug () =
+  let d = Diff.create ?inject_bug () in
+  let addrs =
+    csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
+  in
+  let instrs =
+    List.concat_map (fun a -> read_forms a @ write_forms a) addrs
+    @ [ Instr.Mret; Instr.Sret; Instr.Wfi; Instr.Sfence_vma (5, 6);
+        Instr.Ecall; Instr.Ebreak ]
+  in
+  sweep ?inject_bug ~name:"end-to-end emulation" ~samples instrs
+
+let all ?(quick = false) () =
+  let s n = if quick then max 1 (n / 10) else n in
+  [
+    mret ~samples:(s 3000) ();
+    sret ~samples:(s 3000) ();
+    wfi ~samples:(s 3000) ();
+    decoder ~words:(s 400_000) ();
+    csr_read ~samples:(s 40) ();
+    csr_write ~samples:(s 60) ();
+    virtual_interrupt ();
+    end_to_end ~samples:(s 25) ();
+  ]

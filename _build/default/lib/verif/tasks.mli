@@ -1,0 +1,49 @@
+(** Named verification tasks (the rows of the paper's Table 2).
+
+    Each task exhaustively enumerates an instruction subspace crossed
+    with adversarial state samples and reports case counts, wall-clock
+    time, and the first counterexample if the implementation diverges
+    from the reference. *)
+
+type report = {
+  name : string;
+  cases : int;
+  skipped : int;
+  mismatches : int;
+  first_counterexample : string option;
+  seconds : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val timed : string -> (unit -> int * int * int * string option) -> report
+(** Wrap a task body returning (cases, skipped, mismatches, first). *)
+
+val mret : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+val sret : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+val wfi : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+
+val decoder : ?words:int -> unit -> report
+(** Round-trip and totality over the privileged encoding space. *)
+
+val csr_read :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+(** Every implemented CSR (plus unimplemented probes) × read forms. *)
+
+val csr_write :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+(** Every implemented CSR × csrrw/csrrs/csrrc × register and immediate
+    forms — the long pole, as in the paper. *)
+
+val virtual_interrupt :
+  ?inject_bug:Miralis.Config.bug -> unit -> report
+(** Exhaustive over the 6 standard interrupt bits of mip × mie ×
+    mstatus.MIE × world. *)
+
+val end_to_end :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+(** The full privileged instruction space. *)
+
+val all : ?quick:bool -> unit -> report list
+(** Every task, in Table 2 order. [quick] shrinks sample counts for
+    use in the test suite. *)

@@ -1,0 +1,1 @@
+lib/workloads/boot_trace.ml: Hashtbl Int64 List Mir_harness Mir_kernel Mir_platform Mir_rv Mir_sbi Miralis Option

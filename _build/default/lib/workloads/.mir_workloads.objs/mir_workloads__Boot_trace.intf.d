@@ -1,0 +1,1 @@
+lib/workloads/boot_trace.mli: Mir_harness Mir_kernel Mir_platform

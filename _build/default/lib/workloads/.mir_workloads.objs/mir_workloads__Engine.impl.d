@@ -1,0 +1,1 @@
+lib/workloads/engine.ml: Array Int64 Mir_harness Mir_kernel Mir_platform Mir_rv Miralis

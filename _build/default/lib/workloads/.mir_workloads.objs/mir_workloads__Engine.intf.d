@@ -1,0 +1,1 @@
+lib/workloads/engine.mli: Mir_harness Mir_kernel Mir_platform Mir_rv Miralis

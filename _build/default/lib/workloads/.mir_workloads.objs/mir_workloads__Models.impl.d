@@ -1,0 +1,1 @@
+lib/workloads/models.ml: Int64 List Mir_kernel Mir_rv Printf

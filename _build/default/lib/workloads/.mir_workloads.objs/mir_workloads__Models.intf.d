@@ -1,0 +1,1 @@
+lib/workloads/models.mli: Mir_kernel Mir_rv

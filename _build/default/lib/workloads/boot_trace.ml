@@ -1,0 +1,155 @@
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Cause = Mir_rv.Cause
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Platform = Mir_platform.Platform
+
+type cause = Time_read | Set_timer | Misaligned | Ipi | Rfence | Other
+
+let cause_name = function
+  | Time_read -> "read time"
+  | Set_timer -> "set timer"
+  | Misaligned -> "misaligned"
+  | Ipi -> "IPI"
+  | Rfence -> "remote fence"
+  | Other -> "other"
+
+let causes = [ Time_read; Set_timer; Misaligned; Ipi; Rfence; Other ]
+
+type window = { index : int; counts : (cause * int) list; total : int }
+
+type trace = {
+  windows : window list;
+  boot_cycles : int64;
+  boot_seconds : float;
+  world_switches : int;
+  traps_per_sec : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The phased boot script                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Bootloader: sequential image loading with misaligned copies and
+   progress timestamps. *)
+let bootloader_phase =
+  List.concat
+    (List.init 40 (fun i ->
+         [
+           Script.Rdtime;
+           Script.Misaligned_load;
+           Script.Misaligned_store;
+           Script.Compute 12_000L;
+         ]
+         @ if i mod 8 = 0 then [ Script.Putchar '.' ] else []))
+
+(* Early kernel init: calibration loops (rdtime bursts), SMP bring-up
+   (IPIs, remote fences), timer setup, console writes. *)
+let kernel_init_phase ~hart =
+  let burst i =
+    [
+      Script.Rdtime; Script.Rdtime; Script.Rdtime;
+      Script.Compute 2500L;
+      Script.Set_timer 1500L;
+    ]
+    @ (if hart = 0 then [ Script.Ipi_all ] else [ Script.Ipi_self ])
+    @ (if i mod 4 = 0 then [ Script.Rfence ] else [])
+    @ (if hart = 0 && i mod 6 = 0 then [ Script.Putchar '*' ] else [])
+    @ [ Script.Misaligned_load; Script.Compute 8000L ]
+  in
+  List.concat (List.init 30 burst)
+
+(* Idle: the periodic tick, mostly asleep. *)
+let idle_phase =
+  List.concat
+    (List.init 40 (fun _ -> [ Script.Tick_wfi 8000L; Script.Rdtime ]))
+
+let script () =
+  List.init 4 (fun hart ->
+      bootloader_phase @ kernel_init_phase ~hart @ idle_phase
+      @ [ Script.End ])
+
+(* ------------------------------------------------------------------ *)
+(* Classification and windowing                                        *)
+(* ------------------------------------------------------------------ *)
+
+let classify m hart (cause : Cause.t) =
+  match cause with
+  | Cause.Exception (Cause.Load_misaligned | Cause.Store_misaligned) ->
+      Misaligned
+  | Cause.Exception Cause.Illegal_instr -> begin
+      let bits =
+        Csr_file.read_raw hart.Hart.csr Csr_addr.mtval
+      in
+      match
+        Mir_rv.Decode.decode (Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+      with
+      | Some (Mir_rv.Instr.Csr { csr; _ }) when csr = Csr_addr.time ->
+          Time_read
+      | _ -> Other
+    end
+  | Cause.Exception Cause.Ecall_from_s ->
+      let ext = Hart.get hart 17 in
+      if ext = Mir_sbi.Sbi.ext_time || ext = Mir_sbi.Sbi.ext_legacy_set_timer
+      then Set_timer
+      else if ext = Mir_sbi.Sbi.ext_ipi then Ipi
+      else if ext = Mir_sbi.Sbi.ext_rfence then Rfence
+      else Other
+  | Cause.Interrupt Cause.Machine_timer ->
+      (* the M-timer interrupt is part of the timer-deadline flow *)
+      ignore m;
+      Set_timer
+  | Cause.Interrupt Cause.Machine_software -> Ipi
+  | _ -> Other
+
+let run platform mode ~window_ms =
+  let sys = Setup.create platform mode in
+  let m = sys.Setup.machine in
+  let window_cycles =
+    Int64.of_float
+      (window_ms /. 1000. *. float_of_int platform.Platform.freq_mhz *. 1e6)
+  in
+  let tbl : (int * cause, int) Hashtbl.t = Hashtbl.create 64 in
+  let traps = ref 0 in
+  m.Machine.on_trap <-
+    Some
+      (fun m hart cause ~from_priv ~to_m ->
+        (* Fig. 3 counts traps from the OS into M-mode (per core; we
+           count hart 0 as the paper reports per-core numbers). *)
+        if to_m && from_priv = Mir_rv.Priv.S && hart.Hart.id = 0 then begin
+          incr traps;
+          let w =
+            Int64.to_int (Int64.div hart.Hart.cycles window_cycles)
+          in
+          let c = classify m hart cause in
+          Hashtbl.replace tbl (w, c)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (w, c)))
+        end);
+  Setup.run_scripts ~max_instrs:400_000_000L sys (script ());
+  let cycles = Setup.hart0_cycles sys in
+  let nwindows = 1 + Int64.to_int (Int64.div cycles window_cycles) in
+  let windows =
+    List.init nwindows (fun index ->
+        let counts =
+          List.map
+            (fun c ->
+              (c, Option.value ~default:0 (Hashtbl.find_opt tbl (index, c))))
+            causes
+        in
+        { index; counts; total = List.fold_left (fun a (_, n) -> a + n) 0 counts })
+  in
+  let seconds = Platform.seconds_of_cycles platform cycles in
+  {
+    windows;
+    boot_cycles = cycles;
+    boot_seconds = seconds;
+    world_switches =
+      (match Setup.stats sys with
+      | Some s -> s.Miralis.Vfm_stats.world_switches
+      | None -> 0);
+    traps_per_sec =
+      (if seconds > 0. then float_of_int !traps /. seconds else 0.);
+  }

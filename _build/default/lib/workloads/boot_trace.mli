@@ -1,0 +1,37 @@
+(** The Linux-boot trap study (paper Fig. 3) and boot-time comparison.
+
+    Reproduces the measurement behind the fast-path design: the
+    distribution of M-mode trap causes over time windows during boot.
+    The boot script models three phases — bootloader, early kernel
+    initialization (SMP bring-up: IPI and remote-fence heavy), and
+    idling — with the five dominant causes of the paper: reading
+    [time], programming the timer, misaligned accesses, IPIs and
+    remote fences. Wall-clock is scaled: the paper's 500 ms windows
+    become 1 ms simulated windows. *)
+
+type cause = Time_read | Set_timer | Misaligned | Ipi | Rfence | Other
+
+val cause_name : cause -> string
+val causes : cause list
+
+type window = {
+  index : int;
+  counts : (cause * int) list;
+  total : int;
+}
+
+type trace = {
+  windows : window list;
+  boot_cycles : int64;
+  boot_seconds : float;
+  world_switches : int;
+  traps_per_sec : float;
+}
+
+val script : unit -> Mir_kernel.Script.op list list
+(** The phased boot workload (one script per hart). *)
+
+val run :
+  Mir_platform.Platform.t -> Mir_harness.Setup.mode -> window_ms:float -> trace
+(** Boot under the given mode, classifying every OS→M trap into its
+    cause and bucketing by simulated time. *)

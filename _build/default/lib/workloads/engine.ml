@@ -1,0 +1,67 @@
+module Setup = Mir_harness.Setup
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+
+type result = {
+  mode : Setup.mode;
+  cycles : int64;
+  seconds : float;
+  ops : int;
+  throughput : float;
+  traps_to_m : int;
+  traps_per_sec : float;
+  world_switches : int;
+  world_switches_per_sec : float;
+  offload_hits : int;
+}
+
+let run_with_system ?policy ?(max_instrs = 500_000_000L) ?(stage = fun _ -> ())
+    platform mode ~ops scripts =
+  let sys = Setup.create ?policy platform mode in
+  stage sys.Setup.machine;
+  let traps = ref 0 in
+  (* per-core accounting, as the paper reports ("number of traps are
+     reported per core"): count hart 0 *)
+  sys.Setup.machine.Machine.on_trap <-
+    Some
+      (fun _ hart _ ~from_priv:_ ~to_m ->
+        if to_m && hart.Hart.id = 0 then incr traps);
+  let start_cycles = Setup.hart0_cycles sys in
+  Setup.run_scripts ~max_instrs sys scripts;
+  let cycles = Int64.sub (Setup.hart0_cycles sys) start_cycles in
+  let seconds = Platform.seconds_of_cycles platform cycles in
+  let world_switches, offload_hits =
+    match Setup.stats sys with
+    | Some s ->
+        (s.Miralis.Vfm_stats.world_switches, Miralis.Vfm_stats.offload_hits s)
+    | None -> (0, 0)
+  in
+  ( {
+      mode;
+      cycles;
+      seconds;
+      ops;
+      throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+      traps_to_m = !traps;
+      traps_per_sec =
+        (if seconds > 0. then float_of_int !traps /. seconds else 0.);
+      world_switches;
+      world_switches_per_sec =
+        (if seconds > 0. then float_of_int world_switches /. seconds else 0.);
+      offload_hits;
+    },
+    sys )
+
+let run ?policy ?max_instrs ?stage platform mode ~ops scripts =
+  fst (run_with_system ?policy ?max_instrs ?stage platform mode ~ops scripts)
+
+let relative ~baseline r =
+  if baseline.throughput > 0. then r.throughput /. baseline.throughput else 0.
+
+let stamps_deltas sys ~hart ~count =
+  let stamps = Script.stamps sys.Setup.machine ~hart ~count in
+  Array.init
+    (max 0 (count - 1))
+    (fun i -> Int64.to_float (Int64.sub stamps.(i + 1) stamps.(i)))

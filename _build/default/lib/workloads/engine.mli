@@ -1,0 +1,54 @@
+(** The workload engine: runs a script-defined workload in a given
+    configuration and extracts the measurements the evaluation
+    reports.
+
+    Per the paper's own analysis (§3.4), a VFM adds overhead only on
+    traps to M-mode: direct execution is untouched. Workloads are
+    therefore modelled as per-operation compute blocks (executed
+    natively by the guest kernel) interleaved with the real trapping
+    operations; the trap *rates* are taken from the paper's
+    measurements (11k–389k traps/s depending on workload). *)
+
+type result = {
+  mode : Mir_harness.Setup.mode;
+  cycles : int64;  (** hart-0 simulated cycles for the run *)
+  seconds : float;  (** simulated wall-clock *)
+  ops : int;
+  throughput : float;  (** ops per simulated second *)
+  traps_to_m : int;
+  traps_per_sec : float;
+  world_switches : int;
+  world_switches_per_sec : float;
+  offload_hits : int;
+}
+
+val run :
+  ?policy:Miralis.Policy.t ->
+  ?max_instrs:int64 ->
+  ?stage:(Mir_rv.Machine.t -> unit) ->
+  Mir_platform.Platform.t ->
+  Mir_harness.Setup.mode ->
+  ops:int ->
+  Mir_kernel.Script.op list list ->
+  result
+(** Boot the system, optionally [stage] extra guest state (disk
+    contents, TEE descriptors), run the per-hart scripts to power-off
+    and measure. [ops] is the workload's operation count, used for
+    throughput. *)
+
+val relative : baseline:result -> result -> float
+(** Throughput relative to a baseline (1.0 = parity, >1 faster). *)
+
+val stamps_deltas : Mir_harness.Setup.system -> hart:int -> count:int -> float array
+(** Successive cycle-stamp deltas (for latency distributions). *)
+
+val run_with_system :
+  ?policy:Miralis.Policy.t ->
+  ?max_instrs:int64 ->
+  ?stage:(Mir_rv.Machine.t -> unit) ->
+  Mir_platform.Platform.t ->
+  Mir_harness.Setup.mode ->
+  ops:int ->
+  Mir_kernel.Script.op list list ->
+  result * Mir_harness.Setup.system
+(** Like {!run} but also returns the system for further inspection. *)

@@ -1,0 +1,194 @@
+module Script = Mir_kernel.Script
+module Machine = Mir_rv.Machine
+
+type spec = {
+  name : string;
+  ops : int;
+  scripts : Mir_kernel.Script.op list list;
+}
+
+let nharts = 4
+
+(* Repeat a per-op body [n] times using the kernel's loop opcode. *)
+let looped body n = body @ [ Script.Loop (Int64.of_int n); Script.End ]
+let all_harts script = List.init nharts (fun _ -> script)
+
+(* ------------------------------------------------------------------ *)
+(* CoreMark-Pro: nine kernels, all CPU-bound with slightly different  *)
+(* working profiles. ~11k traps/s under no-offload in the paper:      *)
+(* roughly one rdtime per ~135k cycles plus the 100 Hz tick.          *)
+(* ------------------------------------------------------------------ *)
+
+let coremark_kernels =
+  [ "cjpeg-rose7"; "core"; "linear_alg"; "loops-all-mid"; "nnet_test";
+    "parser"; "radix2"; "sha"; "zip" ]
+
+let coremark_profile = function
+  | "cjpeg-rose7" -> (42_000, 8)
+  | "core" -> (36_000, 10)
+  | "linear_alg" -> (50_000, 8)
+  | "loops-all-mid" -> (56_000, 9)
+  | "nnet_test" -> (62_000, 7)
+  | "parser" -> (31_000, 11)
+  | "radix2" -> (48_000, 9)
+  | "sha" -> (39_000, 9)
+  | "zip" -> (45_000, 8)
+  | k -> invalid_arg ("unknown CoreMark-Pro kernel " ^ k)
+
+let coremark ~kernel =
+  let compute, iters = coremark_profile kernel in
+  let body =
+    [ Script.Compute (Int64.of_int compute); Script.Rdtime ]
+  in
+  {
+    name = "coremark-pro/" ^ kernel;
+    ops = iters * nharts;
+    scripts = all_harts (looped body iters);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* IOzone: O_DIRECT sequential records through the block device; the  *)
+(* kernel timestamps each record like the benchmark's timers do.      *)
+(* ------------------------------------------------------------------ *)
+
+let iozone ~write ~record_kib ~records =
+  let sectors_per_record = record_kib * 2 (* 512-byte sectors *) in
+  (* One script op per sector, bounded for simulation friendliness. *)
+  let sectors = min sectors_per_record 16 in
+  let body =
+    [ Script.Rdtime ]
+    @ List.init sectors (fun i ->
+          Script.Disk_io { write; sector = 64 + (i mod 256) })
+    @ [ Script.Rdtime ]
+  in
+  {
+    name = Printf.sprintf "iozone-%s-%dK" (if write then "write" else "read")
+        record_kib;
+    ops = records * sectors;
+    scripts = [ looped body records ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Key-value stores. Trap rates from §8.3.3: Redis ~272k traps/s      *)
+(* (single-threaded), Memcached ~389k traps/s (4 threads). At 1.5 GHz *)
+(* that is one trap per ~5.5k / ~3.9k cycles; each request issues two *)
+(* rdtime timestamps around its service time.                          *)
+(* ------------------------------------------------------------------ *)
+
+let kv_request ~service_iters ~stamp =
+  (if stamp then [ Script.Cycle_stamp ] else [])
+  @ [
+      Script.Rdtime;
+      Script.Compute (Int64.of_int service_iters);
+      Script.Rdtime;
+    ]
+
+(* Request sizes vary (values, hits/misses, pipelining), giving the
+   latency its distribution; the shapes repeat deterministically. *)
+let kv_request_mix ~stamp =
+  List.concat_map
+    (fun service_iters -> kv_request ~service_iters ~stamp)
+    [ 1200; 1800; 2600; 1400; 3400; 1600; 2100; 900 ]
+
+let memcached_latency ~requests =
+  let rounds = max 1 (requests / 8) in
+  {
+    name = "memcached-latency";
+    ops = rounds * 8;
+    scripts =
+      List.init nharts (fun h ->
+          looped (kv_request_mix ~stamp:(h = 0)) (if h = 0 then rounds else rounds / 2));
+  }
+
+let redis ~ops =
+  {
+    name = "redis";
+    ops;
+    scripts = [ looped (kv_request ~service_iters:2600 ~stamp:false) ops ];
+  }
+
+let memcached ~ops =
+  {
+    name = "memcached";
+    ops = ops * nharts;
+    scripts =
+      all_harts (looped (kv_request ~service_iters:1800 ~stamp:false) ops);
+  }
+
+(* MySQL: OLTP read/write transactions — compute, timestamps, a disk
+   access every few transactions, a timer re-arm every batch. *)
+let mysql ~ops =
+  let txn i =
+    [ Script.Rdtime; Script.Compute 6000L; Script.Rdtime ]
+    @ (if i mod 4 = 0 then
+         [ Script.Disk_io { write = i mod 8 = 0; sector = 128 + i } ]
+       else [])
+    @ if i mod 32 = 0 then [ Script.Set_timer 4000L ] else []
+  in
+  let body = List.concat (List.init 8 txn) in
+  {
+    name = "mysql";
+    ops = ops * nharts;
+    scripts = all_harts (looped body (max 1 (ops / 8)));
+  }
+
+(* GCC: long native compute with only the periodic scheduler tick. *)
+let gcc ~ops =
+  let body = [ Script.Compute 120_000L; Script.Rdtime ] in
+  {
+    name = "gcc";
+    ops = ops * nharts;
+    scripts = all_harts (looped body ops);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 tight loops                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rdtime_loop ~n =
+  {
+    name = "rdtime-loop";
+    ops = n;
+    scripts = [ looped [ Script.Rdtime ] n ];
+  }
+
+let ipi_loop ~n =
+  {
+    name = "ipi-loop";
+    ops = n;
+    scripts = [ looped [ Script.Ipi_self ] n ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* RV8 enclave benchmarks (Fig. 14)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rv8_apps =
+  [
+    ("aes", 24_000L);
+    ("bigint", 40_000L);
+    ("dhrystone", 20_000L);
+    ("miniz", 32_000L);
+    ("norx", 26_000L);
+    ("primes", 44_000L);
+    ("qsort", 28_000L);
+    ("sha512", 36_000L);
+  ]
+
+let rv8_enclave_base = 0x80800000L
+let rv8_enclave_size = 4096L
+
+let stage_rv8 m ~index =
+  let _, iters = List.nth rv8_apps index in
+  Machine.load_program m rv8_enclave_base
+    (Mir_kernel.Uapp.image ~base:rv8_enclave_base ~iters);
+  Script.write_descriptor m ~index:0 ~base:rv8_enclave_base
+    ~size:rv8_enclave_size ~entry:rv8_enclave_base
+
+let rv8_script ~enclave ~index =
+  ignore index;
+  [
+    Script.Set_timer 2000L;
+    (if enclave then Script.Enclave_round 0L else Script.Uproc_round 0L);
+    Script.End;
+  ]

@@ -1,0 +1,66 @@
+(** Workload models for the paper's micro- and macro-benchmarks.
+
+    Each model compiles to per-hart {!Mir_kernel.Script} programs whose
+    *trap mix and rate* reproduce the paper's measurements for that
+    application (§8.3: CoreMark-Pro ~11k traps/s, IOzone disk-bound,
+    Redis ~272k traps/s, Memcached ~389k traps/s, MySQL mixed, GCC
+    compute-bound), scaled to simulator-friendly run lengths. Compute
+    blocks execute natively on the guest; every trap is a real
+    instruction taking a real M-mode trap. *)
+
+type spec = {
+  name : string;
+  ops : int;  (** operation count for throughput *)
+  scripts : Mir_kernel.Script.op list list;  (** one per hart *)
+}
+
+(* -- Microbenchmarks ------------------------------------------------ *)
+
+val coremark_kernels : string list
+(** The nine CoreMark-Pro member benchmarks. *)
+
+val coremark : kernel:string -> spec
+(** CPU-bound, all four harts; compute-heavy with rdtime timestamps
+    and a 100 Hz tick. *)
+
+val iozone : write:bool -> record_kib:int -> records:int -> spec
+(** O_DIRECT-style sequential disk records via the block device. *)
+
+val memcached_latency : requests:int -> spec
+(** Closed-loop request stream with per-request cycle stamps on hart 0
+    (all harts serve requests, like the 4-thread memcached). *)
+
+(* -- Application benchmarks (Fig. 13) ------------------------------- *)
+
+val redis : ops:int -> spec
+(** Single-threaded YCSB-A-style mix, ~272k traps/s. *)
+
+val memcached : ops:int -> spec
+(** Four-thread key-value serving, ~389k traps/s. *)
+
+val mysql : ops:int -> spec
+(** Mixed CPU/disk/timer OLTP-style transactions. *)
+
+val gcc : ops:int -> spec
+(** Compute-dominated compile job; almost no firmware traps. *)
+
+(* -- Table 5 loops -------------------------------------------------- *)
+
+val rdtime_loop : n:int -> spec
+val ipi_loop : n:int -> spec
+
+(* -- RV8 (Fig. 14) --------------------------------------------------- *)
+
+val rv8_apps : (string * int64) list
+(** The RV8 member benchmarks and their iteration counts. *)
+
+val rv8_script : enclave:bool -> index:int -> Mir_kernel.Script.op list
+(** One app run, inside a Keystone enclave or as a native U process.
+    Requires the app image staged at the descriptor (see
+    {!stage_rv8}). *)
+
+val rv8_enclave_base : int64
+val rv8_enclave_size : int64
+
+val stage_rv8 : Mir_rv.Machine.t -> index:int -> unit
+(** Load the app image and descriptor for [rv8_apps.(index)]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Mir_asm Mir_rv QCheck QCheck_alcotest

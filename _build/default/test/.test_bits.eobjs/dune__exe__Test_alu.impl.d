@@ -1,0 +1,1 @@
+test/test_alu.ml: Alcotest Helpers Int64 Mir_rv Mir_util QCheck

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Helpers Int64 List Mir_asm Mir_rv Option Printf QCheck

@@ -1,0 +1,1 @@
+test/test_atomics.ml: Alcotest Helpers Int64 Mir_asm Mir_rv Mir_util Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Helpers Int64 Mir_util QCheck

@@ -1,0 +1,1 @@
+test/test_decode.ml: Alcotest Int64 List Mir_rv Mir_util QCheck QCheck_alcotest

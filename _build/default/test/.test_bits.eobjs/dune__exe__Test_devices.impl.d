@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Char Helpers Int64 Mir_rv String

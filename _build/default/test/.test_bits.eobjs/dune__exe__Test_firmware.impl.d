@@ -1,0 +1,1 @@
+test/test_firmware.ml: Alcotest Helpers Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_rv

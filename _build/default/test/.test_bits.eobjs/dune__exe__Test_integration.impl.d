@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Helpers List Mir_harness Mir_kernel Mir_platform Mir_rv Miralis Option Printf

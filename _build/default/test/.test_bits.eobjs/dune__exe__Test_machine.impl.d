@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Char Helpers Int64 Mir_asm Mir_rv Option

@@ -1,0 +1,1 @@
+test/test_pmp.ml: Alcotest Array Helpers Int64 List Mir_rv Mir_util Printf QCheck

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Helpers Int64 List Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_policies Mir_rv Mir_sbi Miralis Option String

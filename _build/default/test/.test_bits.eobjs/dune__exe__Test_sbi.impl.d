@@ -1,0 +1,1 @@
+test/test_sbi.ml: Alcotest Helpers Mir_sbi

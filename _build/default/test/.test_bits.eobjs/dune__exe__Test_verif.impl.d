@@ -1,0 +1,1 @@
+test/test_verif.ml: Alcotest Mir_verif Miralis

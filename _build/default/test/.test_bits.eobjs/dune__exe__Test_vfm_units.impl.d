@@ -1,0 +1,1 @@
+test/test_vfm_units.ml: Alcotest Array Helpers Int64 List Mir_rv Mir_sbi Mir_util Miralis

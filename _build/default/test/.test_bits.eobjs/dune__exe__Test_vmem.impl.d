@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Hashtbl Int64 Mir_rv Mir_util Option

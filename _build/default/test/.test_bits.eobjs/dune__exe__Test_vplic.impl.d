@@ -1,0 +1,1 @@
+test/test_vplic.ml: Alcotest Helpers Int64 Mir_asm Mir_firmware Mir_harness Mir_kernel Mir_platform Mir_rv Miralis

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers List Mir_harness Mir_kernel Mir_platform Mir_rv Mir_workloads Option Printf

@@ -1,0 +1,27 @@
+(* Shared test utilities. *)
+
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Asm = Mir_asm.Asm
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* Build a machine, assemble a program at the RAM base, reset hart 0
+   there, and return the machine. *)
+let machine_with ?(config = Machine.default_config) prog =
+  let m = Machine.create config in
+  let image, labels = Asm.assemble ~base:config.Machine.ram_base prog in
+  Machine.load_program m config.Machine.ram_base image;
+  Array.iter (fun h -> Hart.reset h ~pc:config.Machine.ram_base) m.Machine.harts;
+  (m, labels)
+
+(* Run until power-off (or bounded), returning hart 0. *)
+let run_to_completion ?(max_instrs = 2_000_000L) m =
+  Machine.run ~max_instrs m;
+  m.Machine.harts.(0)
+
+let qcheck_case ?(count = 500) name law gen =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen law)

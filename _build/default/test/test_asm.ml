@@ -1,0 +1,131 @@
+(* Assembler tests: layout, label resolution, li expansion, data
+   directives — verified by executing the assembled programs. *)
+
+module Asm = Mir_asm.Asm
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+open Asm.I
+open Asm.Reg
+
+let ram_base = Machine.default_config.Machine.ram_base
+let result_addr = Int64.add ram_base 0x100000L
+let poweroff = [ li t6 0x100000L; li t5 0x5555L; sw t5 0L t6 ]
+let store_result reg = [ li t6 result_addr; sd reg 0L t6 ]
+
+let run prog =
+  let m, labels = Helpers.machine_with prog in
+  ignore (Helpers.run_to_completion m);
+  (Option.get (Machine.phys_load m result_addr 8), labels)
+
+let test_li_values () =
+  (* li must materialize arbitrary 64-bit constants exactly *)
+  List.iter
+    (fun v ->
+      let r, _ = run ([ li a0 v ] @ store_result a0 @ poweroff) in
+      Helpers.check_i64 (Printf.sprintf "li %Lx" v) v r)
+    [
+      0L; 1L; -1L; 2047L; -2048L; 2048L; 0x7FFFFFFFL; 0x80000000L;
+      0xFFFFFFFFL; 0x123456789ABCDEFL; Int64.min_int; Int64.max_int;
+      0x8000000080000000L; 0xDEADBEEFCAFEBABEL;
+    ]
+
+let test_la_resolves_forward_and_back () =
+  let prog =
+    [ la a0 "back"; la a1 "fwd"; sub a2 a1 a0 ]
+    @ store_result a2 @ poweroff
+    @ [ label "fwd"; Asm.Word64 7L ]
+  in
+  let prog = (Asm.Label "back" :: prog) in
+  let r, labels = run prog in
+  let fwd = Asm.label_addr labels "fwd" and back = Asm.label_addr labels "back" in
+  Helpers.check_i64 "distance" (Int64.sub fwd back) r
+
+let test_word_label () =
+  let prog =
+    [ la a0 "table"; ld a1 0L a0 ]
+    @ store_result a1 @ poweroff
+    @ [ Asm.Align 8; label "table"; Asm.Word_label "target"; label "target" ]
+  in
+  let r, labels = run prog in
+  Helpers.check_i64 "word_label" (Asm.label_addr labels "target") r
+
+let test_branch_dispatch () =
+  let r, _ =
+    run
+      ([
+         li a0 5L; li a1 5L;
+         beq a0 a1 "eq";
+         li a2 0L;
+         j "done";
+         label "eq";
+         li a2 42L;
+         label "done";
+       ]
+      @ store_result a2 @ poweroff)
+  in
+  Helpers.check_i64 "beq taken" 42L r
+
+let test_call_ret () =
+  let r, _ =
+    run
+      ([ li a0 0L; call "f"; call "f"; call "f" ]
+      @ store_result a0 @ poweroff
+      @ [ label "f"; addi a0 a0 7L; ret ])
+  in
+  Helpers.check_i64 "three calls" 21L r
+
+let test_data_directives () =
+  let r, _ =
+    run
+      ([ la a0 "data"; lw a1 0L a0; lbu a2 4L a0; add a3 a1 a2 ]
+      @ store_result a3 @ poweroff
+      @ [ Asm.Align 4; label "data"; Asm.Word32 1000L; Asm.Ascii "\005" ])
+  in
+  Helpers.check_i64 "word32 + ascii byte" 1005L r
+
+let test_space_and_align () =
+  let _, labels =
+    Asm.assemble ~base:0x1000L
+      [ Asm.Space 3; Asm.Align 8; Asm.Label "here"; Asm.I.nop ]
+  in
+  Helpers.check_i64 "aligned label" 0x1008L (Asm.label_addr labels "here")
+
+let test_duplicate_label_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Asm: duplicate label x")
+    (fun () ->
+      ignore (Asm.assemble ~base:0L [ Asm.Label "x"; Asm.Label "x" ]))
+
+let test_unknown_label_rejected () =
+  Alcotest.(check bool) "unknown raises" true
+    (match Asm.assemble ~base:0L [ Asm.I.j "nowhere" ] with
+    | exception Asm.Unknown_label "nowhere" -> true
+    | _ -> false)
+
+let prop_li_random =
+  Helpers.qcheck_case ~count:150 "li materializes random constants"
+    (fun v ->
+      let r, _ = run ([ li a0 v ] @ store_result a0 @ poweroff) in
+      r = v)
+    QCheck.int64
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "asm",
+        [
+          Alcotest.test_case "li values" `Quick test_li_values;
+          Alcotest.test_case "la forward/back" `Quick
+            test_la_resolves_forward_and_back;
+          Alcotest.test_case "word_label" `Quick test_word_label;
+          Alcotest.test_case "branch dispatch" `Quick test_branch_dispatch;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "data directives" `Quick test_data_directives;
+          Alcotest.test_case "space/align" `Quick test_space_and_align;
+          Alcotest.test_case "duplicate label" `Quick
+            test_duplicate_label_rejected;
+          Alcotest.test_case "unknown label" `Quick
+            test_unknown_label_rejected;
+          prop_li_random;
+        ] );
+    ]

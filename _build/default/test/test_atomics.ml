@@ -1,0 +1,166 @@
+(* A-extension tests: fetch-and-op semantics, LR/SC success and
+   failure, cross-hart reservation invalidation, SMP counters, and the
+   encoder round-trip for the AMO space. *)
+
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Instr = Mir_rv.Instr
+module Asm = Mir_asm.Asm
+open Asm.I
+open Asm.Reg
+
+let ram_base = Machine.default_config.Machine.ram_base
+let result_addr = Int64.add ram_base 0x100000L
+let cell = Int64.add ram_base 0x100100L
+let poweroff = [ li t6 0x100000L; li t5 0x5555L; sw t5 0L t6 ]
+let store_result reg = [ li t6 result_addr; sd reg 0L t6 ]
+
+let run prog =
+  let m, _ = Helpers.machine_with prog in
+  ignore (Helpers.run_to_completion m);
+  (Option.get (Machine.phys_load m result_addr 8), m)
+
+let test_amoadd () =
+  let r, m =
+    run
+      ([ li a0 cell; li a1 40L; sd a1 0L a0; li a2 2L;
+         amoadd_d a3 a2 a0 ]
+      @ store_result a3 @ poweroff)
+  in
+  Helpers.check_i64 "rd = old value" 40L r;
+  Helpers.check_i64 "memory updated" 42L (Option.get (Machine.phys_load m cell 8))
+
+let test_amoswap_w_sign_extends () =
+  let r, m =
+    run
+      ([ li a0 cell; li a1 0xFFFFFFFFL; sw a1 0L a0; li a2 5L;
+         amoswap_w a3 a2 a0 ]
+      @ store_result a3 @ poweroff)
+  in
+  (* the 32-bit old value is sign-extended into rd *)
+  Helpers.check_i64 "rd sign-extended" (-1L) r;
+  Helpers.check_i64 "low word swapped" 5L
+    (Option.get (Machine.phys_load m cell 4))
+
+let test_lr_sc_success () =
+  let r, m =
+    run
+      ([ li a0 cell; li a1 7L; sd a1 0L a0;
+         lr_d a2 a0; addi a2 a2 1L; sc_d a3 a2 a0 ]
+      @ store_result a3 @ poweroff)
+  in
+  Helpers.check_i64 "sc succeeded" 0L r;
+  Helpers.check_i64 "incremented" 8L (Option.get (Machine.phys_load m cell 8))
+
+let test_sc_without_reservation_fails () =
+  let r, m =
+    run
+      ([ li a0 cell; li a1 7L; sd a1 0L a0; li a2 99L; sc_d a3 a2 a0 ]
+      @ store_result a3 @ poweroff)
+  in
+  Helpers.check_i64 "sc failed" 1L r;
+  Helpers.check_i64 "memory untouched" 7L
+    (Option.get (Machine.phys_load m cell 8))
+
+let test_store_breaks_reservation () =
+  let r, _ =
+    run
+      ([ li a0 cell; lr_d a2 a0;
+         (* an intervening ordinary store to the same address *)
+         li a1 3L; sd a1 0L a0;
+         sc_d a3 a2 a0 ]
+      @ store_result a3 @ poweroff)
+  in
+  Helpers.check_i64 "sc failed after store" 1L r
+
+let test_misaligned_amo_traps () =
+  let r, _ =
+    run
+      ([ la t0 "mtrap"; csrw Mir_rv.Csr_addr.mtvec t0;
+         li a0 (Int64.add cell 4L); li a2 1L;
+         amoadd_d a3 a2 a0;
+         label "mtrap"; csrr a0 Mir_rv.Csr_addr.mcause ]
+      @ store_result a0 @ poweroff)
+  in
+  (* cause 6: store/AMO misaligned *)
+  Helpers.check_i64 "amo misaligned" 6L r
+
+let test_smp_atomic_counter () =
+  (* four harts each add 1000 to a shared cell with amoadd; the final
+     value proves atomicity across the round-robin interleaving *)
+  let config = { Machine.default_config with Machine.nharts = 4 } in
+  let prog =
+    [
+      li a0 cell;
+      li t0 1000L;
+      li t1 1L;
+      label "loop";
+      amoadd_d zero t1 a0;
+      addi t0 t0 (-1L);
+      bnez t0 "loop";
+      (* rendezvous: bump the arrival counter *)
+      li a1 (Int64.add cell 8L);
+      li t2 1L;
+      amoadd_d zero t2 a1;
+      (* hart 0 waits for all four then powers off *)
+      csrr t3 Mir_rv.Csr_addr.mhartid;
+      bnez t3 "park";
+      label "wait";
+      ld t4 0L a1;
+      li t5 4L;
+      bne t4 t5 "wait";
+    ]
+    @ poweroff
+    @ [ label "park"; wfi; j "park" ]
+  in
+  let m, _ = Helpers.machine_with ~config prog in
+  Machine.run ~max_instrs:10_000_000L m;
+  Helpers.check_i64 "4 x 1000 atomic increments" 4000L
+    (Option.get (Machine.phys_load m cell 8))
+
+let prop_amo_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneofl
+        Instr.[ Lr; Sc; Swap; Amoadd; Amoxor; Amoand; Amoor; Amomin;
+                Amomax; Amominu; Amomaxu ]
+      >>= fun op ->
+      bool >>= fun wide ->
+      bool >>= fun aq ->
+      bool >>= fun rl ->
+      int_range 0 31 >>= fun rd ->
+      int_range 0 31 >>= fun rs1 ->
+      int_range 0 31 >>= fun rs2 ->
+      let rs2 = if op = Instr.Lr then 0 else rs2 in
+      return (Instr.Amo { op; wide; aq; rl; rd; rs1; rs2 }))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"amo decode(encode) = id" ~count:1000
+       (QCheck.make gen ~print:Instr.to_string)
+       (fun i -> Mir_rv.Decode.decode (Mir_rv.Encode.encode i) = Some i))
+
+let test_misa_advertises_a () =
+  let f = Mir_rv.Csr_file.create Mir_rv.Csr_spec.default_config ~hart_id:0 in
+  Alcotest.(check bool) "misa.A" true
+    (Mir_util.Bits.test (Mir_rv.Csr_file.read f Mir_rv.Csr_addr.misa) 0)
+
+let () =
+  Alcotest.run "atomics"
+    [
+      ( "atomics",
+        [
+          Alcotest.test_case "amoadd" `Quick test_amoadd;
+          Alcotest.test_case "amoswap.w sign extension" `Quick
+            test_amoswap_w_sign_extends;
+          Alcotest.test_case "lr/sc success" `Quick test_lr_sc_success;
+          Alcotest.test_case "sc without reservation" `Quick
+            test_sc_without_reservation_fails;
+          Alcotest.test_case "store breaks reservation" `Quick
+            test_store_breaks_reservation;
+          Alcotest.test_case "misaligned amo" `Quick test_misaligned_amo_traps;
+          Alcotest.test_case "smp atomic counter" `Quick
+            test_smp_atomic_counter;
+          Alcotest.test_case "misa advertises A" `Quick test_misa_advertises_a;
+          prop_amo_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Unit and property tests for the bit-manipulation kernel. *)
+
+module Bits = Mir_util.Bits
+
+let test_mask () =
+  Helpers.check_i64 "mask 0" 0L (Bits.mask 0);
+  Helpers.check_i64 "mask 1" 1L (Bits.mask 1);
+  Helpers.check_i64 "mask 12" 0xFFFL (Bits.mask 12);
+  Helpers.check_i64 "mask 63" Int64.max_int (Bits.mask 63);
+  Helpers.check_i64 "mask 64" (-1L) (Bits.mask 64)
+
+let test_extract () =
+  Helpers.check_i64 "low nibble" 0xFL (Bits.extract 0xABCF0L ~lo:4 ~hi:7);
+  Helpers.check_i64 "high bit set" 1L (Bits.extract Int64.min_int ~lo:63 ~hi:63);
+  Helpers.check_i64 "full" (-1L) (Bits.extract (-1L) ~lo:0 ~hi:63)
+
+let test_insert () =
+  Helpers.check_i64 "set field" 0xAB0L
+    (Bits.insert 0xA00L ~lo:4 ~hi:7 ~value:0xBL);
+  Helpers.check_i64 "clear field" 0xA00L
+    (Bits.insert 0xAF0L ~lo:4 ~hi:7 ~value:0L);
+  Helpers.check_i64 "value truncated" 0x10L
+    (Bits.insert 0L ~lo:4 ~hi:4 ~value:3L)
+
+let test_sext () =
+  Helpers.check_i64 "positive" 5L (Bits.sext 5L ~width:12);
+  Helpers.check_i64 "negative 12-bit" (-1L) (Bits.sext 0xFFFL ~width:12);
+  Helpers.check_i64 "negative 32-bit" (-2147483648L)
+    (Bits.sext 0x80000000L ~width:32);
+  Helpers.check_i64 "width 64 id" (-42L) (Bits.sext (-42L) ~width:64)
+
+let test_bit_ops () =
+  Helpers.check_bool "test set" true (Bits.test 0x8L 3);
+  Helpers.check_bool "test clear" false (Bits.test 0x8L 2);
+  Helpers.check_i64 "set" 0x9L (Bits.set 0x1L 3);
+  Helpers.check_i64 "clear" 0x1L (Bits.clear 0x9L 3);
+  Helpers.check_i64 "write true" 0x9L (Bits.write 0x1L 3 true);
+  Helpers.check_i64 "write false" 0x1L (Bits.write 0x9L 3 false)
+
+let test_alignment () =
+  Helpers.check_bool "aligned 8" true (Bits.is_aligned 0x1000L ~size:8);
+  Helpers.check_bool "unaligned" false (Bits.is_aligned 0x1001L ~size:2);
+  Helpers.check_i64 "align down" 0x1FFCL (Bits.align_down 0x1FFFL ~size:4);
+  Helpers.check_i64 "align down page" 0x1000L
+    (Bits.align_down 0x1FFFL ~size:4096)
+
+let test_unsigned_compare () =
+  Helpers.check_bool "ult wraps" true (Bits.ult 5L (-1L));
+  Helpers.check_bool "not ult" false (Bits.ult (-1L) 5L);
+  Helpers.check_bool "ule equal" true (Bits.ule 7L 7L)
+
+let test_popcount_ctz () =
+  Helpers.check_int "popcount 0" 0 (Bits.popcount 0L);
+  Helpers.check_int "popcount -1" 64 (Bits.popcount (-1L));
+  Helpers.check_int "popcount 0xF0" 4 (Bits.popcount 0xF0L);
+  Helpers.check_int "ctz 0" 64 (Bits.ctz 0L);
+  Helpers.check_int "ctz 8" 3 (Bits.ctz 8L);
+  Helpers.check_int "ctz odd" 0 (Bits.ctz 7L)
+
+let prop_extract_insert =
+  Helpers.qcheck_case "insert(extract) identity"
+    (fun (v, lo, len) ->
+      let lo = abs lo mod 60 in
+      let len = 1 + (abs len mod (63 - lo)) in
+      let hi = lo + len - 1 in
+      let field = Bits.extract v ~lo ~hi in
+      Bits.insert v ~lo ~hi ~value:field = v)
+    QCheck.(triple int64 small_int small_int)
+
+let prop_sext_idempotent =
+  Helpers.qcheck_case "sext idempotent"
+    (fun (v, w) ->
+      let w = 1 + (abs w mod 64) in
+      let s = Bits.sext v ~width:w in
+      Bits.sext s ~width:w = s)
+    QCheck.(pair int64 small_int)
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "extract" `Quick test_extract;
+          Alcotest.test_case "insert" `Quick test_insert;
+          Alcotest.test_case "sext" `Quick test_sext;
+          Alcotest.test_case "bit ops" `Quick test_bit_ops;
+          Alcotest.test_case "alignment" `Quick test_alignment;
+          Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+          Alcotest.test_case "popcount/ctz" `Quick test_popcount_ctz;
+          prop_extract_insert;
+          prop_sext_idempotent;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* CSR file semantics: views, WARL legalization, locks, resets. *)
+
+module Csr_file = Mir_rv.Csr_file
+module Csr_spec = Mir_rv.Csr_spec
+module C = Mir_rv.Csr_addr
+module Bits = Mir_util.Bits
+
+let fresh ?(config = Csr_spec.default_config) () =
+  Csr_file.create config ~hart_id:0
+
+let test_reset_values () =
+  let f = fresh () in
+  Helpers.check_i64 "mstatus reset" 0L (Csr_file.read_raw f C.mstatus);
+  Helpers.check_i64 "mhartid" 0L (Csr_file.read f C.mhartid);
+  let f1 = Csr_file.create Csr_spec.default_config ~hart_id:3 in
+  Helpers.check_i64 "mhartid hart 3" 3L (Csr_file.read f1 C.mhartid);
+  (* misa advertises RV64IMSU *)
+  let misa = Csr_file.read f C.misa in
+  Alcotest.(check bool) "misa S" true (Bits.test misa 18);
+  Alcotest.(check bool) "misa U" true (Bits.test misa 20);
+  Alcotest.(check bool) "misa no H" false (Bits.test misa 7)
+
+let test_mstatus_mpp_warl () =
+  let f = fresh () in
+  (* MPP = 2 is reserved: the write keeps the old value *)
+  Csr_file.write f C.mstatus (Int64.shift_left 3L 11);
+  Helpers.check_i64 "MPP=M stored" 3L
+    (Bits.extract (Csr_file.read_raw f C.mstatus) ~lo:11 ~hi:12);
+  Csr_file.write f C.mstatus (Int64.shift_left 2L 11);
+  Helpers.check_i64 "MPP=2 rejected, keeps M" 3L
+    (Bits.extract (Csr_file.read_raw f C.mstatus) ~lo:11 ~hi:12)
+
+let test_mstatus_read_only_fields () =
+  let f = fresh () in
+  Csr_file.write f C.mstatus (-1L);
+  let v = Csr_file.read f C.mstatus in
+  (* UXL/SXL read as 2 (64-bit) *)
+  Helpers.check_i64 "UXL" 2L (Bits.extract v ~lo:32 ~hi:33);
+  Helpers.check_i64 "SXL" 2L (Bits.extract v ~lo:34 ~hi:35);
+  (* FS/XS/VS are not implemented: stay zero *)
+  Helpers.check_i64 "FS" 0L (Bits.extract v ~lo:13 ~hi:14)
+
+let test_sstatus_view () =
+  let f = fresh () in
+  (* writing sstatus only touches the S-visible fields of mstatus *)
+  Csr_file.write f C.mstatus (Bits.set 0L 3) (* MIE *);
+  Csr_file.write f C.sstatus (-1L);
+  let m = Csr_file.read_raw f C.mstatus in
+  Alcotest.(check bool) "SIE set via sstatus" true (Bits.test m 1);
+  Alcotest.(check bool) "SUM set via sstatus" true (Bits.test m 18);
+  Alcotest.(check bool) "MIE untouched" true (Bits.test m 3);
+  Alcotest.(check bool) "TSR untouched" false (Bits.test m 22);
+  (* reading sstatus masks out M fields *)
+  let s = Csr_file.read f C.sstatus in
+  Alcotest.(check bool) "MIE invisible in sstatus" false (Bits.test s 3)
+
+let test_sie_sip_views () =
+  let f = fresh () in
+  Csr_file.write f C.mideleg Csr_spec.Irq.s_mask;
+  Csr_file.write f C.mie (-1L);
+  (* sie shows only delegated bits *)
+  Helpers.check_i64 "sie = mie & mideleg" Csr_spec.Irq.s_mask
+    (Csr_file.read f C.sie);
+  (* writing sie cannot touch M bits *)
+  Csr_file.write f C.sie 0L;
+  let mie = Csr_file.read_raw f C.mie in
+  Helpers.check_i64 "M bits preserved" Csr_spec.Irq.m_mask
+    (Int64.logand mie (Int64.logor Csr_spec.Irq.m_mask Csr_spec.Irq.s_mask));
+  (* sip: only SSIP writable, and only when delegated *)
+  Csr_file.write f C.sip (-1L);
+  Helpers.check_i64 "only SSIP set" Csr_spec.Irq.ssip
+    (Csr_file.read_raw f C.mip)
+
+let test_satp_warl () =
+  let f = fresh () in
+  let sv39 = Int64.logor (Int64.shift_left 8L 60) 0x12345L in
+  Csr_file.write f C.satp sv39;
+  Helpers.check_i64 "sv39 accepted" sv39 (Csr_file.read f C.satp);
+  (* mode 5 is reserved: the whole write is dropped *)
+  Csr_file.write f C.satp (Int64.shift_left 5L 60);
+  Helpers.check_i64 "reserved mode keeps old" sv39 (Csr_file.read f C.satp);
+  Csr_file.write f C.satp 0L;
+  Helpers.check_i64 "bare accepted" 0L (Csr_file.read f C.satp)
+
+let test_tvec_mode_warl () =
+  let f = fresh () in
+  Csr_file.write f C.mtvec 0x80000001L;
+  Helpers.check_i64 "vectored ok" 0x80000001L (Csr_file.read f C.mtvec);
+  Csr_file.write f C.mtvec 0x90000003L;
+  (* mode 3 reserved: mode bits keep the old value (1) *)
+  Helpers.check_i64 "mode field kept" 0x90000001L (Csr_file.read f C.mtvec)
+
+let test_epc_alignment () =
+  let f = fresh () in
+  Csr_file.write f C.mepc 0x80000003L;
+  Helpers.check_i64 "mepc low bits cleared" 0x80000000L
+    (Csr_file.read f C.mepc);
+  Csr_file.write f C.sepc 0x80000002L;
+  Helpers.check_i64 "sepc low bits cleared" 0x80000000L
+    (Csr_file.read f C.sepc)
+
+let test_pmpcfg_w_without_r_cleared () =
+  let f = fresh () in
+  (* W=1,R=0 is reserved: W must be dropped *)
+  Csr_file.write f (C.pmpcfg 0) 0x1AL (* NAPOT, W=1, R=0, X=0 *);
+  let b = Int64.logand (Csr_file.read f (C.pmpcfg 0)) 0xFFL in
+  Helpers.check_i64 "W cleared" 0x18L b
+
+let test_pmp_lock_blocks_writes () =
+  let f = fresh () in
+  Csr_file.write f (C.pmpaddr 0) 0x1000L;
+  Csr_file.write f (C.pmpcfg 0) 0x98L (* locked NAPOT *);
+  (* cfg byte is locked: further cfg writes to that byte are ignored *)
+  Csr_file.write f (C.pmpcfg 0) 0x1FL;
+  Helpers.check_i64 "locked cfg keeps value" 0x98L
+    (Int64.logand (Csr_file.read f (C.pmpcfg 0)) 0xFFL);
+  (* the locked entry's address register is locked too *)
+  Csr_file.write f (C.pmpaddr 0) 0x2000L;
+  Helpers.check_i64 "locked addr keeps value" 0x1000L
+    (Csr_file.read f (C.pmpaddr 0))
+
+let test_locked_tor_locks_previous_addr () =
+  let f = fresh () in
+  Csr_file.write f (C.pmpaddr 0) 0x1000L;
+  Csr_file.write f (C.pmpaddr 1) 0x2000L;
+  (* entry 1 = locked TOR: pmpaddr0 becomes read-only *)
+  Csr_file.write f (C.pmpcfg 0) 0x8900L;
+  Csr_file.write f (C.pmpaddr 0) 0x3000L;
+  Helpers.check_i64 "pmpaddr0 locked by TOR" 0x1000L
+    (Csr_file.read f (C.pmpaddr 0))
+
+let test_mideleg_hardwired_mode () =
+  let cfg =
+    { Csr_spec.default_config with Csr_spec.force_s_interrupt_delegation = true }
+  in
+  let f = fresh ~config:cfg () in
+  Helpers.check_i64 "reset has S bits" Csr_spec.Irq.s_mask
+    (Csr_file.read f C.mideleg);
+  Csr_file.write f C.mideleg 0L;
+  Helpers.check_i64 "cannot clear S bits" Csr_spec.Irq.s_mask
+    (Csr_file.read f C.mideleg)
+
+let test_medeleg_mask () =
+  let f = fresh () in
+  Csr_file.write f C.medeleg (-1L);
+  (* ecall-from-M (bit 11) is never delegable *)
+  Alcotest.(check bool) "bit 11 clear" false
+    (Bits.test (Csr_file.read f C.medeleg) 11)
+
+let test_config_gates_existence () =
+  let f = fresh () in
+  Alcotest.(check bool) "no stimecmp" false (Csr_file.exists f C.stimecmp);
+  Alcotest.(check bool) "no hstatus" false (Csr_file.exists f C.hstatus);
+  let cfg =
+    { Csr_spec.default_config with Csr_spec.has_sstc = true; has_h = true }
+  in
+  let f2 = fresh ~config:cfg () in
+  Alcotest.(check bool) "stimecmp exists" true (Csr_file.exists f2 C.stimecmp);
+  Alcotest.(check bool) "hstatus exists" true (Csr_file.exists f2 C.hstatus);
+  Alcotest.(check bool) "vsatp exists" true (Csr_file.exists f2 C.vsatp);
+  Alcotest.(check bool) "misa has H" true
+    (Bits.test (Csr_file.read f2 C.misa) 7)
+
+let test_pmp_count_gates_registers () =
+  let cfg = { Csr_spec.default_config with Csr_spec.pmp_count = 4 } in
+  let f = fresh ~config:cfg () in
+  Alcotest.(check bool) "pmpaddr3 exists" true (Csr_file.exists f (C.pmpaddr 3));
+  Alcotest.(check bool) "pmpaddr4 absent" false
+    (Csr_file.exists f (C.pmpaddr 4));
+  (* writes beyond the implemented count are zeroed in pmpcfg; the
+     implemented bytes keep RWX+NAPOT+L (reserved bits 5:6 cleared) *)
+  Csr_file.write f (C.pmpcfg 0) (-1L);
+  Helpers.check_i64 "only 4 cfg bytes stored" 0x9F9F9F9FL
+    (Csr_file.read f (C.pmpcfg 0))
+
+let test_all_addresses_counts () =
+  let n = List.length (Csr_spec.all_addresses Csr_spec.default_config) in
+  (* the paper's Miralis supports 84 CSRs; ours implements more
+     (8 pmpaddr + 1 pmpcfg + machine + supervisor + counters) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "default config implements %d CSRs (>= 30)" n)
+    true (n >= 30);
+  let full =
+    {
+      Csr_spec.default_config with
+      Csr_spec.pmp_count = 64;
+      has_sstc = true;
+      has_h = true;
+      custom_csrs = [ C.custom0 ];
+    }
+  in
+  let nf = List.length (Csr_spec.all_addresses full) in
+  Alcotest.(check bool)
+    (Printf.sprintf "full config implements %d CSRs (>= 84, paper's count)" nf)
+    true (nf >= 84)
+
+let test_pmp_cache_coherence () =
+  let f = fresh () in
+  Csr_file.write f (C.pmpaddr 0) (-1L);
+  Csr_file.write f (C.pmpcfg 0) 0x1FL;
+  let r1 = Csr_file.pmp_ranges f in
+  Alcotest.(check bool) "one active range" true
+    (Array.length r1.Mir_rv.Pmp.items = 1);
+  (* a raw write must invalidate the cache *)
+  Csr_file.write_raw f (C.pmpcfg 0) 0L;
+  let r2 = Csr_file.pmp_ranges f in
+  Alcotest.(check bool) "cache refreshed" true
+    (Array.length r2.Mir_rv.Pmp.items = 0)
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "reset values" `Quick test_reset_values;
+          Alcotest.test_case "mstatus MPP WARL" `Quick test_mstatus_mpp_warl;
+          Alcotest.test_case "mstatus RO fields" `Quick
+            test_mstatus_read_only_fields;
+          Alcotest.test_case "sstatus view" `Quick test_sstatus_view;
+          Alcotest.test_case "sie/sip views" `Quick test_sie_sip_views;
+          Alcotest.test_case "satp WARL" `Quick test_satp_warl;
+          Alcotest.test_case "tvec mode WARL" `Quick test_tvec_mode_warl;
+          Alcotest.test_case "epc alignment" `Quick test_epc_alignment;
+          Alcotest.test_case "pmpcfg W/R reserved" `Quick
+            test_pmpcfg_w_without_r_cleared;
+          Alcotest.test_case "pmp lock" `Quick test_pmp_lock_blocks_writes;
+          Alcotest.test_case "locked TOR locks prev addr" `Quick
+            test_locked_tor_locks_previous_addr;
+          Alcotest.test_case "mideleg hardwired" `Quick
+            test_mideleg_hardwired_mode;
+          Alcotest.test_case "medeleg mask" `Quick test_medeleg_mask;
+          Alcotest.test_case "config gates CSRs" `Quick
+            test_config_gates_existence;
+          Alcotest.test_case "pmp_count gates" `Quick
+            test_pmp_count_gates_registers;
+          Alcotest.test_case "CSR counts" `Quick test_all_addresses_counts;
+          Alcotest.test_case "pmp cache coherence" `Quick
+            test_pmp_cache_coherence;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Decoder/encoder tests: structured unit cases plus the round-trip
+   property over randomly generated instruction ASTs and a fuzz sweep
+   asserting the decoder is total (never raises). *)
+
+module Instr = Mir_rv.Instr
+module Decode = Mir_rv.Decode
+module Encode = Mir_rv.Encode
+
+let check_roundtrip name i =
+  match Decode.decode (Encode.encode i) with
+  | Some i' ->
+      Alcotest.(check string) name (Instr.to_string i) (Instr.to_string i')
+  | None -> Alcotest.failf "%s: decode returned None" name
+
+let test_known_encodings () =
+  (* Cross-checked against binutils output. *)
+  Alcotest.(check int) "nop = addi x0,x0,0" 0x00000013
+    (Encode.encode (Instr.Op_imm (Instr.Addi, 0, 0, 0L)));
+  Alcotest.(check int) "ecall" 0x00000073 (Encode.encode Instr.Ecall);
+  Alcotest.(check int) "ebreak" 0x00100073 (Encode.encode Instr.Ebreak);
+  Alcotest.(check int) "mret" 0x30200073 (Encode.encode Instr.Mret);
+  Alcotest.(check int) "sret" 0x10200073 (Encode.encode Instr.Sret);
+  Alcotest.(check int) "wfi" 0x10500073 (Encode.encode Instr.Wfi);
+  (* csrrw x0, mscratch, x0 = 0x34001073 *)
+  Alcotest.(check int) "csrw mscratch,x0" 0x34001073
+    (Encode.encode
+       (Instr.Csr { op = Instr.Csrrw; rd = 0; src = Instr.Reg 0; csr = 0x340 }));
+  (* addi a0, a0, 1 *)
+  Alcotest.(check int) "addi a0,a0,1" 0x00150513
+    (Encode.encode (Instr.Op_imm (Instr.Addi, 10, 10, 1L)));
+  (* ld a1, 8(a0) = 0x00853583 *)
+  Alcotest.(check int) "ld a1,8(a0)" 0x00853583
+    (Encode.encode
+       (Instr.Load { width = Instr.D; unsigned = false; rd = 11; rs1 = 10; imm = 8L }))
+
+let test_branch_offsets () =
+  check_roundtrip "beq fwd" (Instr.Branch (Instr.Beq, 1, 2, 64L));
+  check_roundtrip "bne back" (Instr.Branch (Instr.Bne, 3, 4, -64L));
+  check_roundtrip "bltu max" (Instr.Branch (Instr.Bltu, 5, 6, 4094L));
+  check_roundtrip "bgeu min" (Instr.Branch (Instr.Bgeu, 7, 8, -4096L))
+
+let test_jump_offsets () =
+  check_roundtrip "jal fwd" (Instr.Jal (1, 0x1000L));
+  check_roundtrip "jal back" (Instr.Jal (0, -0x1000L));
+  check_roundtrip "jal max" (Instr.Jal (5, 1048574L));
+  check_roundtrip "jal min" (Instr.Jal (5, -1048576L))
+
+let test_u_type () =
+  check_roundtrip "lui pos" (Instr.Lui (3, 0x12345000L));
+  check_roundtrip "lui neg" (Instr.Lui (3, Mir_util.Bits.sext 0x80000000L ~width:32));
+  check_roundtrip "auipc" (Instr.Auipc (7, 0x7FFFF000L))
+
+let test_csr_forms () =
+  check_roundtrip "csrrs reg"
+    (Instr.Csr { op = Instr.Csrrs; rd = 5; src = Instr.Reg 6; csr = 0x300 });
+  check_roundtrip "csrrwi"
+    (Instr.Csr { op = Instr.Csrrw; rd = 5; src = Instr.Imm 31; csr = 0xFFF });
+  check_roundtrip "csrrci"
+    (Instr.Csr { op = Instr.Csrrc; rd = 0; src = Instr.Imm 0; csr = 0x000 })
+
+let test_shifts () =
+  check_roundtrip "slli 63" (Instr.Op_imm (Instr.Slli, 1, 2, 63L));
+  check_roundtrip "srai 63" (Instr.Op_imm (Instr.Srai, 1, 2, 63L));
+  check_roundtrip "srliw 31" (Instr.Op_imm32 (Instr.Srliw, 1, 2, 31L));
+  check_roundtrip "sraiw 0" (Instr.Op_imm32 (Instr.Sraiw, 1, 2, 0L))
+
+let test_sfence () =
+  check_roundtrip "sfence.vma x0,x0" (Instr.Sfence_vma (0, 0));
+  check_roundtrip "sfence.vma a0,a1" (Instr.Sfence_vma (10, 11))
+
+let test_illegal_encodings () =
+  let is_none name w =
+    Alcotest.(check bool) name true (Decode.decode w = None)
+  in
+  is_none "all zero" 0x00000000;
+  is_none "all ones" 0xFFFFFFFF;
+  is_none "bad opcode" 0x0000007B;
+  is_none "bad funct3 branch" ((2 lsl 12) lor 0x63);
+  is_none "bad funct7 add" ((0x40 lsl 25) lor 0x33)
+
+(* Random instruction generator for the round-trip property. *)
+let gen_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let imm12 = map Int64.of_int (int_range (-2048) 2047) in
+  let imm13 = map (fun i -> Int64.of_int (i * 2)) (int_range (-2048) 2047) in
+  let imm21 = map (fun i -> Int64.of_int (i * 2)) (int_range (-524288) 524287) in
+  let imm_u = map (fun i -> Int64.shift_left (Int64.of_int i) 12)
+      (int_range (-524288) 524287) in
+  let width = oneofl [ Instr.B; Instr.H; Instr.W; Instr.D ] in
+  let branch = oneofl Instr.[ Beq; Bne; Blt; Bge; Bltu; Bgeu ] in
+  let op =
+    oneofl
+      Instr.[ Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And;
+              Mul; Mulh; Mulhsu; Mulhu; Div; Divu; Rem; Remu ]
+  in
+  let op32 =
+    oneofl Instr.[ Addw; Subw; Sllw; Srlw; Sraw; Mulw; Divw; Divuw; Remw; Remuw ]
+  in
+  let csr_op = oneofl Instr.[ Csrrw; Csrrs; Csrrc ] in
+  oneof
+    [
+      map2 (fun rd imm -> Instr.Lui (rd, imm)) reg imm_u;
+      map2 (fun rd imm -> Instr.Auipc (rd, imm)) reg imm_u;
+      map2 (fun rd imm -> Instr.Jal (rd, imm)) reg imm21;
+      map3 (fun rd rs1 imm -> Instr.Jalr (rd, rs1, imm)) reg reg imm12;
+      (branch >>= fun op ->
+       map3 (fun a b imm -> Instr.Branch (op, a, b, imm)) reg reg imm13);
+      (width >>= fun width ->
+       bool >>= fun unsigned ->
+       let unsigned = if width = Instr.D then false else unsigned in
+       map3
+         (fun rd rs1 imm -> Instr.Load { width; unsigned; rd; rs1; imm })
+         reg reg imm12);
+      (width >>= fun width ->
+       map3 (fun rs2 rs1 imm -> Instr.Store { width; rs2; rs1; imm }) reg reg
+         imm12);
+      (oneofl Instr.[ Addi; Slti; Sltiu; Xori; Ori; Andi ] >>= fun op ->
+       map3 (fun rd rs1 imm -> Instr.Op_imm (op, rd, rs1, imm)) reg reg imm12);
+      (oneofl Instr.[ Slli; Srli; Srai ] >>= fun op ->
+       map3
+         (fun rd rs1 sh -> Instr.Op_imm (op, rd, rs1, Int64.of_int sh))
+         reg reg (int_range 0 63));
+      (op >>= fun op -> map3 (fun rd a b -> Instr.Op (op, rd, a, b)) reg reg reg);
+      (op32 >>= fun op ->
+       map3 (fun rd a b -> Instr.Op32 (op, rd, a, b)) reg reg reg);
+      (csr_op >>= fun op ->
+       int_range 0 0xFFF >>= fun csr ->
+       bool >>= fun use_imm ->
+       reg >>= fun rd ->
+       reg >>= fun r ->
+       return
+         (Instr.Csr
+            {
+              op;
+              rd;
+              src = (if use_imm then Instr.Imm r else Instr.Reg r);
+              csr;
+            }));
+      oneofl
+        Instr.[ Fence; Fence_i; Ecall; Ebreak; Mret; Sret; Wfi ];
+      map2 (fun a b -> Instr.Sfence_vma (a, b)) reg reg;
+    ]
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"decode(encode) = id" ~count:2000
+       (QCheck.make gen_instr ~print:Instr.to_string)
+       (fun i ->
+         match Decode.decode (Encode.encode i) with
+         | Some i' -> i = i'
+         | None -> false))
+
+let prop_decode_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"decode never raises" ~count:20000
+       QCheck.(int_bound 0x3FFFFFFF)
+       (fun w ->
+         (* cover all 4 top bits too *)
+         let words = [ w; w lor 0x40000000; w lor (3 lsl 30) ] in
+         List.for_all
+           (fun w ->
+             match Decode.decode w with Some _ | None -> true)
+           words))
+
+let () =
+  Alcotest.run "decode"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "known encodings" `Quick test_known_encodings;
+          Alcotest.test_case "branch offsets" `Quick test_branch_offsets;
+          Alcotest.test_case "jump offsets" `Quick test_jump_offsets;
+          Alcotest.test_case "u-type" `Quick test_u_type;
+          Alcotest.test_case "csr forms" `Quick test_csr_forms;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "sfence" `Quick test_sfence;
+          Alcotest.test_case "illegal encodings" `Quick test_illegal_encodings;
+          prop_roundtrip;
+          prop_decode_total;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Device-model unit tests: CLINT, PLIC, UART, block device, NIC. *)
+
+module Clint = Mir_rv.Clint
+module Plic = Mir_rv.Plic
+module Uart = Mir_rv.Uart
+module Blockdev = Mir_rv.Blockdev
+module Nic = Mir_rv.Nic
+module Memory = Mir_rv.Memory
+module Device = Mir_rv.Device
+
+let test_clint_registers () =
+  let c = Clint.create ~nharts:2 in
+  let d = Clint.device c ~base:0L in
+  (* msip *)
+  d.Device.store (Clint.msip_offset 1) 4 1L;
+  Alcotest.(check bool) "msip1 set" true (Clint.msip c 1);
+  Alcotest.(check bool) "msip0 clear" false (Clint.msip c 0);
+  Helpers.check_i64 "msip read" 1L (d.Device.load (Clint.msip_offset 1) 4);
+  (* mtimecmp, 64-bit and split 32-bit halves *)
+  d.Device.store (Clint.mtimecmp_offset 0) 8 0x1122334455667788L;
+  Helpers.check_i64 "mtimecmp" 0x1122334455667788L (Clint.mtimecmp c 0);
+  d.Device.store (Clint.mtimecmp_offset 1) 4 0xAAAAAAAAL;
+  d.Device.store (Int64.add (Clint.mtimecmp_offset 1) 4L) 4 0xBBBBBBBBL;
+  Helpers.check_i64 "half writes" 0xBBBBBBBBAAAAAAAAL (Clint.mtimecmp c 1);
+  (* mtime and the timer line *)
+  Clint.set_mtime c 100L;
+  Helpers.check_i64 "mtime read" 100L (d.Device.load Clint.mtime_offset 8);
+  Clint.set_mtimecmp c 0 100L;
+  Alcotest.(check bool) "mtip at deadline" true (Clint.mtip c 0);
+  Clint.set_mtimecmp c 0 101L;
+  Alcotest.(check bool) "not before deadline" false (Clint.mtip c 0);
+  Clint.advance c 1L;
+  Alcotest.(check bool) "fires after advance" true (Clint.mtip c 0)
+
+let test_plic_priorities_and_claim () =
+  let p = Plic.create ~nharts:1 ~nsources:4 in
+  let d = Plic.device p ~base:0L in
+  (* enable sources 1 and 2 for context 0 (M of hart 0) *)
+  d.Device.store 0x2000L 4 0b110L;
+  d.Device.store 4L 4 1L (* prio(src1) = 1 *);
+  d.Device.store 8L 4 3L (* prio(src2) = 3 *);
+  Plic.raise_irq p 1;
+  Plic.raise_irq p 2;
+  Alcotest.(check bool) "meip high" true (Plic.meip p 0);
+  (* the higher-priority source is claimed first *)
+  Alcotest.(check int) "claims src2" 2 (Plic.claim p ~ctx:0);
+  Alcotest.(check int) "then src1" 1 (Plic.claim p ~ctx:0);
+  Alcotest.(check int) "then none" 0 (Plic.claim p ~ctx:0);
+  Plic.complete p ~ctx:0 2;
+  Alcotest.(check int) "src2 claimable again" 2 (Plic.claim p ~ctx:0);
+  Plic.lower_irq p 1;
+  Plic.lower_irq p 2
+
+let test_plic_threshold () =
+  let p = Plic.create ~nharts:1 ~nsources:2 in
+  let d = Plic.device p ~base:0L in
+  d.Device.store 0x2000L 4 0b10L;
+  d.Device.store 4L 4 2L;
+  d.Device.store 0x200000L 4 2L (* threshold 2: prio must exceed it *);
+  Plic.raise_irq p 1;
+  Alcotest.(check bool) "masked by threshold" false (Plic.meip p 0);
+  d.Device.store 0x200000L 4 1L;
+  Alcotest.(check bool) "above threshold" true (Plic.meip p 0)
+
+let test_plic_s_context () =
+  let p = Plic.create ~nharts:2 ~nsources:2 in
+  let d = Plic.device p ~base:0L in
+  (* context 3 = S-mode of hart 1 *)
+  d.Device.store (Int64.of_int (0x2000 + (3 * 0x80))) 4 0b10L;
+  d.Device.store 4L 4 1L;
+  Plic.raise_irq p 1;
+  Alcotest.(check bool) "seip hart1" true (Plic.seip p 1);
+  Alcotest.(check bool) "not hart0" false (Plic.seip p 0);
+  Alcotest.(check bool) "not M context" false (Plic.meip p 1)
+
+let test_uart () =
+  let u = Uart.create () in
+  let d = Uart.device u ~base:0L in
+  String.iter
+    (fun ch -> d.Device.store 0L 1 (Int64.of_int (Char.code ch)))
+    "hello";
+  Helpers.check_str "output" "hello" (Uart.output u);
+  Helpers.check_i64 "LSR ready" 0x60L (d.Device.load 5L 1);
+  Uart.clear u;
+  Helpers.check_str "cleared" "" (Uart.output u)
+
+let test_blockdev_read_write () =
+  let ram = Memory.create ~base:0x80000000L ~size:65536 in
+  let bd = Blockdev.create ~ram ~capacity_sectors:16 ~latency_ticks:10L ~irq:1 in
+  let d = Blockdev.device bd ~base:0L in
+  let fired = ref 0 in
+  (* preload sector 3 *)
+  Blockdev.write_sector bd 3 (Bytes.make 512 'Q');
+  (* command: read sector 3 into RAM at 0x80001000 *)
+  d.Device.store 0x00L 8 3L;
+  d.Device.store 0x08L 8 0x80001000L;
+  d.Device.store 0x10L 8 512L;
+  d.Device.store 0x18L 8 1L;
+  Alcotest.(check bool) "busy" true (Blockdev.busy bd);
+  (* not yet due *)
+  Blockdev.poll bd ~now:0L (fun _ -> incr fired);
+  Alcotest.(check int) "no irq yet" 0 !fired;
+  Blockdev.poll bd ~now:100L (fun _ -> incr fired);
+  Alcotest.(check int) "completion irq" 1 !fired;
+  Helpers.check_i64 "status done" 2L (d.Device.load 0x20L 8);
+  Helpers.check_i64 "data arrived" 0x5151515151515151L
+    (Memory.load ram 0x80001000L 8);
+  (* write path: RAM -> disk *)
+  Memory.store ram 0x80002000L 8 0x4242424242424242L;
+  d.Device.store 0x20L 8 0L (* ack *);
+  d.Device.store 0x00L 8 5L;
+  d.Device.store 0x08L 8 0x80002000L;
+  d.Device.store 0x10L 8 8L;
+  d.Device.store 0x18L 8 2L;
+  Blockdev.poll bd ~now:200L (fun _ -> ());
+  Blockdev.poll bd ~now:400L (fun _ -> ());
+  Alcotest.(check char) "disk updated" 'B'
+    (Bytes.get (Blockdev.read_sector bd 5) 0)
+
+let test_nic_rx_tx () =
+  let ram = Memory.create ~base:0x80000000L ~size:65536 in
+  let nic = Nic.create ~ram ~irq:2 in
+  let d = Nic.device nic ~base:0L in
+  Alcotest.(check bool) "idle line low" false (Nic.irq_line nic);
+  Nic.inject_rx nic (Bytes.of_string "ping");
+  Alcotest.(check bool) "line high" true (Nic.irq_line nic);
+  Helpers.check_i64 "head length" 4L (d.Device.load 0x00L 8);
+  d.Device.store 0x08L 8 0x80003000L;
+  d.Device.store 0x10L 8 1L (* consume *);
+  Alcotest.(check int) "queue drained" 0 (Nic.rx_pending nic);
+  Helpers.check_str "payload DMA'd" "ping"
+    (Bytes.to_string (Memory.load_bytes ram 0x80003000L 4));
+  (* transmit *)
+  Memory.store_bytes ram 0x80004000L (Bytes.of_string "pong");
+  d.Device.store 0x18L 8 0x80004000L;
+  d.Device.store 0x20L 8 4L;
+  d.Device.store 0x28L 8 1L;
+  (match Nic.take_tx nic with
+  | Some b -> Helpers.check_str "tx" "pong" (Bytes.to_string b)
+  | None -> Alcotest.fail "no tx packet")
+
+let test_device_window_predicates () =
+  let d =
+    { Device.name = "x"; base = 0x1000L; size = 0x100L;
+      load = (fun _ _ -> 0L); store = (fun _ _ _ -> ()) }
+  in
+  Alcotest.(check bool) "contains inside" true (Device.contains d 0x1080L 8);
+  Alcotest.(check bool) "contains at end" false (Device.contains d 0x10FCL 8);
+  Alcotest.(check bool) "overlaps straddling" true (Device.overlaps d 0xFFCL 8);
+  Alcotest.(check bool) "disjoint" false (Device.overlaps d 0x2000L 8)
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "devices",
+        [
+          Alcotest.test_case "clint registers" `Quick test_clint_registers;
+          Alcotest.test_case "plic claim/priority" `Quick
+            test_plic_priorities_and_claim;
+          Alcotest.test_case "plic threshold" `Quick test_plic_threshold;
+          Alcotest.test_case "plic S context" `Quick test_plic_s_context;
+          Alcotest.test_case "uart" `Quick test_uart;
+          Alcotest.test_case "blockdev" `Quick test_blockdev_read_write;
+          Alcotest.test_case "nic" `Quick test_nic_rx_tx;
+          Alcotest.test_case "device windows" `Quick
+            test_device_window_predicates;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+(* Firmware-suite tests (paper Q1): RustSBI-like, Zephyr-like and the
+   opaque Star64 dump each pass their own checks natively AND under
+   Miralis, with identical observable behaviour. *)
+
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+
+let vf2 = Platform.visionfive2
+
+let smoke =
+  [
+    Script.Putchar 'r';
+    Script.Rdtime;
+    Script.Set_timer 100L;
+    Script.Tick_wfi 50L;
+    Script.Ipi_self;
+    Script.Misaligned_load;
+    Script.Misaligned_store;
+    Script.Putchar '!';
+    Script.End;
+  ]
+
+let observe ~firmware mode =
+  let sys = Setup.create ~firmware vf2 mode in
+  Setup.run_scripts ~max_instrs:20_000_000L sys [ smoke ];
+  ( Setup.uart_output sys,
+    Script.sti_count sys.Setup.machine ~hart:0,
+    Script.ssi_count sys.Setup.machine ~hart:0,
+    sys.Setup.machine.Machine.poweroff )
+
+let test_rustsbi_native () =
+  let u, sti, ssi, off = observe ~firmware:Mir_firmware.Rustsbi_like.image
+      Setup.Native in
+  Helpers.check_str "uart" "r!" u;
+  Alcotest.(check bool) "sti" true (sti >= 1L);
+  Alcotest.(check bool) "ssi" true (ssi >= 1L);
+  Alcotest.(check bool) "poweroff" true off
+
+let test_rustsbi_differential () =
+  (* Exact interrupt counts are timing-dependent (a slower path can
+     let an armed timer fire before the next op re-arms it); the
+     timing-insensitive observables must match across modes. *)
+  let stable (u, sti, ssi, off) = (u, sti >= 1L, ssi >= 1L, off) in
+  let n = observe ~firmware:Mir_firmware.Rustsbi_like.image Setup.Native in
+  let v = observe ~firmware:Mir_firmware.Rustsbi_like.image Setup.Virtualized in
+  let nf =
+    observe ~firmware:Mir_firmware.Rustsbi_like.image
+      Setup.Virtualized_no_offload
+  in
+  Alcotest.(check bool) "native = virtualized" true (stable n = stable v);
+  Alcotest.(check bool) "native = no-offload" true (stable n = stable nf)
+
+let run_zephyr mode =
+  let sys = Setup.create ~firmware:Mir_firmware.Zephyr_like.image vf2 mode in
+  Setup.run_scripts ~max_instrs:20_000_000L sys [];
+  Setup.uart_output sys
+
+let test_zephyr_native () =
+  Helpers.check_str "zephyr output"
+    Mir_firmware.Zephyr_like.expected_output
+    (run_zephyr Setup.Native)
+
+let test_zephyr_virtualized () =
+  Helpers.check_str "zephyr output"
+    Mir_firmware.Zephyr_like.expected_output
+    (run_zephyr Setup.Virtualized)
+
+let test_star64_opaque () =
+  (* The flash dump boots under Miralis with no symbol information. *)
+  let n = observe ~firmware:Mir_firmware.Star64.image Setup.Native in
+  let v = observe ~firmware:Mir_firmware.Star64.image Setup.Virtualized in
+  let u, _, _, off = v in
+  Alcotest.(check bool) "powered off" true off;
+  Helpers.check_str "uart" "r!" u;
+  Alcotest.(check bool) "native = virtualized" true (n = v);
+  Alcotest.(check bool) "plausible image size" true
+    (Mir_firmware.Star64.size_kib ~nharts:4
+       ~kernel_entry:Mir_kernel.Interp_kernel.entry
+     > 0)
+
+let () =
+  Alcotest.run "firmware"
+    [
+      ( "firmware",
+        [
+          Alcotest.test_case "rustsbi-like native" `Quick test_rustsbi_native;
+          Alcotest.test_case "rustsbi-like differential" `Quick
+            test_rustsbi_differential;
+          Alcotest.test_case "zephyr-like native" `Quick test_zephyr_native;
+          Alcotest.test_case "zephyr-like virtualized" `Quick
+            test_zephyr_virtualized;
+          Alcotest.test_case "star64 opaque dump" `Quick test_star64_opaque;
+        ] );
+    ]

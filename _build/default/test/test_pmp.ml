@@ -1,0 +1,212 @@
+(* PMP reference-model tests, including the corner cases the paper
+   reports as real bugs: W=1/R=0 legalization (done in Csr_spec), TOR
+   entry-0 semantics, lock behaviour, and partial-overlap denial. *)
+
+module Pmp = Mir_rv.Pmp
+module Priv = Mir_rv.Priv
+
+let e ?(r = false) ?(w = false) ?(x = false) ?(a = Pmp.Off) ?(l = false) addr =
+  { Pmp.r; w; x; a; l; addr }
+
+let napot ~base ~size = Pmp.napot_encode ~base ~size
+
+let check_verdict name expected got =
+  let to_s = function
+    | Pmp.Allowed -> "allowed"
+    | Pmp.Denied -> "denied"
+    | Pmp.No_match -> "no-match"
+  in
+  Alcotest.(check string) name (to_s expected) (to_s got)
+
+let test_napot_range () =
+  let entry = e ~r:true ~a:Pmp.Napot (napot ~base:0x80000000L ~size:0x1000L) in
+  match Pmp.range ~prev_addr:0L entry with
+  | Some (lo, hi) ->
+      Helpers.check_i64 "lo" 0x80000000L lo;
+      Helpers.check_i64 "hi" 0x80001000L hi
+  | None -> Alcotest.fail "no range"
+
+let test_na4_range () =
+  let entry = e ~r:true ~a:Pmp.Na4 (Int64.shift_right_logical 0x80000000L 2) in
+  match Pmp.range ~prev_addr:0L entry with
+  | Some (lo, hi) ->
+      Helpers.check_i64 "lo" 0x80000000L lo;
+      Helpers.check_i64 "hi" 0x80000004L hi
+  | None -> Alcotest.fail "no range"
+
+let test_tor_range () =
+  let entry = e ~r:true ~a:Pmp.Tor (Pmp.tor_encode 0x2000L) in
+  (match Pmp.range ~prev_addr:(Pmp.tor_encode 0x1000L) entry with
+  | Some (lo, hi) ->
+      Helpers.check_i64 "lo" 0x1000L lo;
+      Helpers.check_i64 "hi" 0x2000L hi
+  | None -> Alcotest.fail "no range");
+  (* Empty TOR region (prev >= addr) matches nothing. *)
+  Alcotest.(check bool)
+    "empty" true
+    (Pmp.range ~prev_addr:(Pmp.tor_encode 0x2000L) entry = None)
+
+let test_tor_entry0_starts_at_zero () =
+  (* With TOR addressing on entry 0, the region starts at address 0 —
+     the semantics the VFM must recreate with its zero-anchor entry. *)
+  let entries = [| e ~r:true ~a:Pmp.Tor (Pmp.tor_encode 0x1000L) |] in
+  check_verdict "addr 0 readable" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Read ~addr:0L ~size:4);
+  check_verdict "below boundary" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Read ~addr:0xFFCL ~size:4);
+  check_verdict "at boundary" Pmp.No_match
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x1000L ~size:4)
+
+let test_priority_first_match_wins () =
+  let entries =
+    [|
+      e ~a:Pmp.Napot (napot ~base:0x80000000L ~size:0x1000L) (* deny *);
+      e ~r:true ~w:true ~x:true ~a:Pmp.Napot
+        (napot ~base:0x80000000L ~size:0x100000L);
+    |]
+  in
+  check_verdict "inner denied" Pmp.Denied
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x80000800L ~size:8);
+  check_verdict "outer allowed" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x80002000L ~size:8)
+
+let test_partial_overlap_fails () =
+  (* An access straddling the boundary of the matching region fails
+     even if both sides would individually be allowed. *)
+  let entries =
+    [|
+      e ~r:true ~a:Pmp.Napot (napot ~base:0x80000000L ~size:0x1000L);
+      e ~r:true ~a:Pmp.Napot (napot ~base:0x80001000L ~size:0x1000L);
+    |]
+  in
+  check_verdict "straddling" Pmp.Denied
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x80000FFCL ~size:8)
+
+let test_mmode_rules () =
+  let deny_all = e ~a:Pmp.Napot (napot ~base:0x80000000L ~size:0x1000L) in
+  let locked_deny = { deny_all with l = true } in
+  (* Unlocked entries do not constrain M-mode. *)
+  Alcotest.(check bool) "M unlocked" true
+    (Pmp.check ~entries:[| deny_all |] ~priv:Priv.M Pmp.Read ~addr:0x80000010L
+       ~size:8);
+  (* Locked entries do. *)
+  Alcotest.(check bool) "M locked" false
+    (Pmp.check ~entries:[| locked_deny |] ~priv:Priv.M Pmp.Read
+       ~addr:0x80000010L ~size:8);
+  (* No match: M allowed, S/U denied. *)
+  Alcotest.(check bool) "M no-match" true
+    (Pmp.check ~entries:[| deny_all |] ~priv:Priv.M Pmp.Read ~addr:0x1000L
+       ~size:8);
+  Alcotest.(check bool) "S no-match" false
+    (Pmp.check ~entries:[| deny_all |] ~priv:Priv.S Pmp.Read ~addr:0x1000L
+       ~size:8);
+  Alcotest.(check bool) "U no-match" false
+    (Pmp.check ~entries:[| deny_all |] ~priv:Priv.U Pmp.Read ~addr:0x1000L
+       ~size:8)
+
+let test_no_entries_all_allowed () =
+  (* With zero implemented PMP entries, S/U accesses are allowed. *)
+  Alcotest.(check bool) "S no pmp" true
+    (Pmp.check ~entries:[||] ~priv:Priv.S Pmp.Read ~addr:0x1000L ~size:8)
+
+let test_perm_bits () =
+  let rx =
+    e ~r:true ~x:true ~a:Pmp.Napot (napot ~base:0x80000000L ~size:0x1000L)
+  in
+  let ck access expect name =
+    Alcotest.(check bool) name expect
+      (Pmp.check ~entries:[| rx |] ~priv:Priv.U access ~addr:0x80000000L
+         ~size:4)
+  in
+  ck Pmp.Read true "read ok";
+  ck Pmp.Exec true "exec ok";
+  ck Pmp.Write false "write denied"
+
+let test_locked_tor_locks_prev_addr () =
+  let entries =
+    [|
+      e ~r:true ~a:Pmp.Napot (napot ~base:0x1000L ~size:0x1000L);
+      e ~r:true ~l:true ~a:Pmp.Tor (Pmp.tor_encode 0x4000L);
+    |]
+  in
+  Alcotest.(check bool) "addr of entry 0 locked by TOR entry 1" true
+    (Pmp.locked entries 0);
+  Alcotest.(check bool) "entry 1 locked" true (Pmp.locked entries 1)
+
+let test_cfg_byte_roundtrip () =
+  for b = 0 to 255 do
+    let b' = b land 0x9F in
+    (* reserved bits cleared *)
+    let entry = Pmp.entry_of_cfg_byte b' ~addr:0L in
+    Alcotest.(check int)
+      (Printf.sprintf "byte %x" b')
+      b'
+      (Pmp.cfg_byte_of_entry entry)
+  done
+
+let test_napot_encode_decode =
+  Helpers.qcheck_case ~count:200 "napot range round-trips"
+    (fun (base_k, size_log) ->
+      let size_log = 3 + (abs size_log mod 20) in
+      let size = Int64.shift_left 1L size_log in
+      let base =
+        Int64.mul size (Int64.of_int (abs base_k mod 1024))
+      in
+      let addr = Pmp.napot_encode ~base ~size in
+      let entry = e ~r:true ~a:Pmp.Napot addr in
+      match Pmp.range ~prev_addr:0L entry with
+      | Some (lo, hi) -> lo = base && hi = Int64.add base size
+      | None -> false)
+    QCheck.(pair small_int small_int)
+
+(* Differential property: the precomputed-range fast path agrees with
+   the reference check on random configurations. *)
+let prop_ranges_equivalent =
+  Helpers.qcheck_case ~count:800 "check_ranges == check"
+    (fun (seed, addr_raw) ->
+      let prng = Mir_util.Prng.create ~seed in
+      let entries =
+        Array.init 6 (fun _ ->
+            Pmp.entry_of_cfg_byte
+              (Mir_util.Prng.int_below prng 256 land 0x9F)
+              ~addr:
+                (Int64.shift_right_logical (Mir_util.Prng.next prng)
+                   (2 + Mir_util.Prng.int_below prng 30)))
+      in
+      let ranges = Pmp.precompute entries in
+      let addr =
+        Mir_util.Bits.align_down
+          (Int64.logand addr_raw 0xFFFFFFFFFL)
+          ~size:8
+      in
+      List.for_all
+        (fun priv ->
+          List.for_all
+            (fun access ->
+              Pmp.check ~entries ~priv access ~addr ~size:8
+              = Pmp.check_ranges ranges ~priv access ~addr ~size:8)
+            [ Pmp.Read; Pmp.Write; Pmp.Exec ])
+        [ Priv.M; Priv.S; Priv.U ])
+    QCheck.(pair int64 int64)
+
+let () =
+  Alcotest.run "pmp"
+    [
+      ( "pmp",
+        [
+          Alcotest.test_case "napot range" `Quick test_napot_range;
+          Alcotest.test_case "na4 range" `Quick test_na4_range;
+          Alcotest.test_case "tor range" `Quick test_tor_range;
+          Alcotest.test_case "tor entry0 zero base" `Quick
+            test_tor_entry0_starts_at_zero;
+          Alcotest.test_case "priority" `Quick test_priority_first_match_wins;
+          Alcotest.test_case "partial overlap" `Quick test_partial_overlap_fails;
+          Alcotest.test_case "m-mode rules" `Quick test_mmode_rules;
+          Alcotest.test_case "no entries" `Quick test_no_entries_all_allowed;
+          Alcotest.test_case "perm bits" `Quick test_perm_bits;
+          Alcotest.test_case "locked TOR" `Quick test_locked_tor_locks_prev_addr;
+          Alcotest.test_case "cfg byte roundtrip" `Quick test_cfg_byte_roundtrip;
+          test_napot_encode_decode;
+          prop_ranges_equivalent;
+        ] );
+    ]

@@ -1,0 +1,366 @@
+(* Isolation-policy tests: the firmware sandbox against the malicious
+   firmware suite, Keystone enclaves, and ACE confidential VMs. *)
+
+module Setup = Mir_harness.Setup
+module Script = Mir_kernel.Script
+module Uapp = Mir_kernel.Uapp
+module Platform = Mir_platform.Platform
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Sandbox = Mir_policies.Policy_sandbox
+module Keystone = Mir_policies.Policy_keystone
+module Ace = Mir_policies.Policy_ace
+module Monitor = Miralis.Monitor
+module Vhart = Miralis.Vhart
+
+let vf2 = Platform.visionfive2
+
+let create_sandboxed ?firmware () =
+  let policy, state = Sandbox.create () in
+  (* the sandbox needs 3 policy PMP slots; rebuild the config through
+     Setup by adjusting the platform's default of 1 *)
+  let sys =
+    let m = Machine.create vf2.Platform.machine in
+    let fw =
+      (Option.value firmware ~default:Mir_firmware.Minisbi.image)
+        ~nharts:4 ~kernel_entry:Mir_kernel.Interp_kernel.entry
+    in
+    Machine.load_program m Mir_firmware.Layout.fw_base (fst fw);
+    Machine.load_program m Mir_kernel.Interp_kernel.entry
+      (fst (Mir_kernel.Interp_kernel.image ()));
+    let config =
+      Miralis.Config.make ~policy_pmp_slots:Sandbox.pmp_slots
+        ~cost:vf2.Platform.cost ~machine:vf2.Platform.machine ()
+    in
+    let mir = Monitor.create ~policy config m in
+    Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+    {
+      Setup.platform = vf2;
+      mode = Setup.Virtualized;
+      machine = m;
+      miralis = Some mir;
+    }
+  in
+  (sys, state)
+
+let test_sandbox_honest_firmware () =
+  let sys, state = create_sandboxed () in
+  Setup.run_scripts sys
+    [
+      [
+        Script.Putchar 'A';
+        Script.Rdtime;
+        Script.Set_timer 100L;
+        Script.Tick_wfi 50L;
+        Script.Misaligned_load;
+        Script.Putchar 'Z';
+        Script.End;
+      ];
+    ];
+  Helpers.check_str "uart" "AZ" (Setup.uart_output sys);
+  Alcotest.(check bool)
+    "no violation" true
+    ((Option.get sys.Setup.miralis).Monitor.violation = None);
+  Alcotest.(check bool) "sandbox locked" true state.Sandbox.locked;
+  Alcotest.(check bool)
+    "boot image hashed" true
+    (state.Sandbox.boot_image_hash <> 0L)
+
+let test_sandbox_blocks_attack attack () =
+  let sys, _state =
+    create_sandboxed ~firmware:(Mir_firmware.Evil.image attack) ()
+  in
+  (* Any SBI call from the kernel triggers the attack. *)
+  Setup.run_scripts sys ~max_instrs:2_000_000L
+    [ [ Script.Putchar 'A'; Script.End ] ];
+  let mir = Option.get sys.Setup.miralis in
+  Alcotest.(check bool)
+    (Mir_firmware.Evil.attack_name attack ^ " detected")
+    true
+    (mir.Monitor.violation <> None);
+  Alcotest.(check bool)
+    "attack did not succeed" false
+    (String.contains (Setup.uart_output sys) 'X')
+
+let test_sandbox_scrubs_registers () =
+  let sys, state = create_sandboxed () in
+  state.Sandbox.locked <- true;
+  let mir = Option.get sys.Setup.miralis in
+  let hart = sys.Setup.machine.Machine.harts.(0) in
+  let vh = mir.Monitor.vharts.(0) in
+  vh.Vhart.world <- Vhart.Os;
+  (* Pretend the OS performs a set_timer SBI call with secrets in
+     callee-saved registers. *)
+  for r = 1 to 31 do
+    Hart.set hart r (Int64.of_int (0x1000 + r))
+  done;
+  Hart.set hart 17 Mir_sbi.Sbi.ext_time;
+  Hart.set hart 16 0L;
+  Hart.set hart 10 999L;
+  let ctx = Monitor.policy_ctx mir hart in
+  ignore (mir.Monitor.policy.Miralis.Policy.on_ecall_from_os ctx);
+  Monitor.switch_to_fw mir hart vh;
+  (* allow-list for set_timer: a0, a6, a7 *)
+  Helpers.check_i64 "a0 passes" 999L (Hart.get hart 10);
+  Helpers.check_i64 "a7 passes" Mir_sbi.Sbi.ext_time (Hart.get hart 17);
+  Helpers.check_i64 "t0 scrubbed" 0L (Hart.get hart 5);
+  Helpers.check_i64 "s3 scrubbed" 0L (Hart.get hart 19);
+  Helpers.check_i64 "sp scrubbed" 0L (Hart.get hart 2);
+  (* Firmware computes a return value; everything else must come back. *)
+  Hart.set hart 10 0L;
+  Hart.set hart 11 7L;
+  Monitor.switch_to_os mir hart vh;
+  Helpers.check_i64 "a0 is return" 0L (Hart.get hart 10);
+  Helpers.check_i64 "a1 is return" 7L (Hart.get hart 11);
+  Helpers.check_i64 "t0 restored" 0x1005L (Hart.get hart 5);
+  Helpers.check_i64 "sp restored" 0x1002L (Hart.get hart 2)
+
+(* ------------------------------------------------------------------ *)
+(* Keystone                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let enclave_base = 0x80800000L
+let enclave_size = 4096L
+
+let create_keystone () =
+  let policy, state = Keystone.create () in
+  let m = Machine.create vf2.Platform.machine in
+  Machine.load_program m Mir_firmware.Layout.fw_base
+    (fst
+       (Mir_firmware.Minisbi.image ~nharts:4
+          ~kernel_entry:Mir_kernel.Interp_kernel.entry));
+  Machine.load_program m Mir_kernel.Interp_kernel.entry
+    (fst (Mir_kernel.Interp_kernel.image ()));
+  let config =
+    Miralis.Config.make ~policy_pmp_slots:Keystone.pmp_slots
+      ~cost:vf2.Platform.cost ~machine:vf2.Platform.machine ()
+  in
+  let mir = Monitor.create ~policy config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  let sys =
+    {
+      Setup.platform = vf2;
+      mode = Setup.Virtualized;
+      machine = m;
+      miralis = Some mir;
+    }
+  in
+  (sys, state)
+
+let stage_enclave sys ~iters =
+  Machine.load_program sys.Setup.machine enclave_base
+    (Uapp.image ~base:enclave_base ~iters);
+  Script.write_descriptor sys.Setup.machine ~index:0 ~base:enclave_base
+    ~size:enclave_size ~entry:enclave_base
+
+let test_keystone_enclave_runs () =
+  let sys, state = create_keystone () in
+  stage_enclave sys ~iters:50L;
+  Setup.run_scripts sys
+    [ [ Script.Enclave_round 0L; Script.Putchar 'K'; Script.End ] ];
+  Helpers.check_str "uart" "K" (Setup.uart_output sys);
+  Alcotest.(check bool) "entered" true (state.Keystone.entries_count >= 1);
+  Alcotest.(check int) "exited" 1 state.Keystone.exits_count;
+  Helpers.check_i64 "checksum"
+    (Uapp.expected_checksum ~iters:50L)
+    (Script.result_value sys.Setup.machine ~hart:0)
+
+let test_keystone_os_cannot_read_enclave () =
+  let sys, _ = create_keystone () in
+  stage_enclave sys ~iters:10L;
+  (* Pre-create the enclave via one round... instead, probe while an
+     enclave exists: create it white-box and let the kernel probe. *)
+  let mir = Option.get sys.Setup.miralis in
+  ignore mir;
+  (* Mark probe cell with a sentinel first. *)
+  Setup.run_scripts sys ~max_instrs:3_000_000L
+    [
+      [
+        (* Create an enclave (round runs it to completion and destroys
+           it), then create another and probe while it exists: the
+           simplest observable variant is to probe enclave memory
+           after staging but before any round — no enclave exists, so
+           the probe succeeds; then run a round and probe after
+           destroy: memory must be scrubbed to zero. *)
+        Script.Load_probe enclave_base;
+        Script.Enclave_round 0L;
+        Script.Load_probe enclave_base;
+        Script.End;
+      ];
+    ];
+  (* After destroy, the enclave image was scrubbed: the second probe
+     must read zero (the first read the app's first instruction). *)
+  Helpers.check_i64 "enclave memory scrubbed on destroy" 0L
+    (Script.probe_value sys.Setup.machine ~hart:0)
+
+let test_keystone_isolation_while_enclave_exists () =
+  let sys, state = create_keystone () in
+  stage_enclave sys ~iters:10L;
+  (* Create an enclave white-box (as if previously created) and verify
+     an OS read of its memory faults. *)
+  let e =
+    {
+      Keystone.eid = 99;
+      base = enclave_base;
+      size = enclave_size;
+      entry = enclave_base;
+      state = Keystone.Created;
+    }
+  in
+  state.Keystone.enclaves <- [ e ];
+  let mir = Option.get sys.Setup.miralis in
+  Monitor.reinstall_pmp mir sys.Setup.machine.Machine.harts.(0);
+  ignore
+    (Machine.phys_store sys.Setup.machine
+       (Int64.add (Script.region_base ~hart:0) Script.counter_probe)
+       8 0x5AFEL);
+  Setup.run_scripts sys ~max_instrs:3_000_000L
+    [ [ Script.Load_probe enclave_base; Script.Putchar 'N'; Script.End ] ];
+  (* The load faults; MiniSBI reports the unhandled trap ('!') and
+     stops. The probe value must not have been overwritten with
+     enclave memory. *)
+  Helpers.check_i64 "probe blocked" 0x5AFEL
+    (Script.probe_value sys.Setup.machine ~hart:0);
+  Alcotest.(check bool)
+    "kernel did not continue" false
+    (String.contains (Setup.uart_output sys) 'N')
+
+let test_keystone_interrupted_and_resumed () =
+  let sys, state = create_keystone () in
+  (* A long enclave: the armed timer interrupts it at least once. *)
+  stage_enclave sys ~iters:40_000L;
+  Setup.run_scripts sys
+    [ [ Script.Set_timer 300L; Script.Enclave_round 0L; Script.End ] ];
+  Alcotest.(check bool)
+    "timer interrupted the enclave" true
+    (state.Keystone.entries_count >= 2);
+  Alcotest.(check int) "eventually completed" 1 state.Keystone.exits_count;
+  Helpers.check_i64 "checksum correct despite interruption"
+    (Uapp.expected_checksum ~iters:40_000L)
+    (Script.result_value sys.Setup.machine ~hart:0);
+  Alcotest.(check bool)
+    "OS observed its timer tick" true
+    (Script.sti_count sys.Setup.machine ~hart:0 >= 1L)
+
+(* ------------------------------------------------------------------ *)
+(* ACE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let create_ace () =
+  let policy, state = Ace.create () in
+  let platform = Platform.qemu_virt in
+  let m = Machine.create platform.Platform.machine in
+  Machine.load_program m Mir_firmware.Layout.fw_base
+    (fst
+       (Mir_firmware.Minisbi.image ~nharts:4
+          ~kernel_entry:Mir_kernel.Interp_kernel.entry));
+  Machine.load_program m Mir_kernel.Interp_kernel.entry
+    (fst (Mir_kernel.Interp_kernel.image ()));
+  let config =
+    Miralis.Config.make ~policy_pmp_slots:Ace.pmp_slots
+      ~cost:platform.Platform.cost ~machine:platform.Platform.machine ()
+  in
+  let mir = Monitor.create ~policy config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  let sys =
+    {
+      Setup.platform;
+      mode = Setup.Virtualized;
+      machine = m;
+      miralis = Some mir;
+    }
+  in
+  (sys, state)
+
+let test_ace_cvm_lifecycle () =
+  let sys, state = create_ace () in
+  Machine.load_program sys.Setup.machine enclave_base
+    (Uapp.image ~base:enclave_base ~iters:80L);
+  Script.write_descriptor sys.Setup.machine ~index:0 ~base:enclave_base
+    ~size:enclave_size ~entry:enclave_base;
+  Setup.run_scripts sys
+    [ [ Script.Cvm_round 0L; Script.Putchar 'C'; Script.End ] ];
+  Helpers.check_str "uart" "C" (Setup.uart_output sys);
+  Alcotest.(check bool) "vcpu entered" true (state.Ace.vcpu_entries >= 1);
+  Alcotest.(check bool) "vm exited" true (state.Ace.vm_exits >= 1);
+  Helpers.check_i64 "checksum"
+    (Uapp.expected_checksum ~iters:80L)
+    (Script.result_value sys.Setup.machine ~hart:0);
+  (* destroyed memory is scrubbed *)
+  Helpers.check_i64 "scrubbed" 0L
+    (Option.get (Machine.phys_load sys.Setup.machine enclave_base 8))
+
+let test_ace_firmware_cannot_read_cvm () =
+  (* The paper's headline for the ACE policy: the firmware is excluded
+     from the CVM's TCB. A malicious firmware trying to read CVM
+     memory faults on the policy PMP. *)
+  let policy, state = Ace.create () in
+  let m = Machine.create vf2.Platform.machine in
+  Machine.load_program m Mir_firmware.Layout.fw_base
+    (fst
+       (Mir_firmware.Evil.image Mir_firmware.Evil.Read_os_memory ~nharts:4
+          ~kernel_entry:Mir_kernel.Interp_kernel.entry));
+  Machine.load_program m Mir_kernel.Interp_kernel.entry
+    (fst (Mir_kernel.Interp_kernel.image ()));
+  let config =
+    Miralis.Config.make ~policy_pmp_slots:Ace.pmp_slots
+      ~cost:vf2.Platform.cost ~machine:vf2.Platform.machine ()
+  in
+  let mir = Monitor.create ~policy config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  (* Stage a CVM over the kernel image area the evil firmware reads. *)
+  state.Ace.cvms <-
+    [
+      {
+        Ace.id = 1;
+        base = Mir_kernel.Interp_kernel.entry;
+        size = 4096L;
+        entry = Mir_kernel.Interp_kernel.entry;
+        state = Ace.Ready;
+      };
+    ];
+  Array.iter (fun h -> Monitor.reinstall_pmp mir h) m.Machine.harts;
+  let sys =
+    { Setup.platform = vf2; mode = Setup.Virtualized; machine = m;
+      miralis = Some mir }
+  in
+  (* The kernel's first instruction fetch... the kernel itself is
+     inside the CVM region now, so use a script-free run: the evil
+     firmware attacks on the first trap from the OS; the kernel's
+     first fetch faults on the CVM PMP, reinjects to the firmware,
+     which then attacks and faults itself. Either way the attack's
+     success marker must not appear. *)
+  Machine.run ~max_instrs:2_000_000L m;
+  Alcotest.(check bool)
+    "attack did not succeed" false
+    (String.contains (Setup.uart_output sys) 'X')
+
+let () =
+  Alcotest.run "policies"
+    ([
+       Alcotest.test_case "sandbox: honest firmware" `Quick
+         test_sandbox_honest_firmware;
+       Alcotest.test_case "sandbox: register scrubbing" `Quick
+         test_sandbox_scrubs_registers;
+     ]
+     @ List.map
+         (fun a ->
+           Alcotest.test_case
+             ("sandbox blocks: " ^ Mir_firmware.Evil.attack_name a)
+             `Quick
+             (test_sandbox_blocks_attack a))
+         Mir_firmware.Evil.all_attacks
+     @ [
+         Alcotest.test_case "keystone: enclave runs" `Quick
+           test_keystone_enclave_runs;
+         Alcotest.test_case "keystone: scrub on destroy" `Quick
+           test_keystone_os_cannot_read_enclave;
+         Alcotest.test_case "keystone: OS blocked from enclave" `Quick
+           test_keystone_isolation_while_enclave_exists;
+         Alcotest.test_case "keystone: interrupt & resume" `Quick
+           test_keystone_interrupted_and_resumed;
+         Alcotest.test_case "ace: cvm lifecycle" `Quick test_ace_cvm_lifecycle;
+         Alcotest.test_case "ace: firmware blocked from cvm" `Quick
+           test_ace_firmware_cannot_read_cvm;
+       ]
+    |> fun tests -> [ ("policies", tests) ])

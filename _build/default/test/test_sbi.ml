@@ -1,0 +1,59 @@
+(* SBI specification tables: extension IDs, the spec-derived argument
+   allow-list the sandbox policy consumes, and error codes. *)
+
+module Sbi = Mir_sbi.Sbi
+
+let test_extension_ids_are_ascii () =
+  (* the v0.2+ extension IDs are ASCII mnemonics *)
+  Helpers.check_i64 "TIME" 0x54494D45L Sbi.ext_time;
+  Helpers.check_i64 "RFNC" 0x52464E43L Sbi.ext_rfence;
+  Helpers.check_i64 "SRST" 0x53525354L Sbi.ext_srst;
+  Helpers.check_i64 "DBCN" 0x4442434EL Sbi.ext_dbcn;
+  Helpers.check_i64 "base" 0x10L Sbi.ext_base
+
+let test_arg_counts_follow_spec () =
+  let ck name ext fid expect =
+    Alcotest.(check (option int)) name expect (Sbi.arg_count ~ext ~fid)
+  in
+  ck "set_timer(stime)" Sbi.ext_time Sbi.fid_time_set_timer (Some 1);
+  ck "send_ipi(mask, base)" Sbi.ext_ipi Sbi.fid_ipi_send_ipi (Some 2);
+  ck "remote fence_i" Sbi.ext_rfence Sbi.fid_rfence_fence_i (Some 2);
+  ck "sfence_vma(mask,base,start,size)" Sbi.ext_rfence
+    Sbi.fid_rfence_sfence_vma (Some 4);
+  ck "sfence_vma_asid" Sbi.ext_rfence Sbi.fid_rfence_sfence_vma_asid (Some 5);
+  ck "hart_start" Sbi.ext_hsm Sbi.fid_hsm_hart_start (Some 3);
+  ck "probe" Sbi.ext_base Sbi.fid_base_probe_extension (Some 1);
+  ck "get_spec_version" Sbi.ext_base Sbi.fid_base_get_spec_version (Some 0);
+  ck "system_reset" Sbi.ext_srst Sbi.fid_srst_system_reset (Some 2);
+  ck "console write_byte" Sbi.ext_dbcn Sbi.fid_dbcn_console_write_byte (Some 1);
+  ck "legacy putchar" Sbi.ext_legacy_console_putchar 0L (Some 1)
+
+let test_unknown_calls_have_no_allowlist () =
+  Alcotest.(check (option int)) "unknown ext" None
+    (Sbi.arg_count ~ext:0xDEADL ~fid:0L);
+  Alcotest.(check (option int)) "unknown fid" None
+    (Sbi.arg_count ~ext:Sbi.ext_time ~fid:99L)
+
+let test_error_codes () =
+  Helpers.check_i64 "success" 0L Sbi.success;
+  Helpers.check_i64 "not supported" (-2L) Sbi.err_not_supported;
+  Helpers.check_i64 "invalid param" (-3L) Sbi.err_invalid_param
+
+let test_names () =
+  Helpers.check_str "time" "time" (Sbi.ext_name Sbi.ext_time);
+  Helpers.check_str "unknown formats" "ext-0xabc" (Sbi.ext_name 0xABCL)
+
+let () =
+  Alcotest.run "sbi"
+    [
+      ( "sbi",
+        [
+          Alcotest.test_case "ascii extension IDs" `Quick
+            test_extension_ids_are_ascii;
+          Alcotest.test_case "arg allow-list" `Quick test_arg_counts_follow_spec;
+          Alcotest.test_case "unknown calls" `Quick
+            test_unknown_calls_have_no_allowlist;
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Sv39 page-table walker unit tests: permissions, superpages, A/D
+   management, canonicality. The walker also backs Miralis's MPRV
+   emulation, so these cases matter for the VFM too. *)
+
+module Vmem = Mir_rv.Vmem
+module Priv = Mir_rv.Priv
+module Bits = Mir_util.Bits
+
+(* A tiny physical memory for page tables. *)
+let mem = Hashtbl.create 64
+let read a = Some (Option.value ~default:0L (Hashtbl.find_opt mem a))
+let write a v = Hashtbl.replace mem a v
+let clear () = Hashtbl.reset mem
+
+let root = 0x80010000L
+let satp = Int64.logor (Int64.shift_left 8L 60) (Int64.shift_right_logical root 12)
+
+let pte ?(v = true) ?(r = false) ?(w = false) ?(x = false) ?(u = false)
+    ?(a = false) ?(d = false) ppn =
+  let f c b = if c then b else 0L in
+  Int64.logor
+    (Int64.shift_left ppn 10)
+    (Int64.logor (f v Vmem.pte_v)
+       (Int64.logor (f r Vmem.pte_r)
+          (Int64.logor (f w Vmem.pte_w)
+             (Int64.logor (f x Vmem.pte_x)
+                (Int64.logor (f u Vmem.pte_u)
+                   (Int64.logor (f a Vmem.pte_a) (f d Vmem.pte_d)))))))
+
+(* map vaddr -> paddr with a full 3-level walk (4K page) *)
+let map_4k ?(perm = fun p -> p) vaddr paddr =
+  let vpn2 = Bits.extract vaddr ~lo:30 ~hi:38 in
+  let vpn1 = Bits.extract vaddr ~lo:21 ~hi:29 in
+  let vpn0 = Bits.extract vaddr ~lo:12 ~hi:20 in
+  let l1 = Int64.add root 0x1000L and l0 = Int64.add root 0x2000L in
+  write (Int64.add root (Int64.mul vpn2 8L))
+    (pte (Int64.shift_right_logical l1 12));
+  write (Int64.add l1 (Int64.mul vpn1 8L))
+    (pte (Int64.shift_right_logical l0 12));
+  write
+    (Int64.add l0 (Int64.mul vpn0 8L))
+    (perm (pte ~r:true ~w:true ~x:true ~a:true ~d:true
+             (Int64.shift_right_logical paddr 12)))
+
+let translate ?(priv = Priv.S) ?(sum = false) ?(mxr = false) access vaddr =
+  Vmem.translate ~read ~write ~satp ~priv ~sum ~mxr access vaddr
+
+let test_bare_and_mmode () =
+  clear ();
+  (* satp = 0 or M-mode: identity *)
+  Alcotest.(check bool) "bare" true
+    (Vmem.translate ~read ~write ~satp:0L ~priv:Priv.S ~sum:false ~mxr:false
+       Vmem.Load 0x1234L
+    = Ok 0x1234L);
+  Alcotest.(check bool) "M ignores satp" true
+    (Vmem.translate ~read ~write ~satp ~priv:Priv.M ~sum:false ~mxr:false
+       Vmem.Load 0x1234L
+    = Ok 0x1234L)
+
+let test_4k_mapping () =
+  clear ();
+  map_4k 0x40000000L 0x80200000L;
+  Alcotest.(check bool) "load maps" true
+    (translate Vmem.Load 0x40000ABCL = Ok 0x80200ABCL)
+
+let test_gigapage () =
+  clear ();
+  (* VPN2 = 2 maps a 1 GiB leaf at phys 0x80000000 (1 GiB aligned) *)
+  write (Int64.add root 16L)
+    (pte ~r:true ~w:true ~x:true ~a:true ~d:true 0x80000L);
+  Alcotest.(check bool) "gigapage" true
+    (translate Vmem.Load 0x80123456L = Ok 0x80123456L)
+
+let test_misaligned_superpage_faults () =
+  clear ();
+  (* a 1 GiB leaf whose PPN is not 1 GiB aligned is a fault *)
+  write (Int64.add root 16L)
+    (pte ~r:true ~a:true ~d:true 0x80001L);
+  Alcotest.(check bool) "misaligned superpage" true
+    (translate Vmem.Load 0x80000000L = Error Mir_rv.Cause.Load_page_fault)
+
+let test_permission_bits () =
+  clear ();
+  map_4k ~perm:(fun p -> Int64.logand p (Int64.lognot Vmem.pte_w))
+    0x40000000L 0x80200000L;
+  Alcotest.(check bool) "read ok" true
+    (translate Vmem.Load 0x40000000L = Ok 0x80200000L);
+  Alcotest.(check bool) "write denied" true
+    (translate Vmem.Store 0x40000000L = Error Mir_rv.Cause.Store_page_fault)
+
+let test_u_bit_and_sum () =
+  clear ();
+  map_4k ~perm:(fun p -> Int64.logor p Vmem.pte_u) 0x40000000L 0x80200000L;
+  (* S-mode access to a U page requires SUM *)
+  Alcotest.(check bool) "S denied without SUM" true
+    (translate ~priv:Priv.S Vmem.Load 0x40000000L
+    = Error Mir_rv.Cause.Load_page_fault);
+  Alcotest.(check bool) "S allowed with SUM" true
+    (translate ~priv:Priv.S ~sum:true Vmem.Load 0x40000000L = Ok 0x80200000L);
+  (* but never for fetch *)
+  Alcotest.(check bool) "S fetch of U page denied" true
+    (translate ~priv:Priv.S ~sum:true Vmem.Fetch 0x40000000L
+    = Error Mir_rv.Cause.Instr_page_fault);
+  (* U-mode needs the U bit *)
+  Alcotest.(check bool) "U allowed" true
+    (translate ~priv:Priv.U Vmem.Load 0x40000000L = Ok 0x80200000L);
+  clear ();
+  map_4k 0x40000000L 0x80200000L;
+  Alcotest.(check bool) "U denied on S page" true
+    (translate ~priv:Priv.U Vmem.Load 0x40000000L
+    = Error Mir_rv.Cause.Load_page_fault)
+
+let test_mxr () =
+  clear ();
+  map_4k
+    ~perm:(fun p ->
+      (* execute-only: clear R and W (W-without-R is reserved) *)
+      Int64.logor Vmem.pte_x
+        (Int64.logand p
+           (Int64.lognot (Int64.logor Vmem.pte_r Vmem.pte_w))))
+    0x40000000L 0x80200000L;
+  Alcotest.(check bool) "X-only load denied" true
+    (translate Vmem.Load 0x40000000L = Error Mir_rv.Cause.Load_page_fault);
+  Alcotest.(check bool) "X-only load allowed with MXR" true
+    (translate ~mxr:true Vmem.Load 0x40000000L = Ok 0x80200000L)
+
+let test_ad_bits_managed () =
+  clear ();
+  map_4k ~perm:(fun p ->
+      Int64.logand p (Int64.lognot (Int64.logor Vmem.pte_a Vmem.pte_d)))
+    0x40000000L 0x80200000L;
+  ignore (translate Vmem.Store 0x40000000L);
+  let vpn0 = 0L in
+  let l0 = Int64.add root 0x2000L in
+  let p = Option.get (read (Int64.add l0 (Int64.mul vpn0 8L))) in
+  Alcotest.(check bool) "A set" true (Int64.logand p Vmem.pte_a <> 0L);
+  Alcotest.(check bool) "D set on store" true (Int64.logand p Vmem.pte_d <> 0L)
+
+let test_invalid_and_noncanonical () =
+  clear ();
+  Alcotest.(check bool) "invalid PTE" true
+    (translate Vmem.Load 0x40000000L = Error Mir_rv.Cause.Load_page_fault);
+  Alcotest.(check bool) "non-canonical address" true
+    (translate Vmem.Fetch 0x4000000000L = Error Mir_rv.Cause.Instr_page_fault);
+  (* W without R is reserved in a PTE *)
+  clear ();
+  map_4k ~perm:(fun _ -> pte ~w:true ~a:true ~d:true 0x80200L)
+    0x40000000L 0x80200000L;
+  Alcotest.(check bool) "W-without-R PTE faults" true
+    (translate Vmem.Load 0x40000000L = Error Mir_rv.Cause.Load_page_fault)
+
+let () =
+  Alcotest.run "vmem"
+    [
+      ( "sv39",
+        [
+          Alcotest.test_case "bare/M-mode" `Quick test_bare_and_mmode;
+          Alcotest.test_case "4K mapping" `Quick test_4k_mapping;
+          Alcotest.test_case "gigapage" `Quick test_gigapage;
+          Alcotest.test_case "misaligned superpage" `Quick
+            test_misaligned_superpage_faults;
+          Alcotest.test_case "permissions" `Quick test_permission_bits;
+          Alcotest.test_case "U bit + SUM" `Quick test_u_bit_and_sum;
+          Alcotest.test_case "MXR" `Quick test_mxr;
+          Alcotest.test_case "A/D management" `Quick test_ad_bits_managed;
+          Alcotest.test_case "invalid/non-canonical" `Quick
+            test_invalid_and_noncanonical;
+        ] );
+    ]

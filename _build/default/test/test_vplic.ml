@@ -1,0 +1,127 @@
+(* The experimental virtual PLIC (paper §4.3): firmware PLIC accesses
+   are shadowed/filtered, and end-to-end a firmware can program the
+   PLIC from vM-mode without seeing the OS's contexts. *)
+
+module Plic = Mir_rv.Plic
+module Machine = Mir_rv.Machine
+module Vplic = Miralis.Vplic
+module Monitor = Miralis.Monitor
+module Setup = Mir_harness.Setup
+module Platform = Mir_platform.Platform
+module Asm = Mir_asm.Asm
+module C = Mir_rv.Csr_addr
+open Asm.I
+open Asm.Reg
+
+let test_priority_shadow_and_mirror () =
+  let plic = Plic.create ~nharts:2 ~nsources:4 in
+  let vp = Vplic.create ~nharts:2 ~nsources:4 in
+  (* write priority of source 2 *)
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:8L ~size:4
+            ~write:(Some 5L));
+  Helpers.check_i64 "shadowed (clamped to 3 bits)" 5L (Vplic.vpriority vp 2);
+  Alcotest.(check bool) "read back" true
+    (Vplic.emulate_access vp plic ~hart:0 ~offset:8L ~size:4 ~write:None
+    = Some 5L)
+
+let test_own_context_only () =
+  let plic = Plic.create ~nharts:2 ~nsources:4 in
+  let vp = Vplic.create ~nharts:2 ~nsources:4 in
+  (* hart 0's M context enable word is at 0x2000 + 0*0x80 *)
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:0x2000L ~size:4
+            ~write:(Some 0b110L));
+  Helpers.check_i64 "own enables stored" 0b110L (Vplic.venable vp ~hart:0);
+  (* the OS's S context (0x2000 + 1*0x80) reads as zero and writes are
+     dropped *)
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:0x2080L ~size:4
+            ~write:(Some (-1L)));
+  Alcotest.(check bool) "foreign context hidden" true
+    (Vplic.emulate_access vp plic ~hart:0 ~offset:0x2080L ~size:4 ~write:None
+    = Some 0L);
+  (* the underlying S context was not modified *)
+  Alcotest.(check bool) "physical S enables untouched" false (Plic.seip plic 0)
+
+let test_claim_passthrough () =
+  let plic = Plic.create ~nharts:1 ~nsources:4 in
+  let vp = Vplic.create ~nharts:1 ~nsources:4 in
+  (* program prio + enable for source 3 through the virtual interface *)
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:12L ~size:4
+            ~write:(Some 2L));
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:0x2000L ~size:4
+            ~write:(Some 0b1000L));
+  Plic.raise_irq plic 3;
+  (* claim through the virtual claim register (ctx 0 = M of hart 0) *)
+  Alcotest.(check bool) "claims source 3" true
+    (Vplic.emulate_access vp plic ~hart:0 ~offset:0x200004L ~size:4
+       ~write:None
+    = Some 3L);
+  (* complete *)
+  ignore (Vplic.emulate_access vp plic ~hart:0 ~offset:0x200004L ~size:4
+            ~write:(Some 3L));
+  Plic.lower_irq plic 3;
+  Alcotest.(check bool) "line low after complete" false (Plic.meip plic 0)
+
+(* End-to-end: a firmware that programs the PLIC from vM-mode. The
+   PLIC window is PMP-blocked, every access traps and is emulated. *)
+let plic_firmware ~nharts ~kernel_entry =
+  ignore nharts;
+  ignore kernel_entry;
+  Asm.assemble ~base:Mir_firmware.Layout.fw_base
+    [
+      label "entry";
+      li t0 Plic.default_base;
+      (* priority(src1) = 4 *)
+      li t1 4L;
+      sw t1 4L t0;
+      (* enable src1 in our M context *)
+      li t2 (Int64.add Plic.default_base 0x2000L);
+      li t1 2L;
+      sw t1 0L t2;
+      (* read the priority back and report it on the UART *)
+      lw t3 4L t0;
+      li t4 Mir_firmware.Layout.uart;
+      addi t3 t3 48L;
+      (* '0' + prio *)
+      sb t3 0L t4;
+      li t0 Mir_firmware.Layout.syscon;
+      li t1 0x5555L;
+      sw t1 0L t0;
+      label "spin";
+      j "spin";
+    ]
+
+let test_firmware_programs_vplic () =
+  let platform = Platform.qemu_virt (* 16 PMP entries *) in
+  let m = Machine.create platform.Platform.machine in
+  let fw, _ =
+    plic_firmware ~nharts:4 ~kernel_entry:Mir_kernel.Interp_kernel.entry
+  in
+  Machine.load_program m Mir_firmware.Layout.fw_base fw;
+  let config =
+    Miralis.Config.make ~virtualize_plic:true ~cost:platform.Platform.cost
+      ~machine:platform.Platform.machine ()
+  in
+  let mir = Monitor.create config m in
+  Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
+  Machine.run ~max_instrs:500_000L m;
+  Helpers.check_str "firmware saw its write" "4"
+    (Mir_rv.Uart.output m.Machine.uart);
+  Alcotest.(check bool) "accesses were emulated" true
+    (mir.Monitor.stats.Miralis.Vfm_stats.vclint_accesses >= 3
+    || mir.Monitor.stats.Miralis.Vfm_stats.traps_from_fw > 0);
+  Helpers.check_i64 "shadow state updated" 2L
+    (Vplic.venable mir.Monitor.vplic ~hart:0)
+
+let () =
+  Alcotest.run "vplic"
+    [
+      ( "vplic",
+        [
+          Alcotest.test_case "priority shadow" `Quick
+            test_priority_shadow_and_mirror;
+          Alcotest.test_case "own context only" `Quick test_own_context_only;
+          Alcotest.test_case "claim passthrough" `Quick test_claim_passthrough;
+          Alcotest.test_case "firmware programs vPLIC" `Quick
+            test_firmware_programs_vplic;
+        ] );
+    ]

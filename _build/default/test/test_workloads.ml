@@ -1,0 +1,140 @@
+(* Workload-layer tests: the models produce runnable scripts, the
+   engine's measurements are sane, and the boot trace reproduces the
+   paper's headline properties (five causes dominate; offload removes
+   almost all world switches). *)
+
+module Setup = Mir_harness.Setup
+module Engine = Mir_workloads.Engine
+module Models = Mir_workloads.Models
+module Boot_trace = Mir_workloads.Boot_trace
+module Platform = Mir_platform.Platform
+
+let vf2 = Platform.visionfive2
+
+let run_spec mode (spec : Models.spec) =
+  Engine.run vf2 mode ~ops:spec.Models.ops spec.Models.scripts
+
+let test_every_model_runs () =
+  List.iter
+    (fun (spec : Models.spec) ->
+      let r = run_spec Setup.Virtualized spec in
+      Alcotest.(check bool)
+        (spec.Models.name ^ " progresses")
+        true
+        (r.Engine.cycles > 0L && r.Engine.throughput > 0.))
+    [
+      Models.coremark ~kernel:"core";
+      Models.iozone ~write:false ~record_kib:128 ~records:2;
+      Models.iozone ~write:true ~record_kib:128 ~records:2;
+      Models.redis ~ops:20;
+      Models.memcached ~ops:10;
+      Models.mysql ~ops:8;
+      Models.gcc ~ops:1;
+      Models.rdtime_loop ~n:50;
+      Models.ipi_loop ~n:10;
+      Models.memcached_latency ~requests:16;
+    ]
+
+let test_coremark_kernels_all_defined () =
+  Alcotest.(check int) "nine kernels" 9 (List.length Models.coremark_kernels);
+  List.iter
+    (fun k -> ignore (Models.coremark ~kernel:k))
+    Models.coremark_kernels
+
+let test_trap_rates_ordered () =
+  (* the paper's ordering: network-heavy workloads trap far more than
+     compute-heavy ones *)
+  let redis = run_spec Setup.Native (Models.redis ~ops:60) in
+  let gcc = run_spec Setup.Native (Models.gcc ~ops:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "redis %.0f/s > 5x gcc %.0f/s" redis.Engine.traps_per_sec
+       gcc.Engine.traps_per_sec)
+    true
+    (redis.Engine.traps_per_sec > 5. *. gcc.Engine.traps_per_sec)
+
+let test_offload_removes_world_switches () =
+  let spec = Models.redis ~ops:60 in
+  let off = run_spec Setup.Virtualized spec in
+  let noff = run_spec Setup.Virtualized_no_offload spec in
+  Alcotest.(check bool) "offload: almost none" true
+    (off.Engine.world_switches <= 2);
+  Alcotest.(check bool) "no-offload: hundreds" true
+    (noff.Engine.world_switches > 100);
+  Alcotest.(check bool) "offload hits instead" true
+    (off.Engine.offload_hits > 100)
+
+let test_relative_is_ratio () =
+  let base =
+    { (run_spec Setup.Native (Models.gcc ~ops:1)) with Engine.throughput = 100. }
+  in
+  let faster = { base with Engine.throughput = 110. } in
+  Alcotest.(check (float 1e-9)) "ratio" 1.1 (Engine.relative ~baseline:base faster)
+
+let test_boot_trace_properties () =
+  let t = Boot_trace.run vf2 Setup.Native ~window_ms:1.0 in
+  Alcotest.(check bool) "several windows" true (List.length t.Boot_trace.windows > 5);
+  let totals =
+    List.map
+      (fun c ->
+        ( c,
+          List.fold_left
+            (fun acc (w : Boot_trace.window) ->
+              acc + List.assoc c w.Boot_trace.counts)
+            0 t.Boot_trace.windows ))
+      Boot_trace.causes
+  in
+  let all = List.fold_left (fun a (_, n) -> a + n) 0 totals in
+  let other = List.assoc Boot_trace.Other totals in
+  Alcotest.(check bool) "traps observed" true (all > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "five causes dominate (%d other of %d)" other all)
+    true
+    (float_of_int other < 0.05 *. float_of_int all);
+  (* every one of the five causes appears during boot *)
+  List.iter
+    (fun c ->
+      if c <> Boot_trace.Other then
+        Alcotest.(check bool) (Boot_trace.cause_name c ^ " present") true
+          (List.assoc c totals > 0))
+    Boot_trace.causes
+
+let test_boot_offload_ablation () =
+  let t_off = Boot_trace.run vf2 Setup.Virtualized ~window_ms:1.0 in
+  let t_no = Boot_trace.run vf2 Setup.Virtualized_no_offload ~window_ms:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "offload %d << no-offload %d world switches"
+       t_off.Boot_trace.world_switches t_no.Boot_trace.world_switches)
+    true
+    (t_off.Boot_trace.world_switches * 20 < t_no.Boot_trace.world_switches);
+  Alcotest.(check bool) "no-offload boots slower" true
+    (t_no.Boot_trace.boot_seconds > t_off.Boot_trace.boot_seconds)
+
+let test_rv8_staging () =
+  let m = Mir_rv.Machine.create vf2.Platform.machine in
+  Models.stage_rv8 m ~index:0;
+  (* the descriptor points at the staged image *)
+  let base =
+    Option.get (Mir_rv.Machine.phys_load m Mir_kernel.Script.desc_base 8)
+  in
+  Helpers.check_i64 "descriptor base" Models.rv8_enclave_base base;
+  Alcotest.(check bool) "image staged" true
+    (Option.get (Mir_rv.Machine.phys_load m Models.rv8_enclave_base 4) <> 0L)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "every model runs" `Slow test_every_model_runs;
+          Alcotest.test_case "coremark kernels" `Quick
+            test_coremark_kernels_all_defined;
+          Alcotest.test_case "trap rates ordered" `Quick test_trap_rates_ordered;
+          Alcotest.test_case "offload vs world switches" `Quick
+            test_offload_removes_world_switches;
+          Alcotest.test_case "relative" `Quick test_relative_is_ratio;
+          Alcotest.test_case "boot trace" `Quick test_boot_trace_properties;
+          Alcotest.test_case "boot offload ablation" `Quick
+            test_boot_offload_ablation;
+          Alcotest.test_case "rv8 staging" `Quick test_rv8_staging;
+        ] );
+    ]
