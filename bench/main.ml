@@ -7,7 +7,7 @@
      bench/main.exe               run everything
      bench/main.exe <name>...     run selected experiments
    Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
-          fig13 fig14 boottime q1 q4 micro *)
+          fig13 fig14 boottime q1 q4 trace micro *)
 
 module T = Mir_experiments.Exp_tables
 module F = Mir_experiments.Exp_figs
@@ -30,6 +30,69 @@ let experiments =
     ("q1", fun () -> F.q1 ());
     ("q4", fun () -> F.q4 ());
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Recording / replay overhead (BENCH_trace.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_bench () =
+  print_endline "\nTrace recording / replay overhead";
+  print_endline "=================================";
+  let module Setup = Mir_harness.Setup in
+  let module Script = Mir_kernel.Script in
+  (* trap-heavy workload: every iteration takes timer + IPI + rfence +
+     misaligned traps through the monitor, with compute in between *)
+  let script =
+    Script.
+      [
+        Rdtime; Set_timer 500L; Ipi_self; Rfence; Misaligned_load;
+        Misaligned_store; Compute 2000L; Tick_wfi 200L; Loop 60L; End;
+      ]
+  in
+  let fresh () =
+    Setup.create Mir_platform.Platform.visionfive2 Setup.Virtualized
+  in
+  let timed sys =
+    let t0 = Unix.gettimeofday () in
+    Setup.run_scripts sys [ script ];
+    let dt = Unix.gettimeofday () -. t0 in
+    let instrs = Int64.to_float sys.Setup.machine.Mir_rv.Machine.instr_count in
+    instrs /. dt
+  in
+  let ips_off = timed (fresh ()) in
+  let sys_rec = fresh () in
+  let recorder, _ = Setup.attach_recorder sys_rec in
+  let mgr =
+    Setup.checkpoint_manager sys_rec ~every:100_000L
+      ~events_seen:(fun () -> Mir_trace.Recorder.count recorder)
+  in
+  let ips_on = timed sys_rec in
+  let events = Mir_trace.Recorder.events recorder in
+  let nevents = List.length events in
+  let ncheckpoints = List.length (Mir_trace.Snapshot.checkpoints mgr) in
+  let sys_rep = fresh () in
+  let replay, _ = Setup.attach_replay sys_rep ~events in
+  let ips_replay = timed sys_rep in
+  let diverged =
+    match Mir_trace.Replay.finish replay with
+    | Mir_trace.Replay.Match _ -> false
+    | _ -> true
+  in
+  let overhead = ips_off /. ips_on in
+  Printf.printf "  recording off      %10.0f instrs/sec\n" ips_off;
+  Printf.printf "  recording on       %10.0f instrs/sec  (%.2fx overhead)\n"
+    ips_on overhead;
+  Printf.printf "  replay (verifying) %10.0f instrs/sec\n" ips_replay;
+  Printf.printf "  events=%d checkpoints=%d divergence=%b\n" nevents
+    ncheckpoints diverged;
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n  \"ips_off\": %.0f,\n  \"ips_recording\": %.0f,\n  \
+     \"ips_replay\": %.0f,\n  \"recording_overhead\": %.3f,\n  \
+     \"events\": %d,\n  \"checkpoints\": %d,\n  \"diverged\": %b\n}\n"
+    ips_off ips_on ips_replay overhead nevents ncheckpoints diverged;
+  close_out oc;
+  print_endline "  wrote BENCH_trace.json"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's primitives              *)
@@ -93,16 +156,19 @@ let () =
   (match args with
   | [] ->
       List.iter (fun (_, f) -> f ()) experiments;
+      trace_bench ();
       micro ()
   | names ->
       List.iter
         (fun name ->
           if name = "micro" then micro ()
+          else if name = "trace" then trace_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
-                Printf.eprintf "unknown experiment %S; known: %s micro\n" name
+                Printf.eprintf "unknown experiment %S; known: %s trace micro\n"
+                  name
                   (String.concat " " (List.map fst experiments)))
         names);
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -91,6 +91,30 @@ let trace_arg =
     value & flag
     & info [ "trace" ] ~doc:"Print every trap that reaches M-mode.")
 
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:"Record the execution's event log to $(docv) (JSON lines).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Re-execute while verifying every event against the log in \
+           $(docv); exits non-zero on the first divergence.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt int64 0L
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--record), take an architectural checkpoint every \
+           $(docv) instructions (0 disables).")
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -102,7 +126,8 @@ let smoke_script =
     Script.Putchar 'k'; Script.Putchar '\n'; Script.End;
   ]
 
-let run_cmd platform mode fw policy max_instrs trace =
+let run_cmd platform mode fw policy max_instrs trace record_file replay_file
+    checkpoint_every =
   let policy, pmp_slots =
     match policy with
     | `None -> (None, 1)
@@ -140,6 +165,42 @@ let run_cmd platform mode fw policy max_instrs trace =
             (Mir_rv.Cause.to_string cause)
             (Mir_rv.Priv.to_string from_priv)
             (if to_m then "M" else "S"));
+  if record_file <> None && replay_file <> None then begin
+    prerr_endline "miralis-sim: --record and --replay are mutually exclusive";
+    exit 2
+  end;
+  let recording =
+    match record_file with
+    | None -> None
+    | Some path ->
+        (* fail on an unwritable destination now, not after the run *)
+        (try close_out (open_out path)
+         with Sys_error msg ->
+           Printf.eprintf "miralis-sim: cannot write trace: %s\n" msg;
+           exit 2);
+        let recorder, _tracer = Setup.attach_recorder sys in
+        let mgr =
+          if checkpoint_every > 0L then
+            Some
+              (Setup.checkpoint_manager sys ~every:checkpoint_every
+                 ~events_seen:(fun () -> Mir_trace.Recorder.count recorder))
+          else None
+        in
+        Some (path, recorder, mgr)
+  in
+  let replaying =
+    match replay_file with
+    | None -> None
+    | Some path -> begin
+        match Mir_trace.Recorder.load ~path with
+        | Error msg ->
+            Printf.eprintf "miralis-sim: cannot load trace %s: %s\n" path msg;
+            exit 2
+        | Ok events ->
+            let replay, _tracer = Setup.attach_replay sys ~events in
+            Some replay
+      end
+  in
   Setup.run_scripts ~max_instrs sys [ smoke_script ];
   Printf.printf "console: %s" (Setup.uart_output sys);
   Printf.printf "simulated: %.3f ms on %s (%s)\n"
@@ -148,21 +209,44 @@ let run_cmd platform mode fw policy max_instrs trace =
   (match Setup.stats sys with
   | Some stats -> Format.printf "%a@." Miralis.Vfm_stats.pp stats
   | None -> ());
-  match sys.Setup.miralis with
+  (match sys.Setup.miralis with
   | Some { Miralis.Monitor.violation = Some v; _ } ->
       Printf.printf "policy violation: %s\n" v
-  | _ -> ()
+  | _ -> ());
+  (match recording with
+  | Some (path, recorder, mgr) ->
+      Mir_trace.Recorder.save recorder ~path;
+      Printf.printf "recorded %d events to %s%s\n"
+        (Mir_trace.Recorder.count recorder)
+        path
+        (match Mir_trace.Recorder.dropped recorder with
+        | 0 -> ""
+        | n -> Printf.sprintf " (%d oldest dropped!)" n);
+      (match mgr with
+      | Some m ->
+          Printf.printf "checkpoints: %d\n"
+            (List.length (Mir_trace.Snapshot.checkpoints m))
+      | None -> ());
+      Printf.printf "final state hash: %016Lx\n" (Setup.state_hash sys)
+  | None -> ());
+  match replaying with
+  | Some replay ->
+      let outcome = Mir_trace.Replay.finish replay in
+      Format.printf "%a@." Mir_trace.Replay.pp_outcome outcome;
+      Printf.printf "final state hash: %016Lx\n" (Setup.state_hash sys);
+      (match outcome with Mir_trace.Replay.Match _ -> () | _ -> exit 1)
+  | None -> ()
 
 let run_term =
   Term.(
     const run_cmd $ platform_arg $ mode_arg $ firmware_arg $ policy_arg
-    $ max_instrs_arg $ trace_arg)
+    $ max_instrs_arg $ trace_arg $ record_arg $ replay_arg $ checkpoint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let verify_cmd quick bug =
+let verify_cmd quick bug seed =
   let inject_bug =
     match bug with
     | "" -> None
@@ -176,15 +260,15 @@ let verify_cmd quick bug =
   let s n = if quick then max 1 (n / 10) else n in
   let reports =
     [
-      Mir_verif.Tasks.mret ~samples:(s 3000) ?inject_bug ();
-      Mir_verif.Tasks.sret ~samples:(s 3000) ?inject_bug ();
-      Mir_verif.Tasks.wfi ~samples:(s 3000) ?inject_bug ();
-      Mir_verif.Tasks.decoder ~words:(s 400_000) ();
-      Mir_verif.Tasks.csr_read ~samples:(s 40) ?inject_bug ();
-      Mir_verif.Tasks.csr_write ~samples:(s 60) ?inject_bug ();
+      Mir_verif.Tasks.mret ~samples:(s 3000) ?inject_bug ~seed ();
+      Mir_verif.Tasks.sret ~samples:(s 3000) ?inject_bug ~seed ();
+      Mir_verif.Tasks.wfi ~samples:(s 3000) ?inject_bug ~seed ();
+      Mir_verif.Tasks.decoder ~words:(s 400_000) ~seed ();
+      Mir_verif.Tasks.csr_read ~samples:(s 40) ?inject_bug ~seed ();
+      Mir_verif.Tasks.csr_write ~samples:(s 60) ?inject_bug ~seed ();
       Mir_verif.Tasks.virtual_interrupt ?inject_bug ();
-      Mir_verif.Tasks.end_to_end ~samples:(s 25) ?inject_bug ();
-      Mir_verif.Faithful_execution.run ~configs:(s 400) ?inject_bug ();
+      Mir_verif.Tasks.end_to_end ~samples:(s 25) ?inject_bug ~seed ();
+      Mir_verif.Faithful_execution.run ~configs:(s 400) ?inject_bug ~seed ();
     ]
   in
   List.iter (fun r -> Format.printf "%a@." Mir_verif.Tasks.pp_report r) reports;
@@ -203,7 +287,12 @@ let verify_term =
         & info [ "inject-bug" ] ~docv:"BUG"
             ~doc:
               "Inject a §6.5 bug class: $(b,mpp), $(b,pmp-wr), \
-               $(b,vpmp-overrun), $(b,irq-priority), $(b,mret-mpie)."))
+               $(b,vpmp-overrun), $(b,irq-priority), $(b,mret-mpie).")
+    $ Arg.(
+        value
+        & opt int64 Miralis.Config.default_seed
+        & info [ "seed" ] ~docv:"SEED"
+            ~doc:"Root PRNG seed for all sampled checkers."))
 
 (* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)

@@ -15,7 +15,27 @@ type t = {
   cost : Cost.t;
   vcsr_config : Mir_rv.Csr_spec.config;
   inject_bug : bug option;
+  seed : int64;
 }
+
+(* Every source of randomness in the system derives from one seed, so
+   a run is reproducible by construction — a prerequisite for record
+   and replay. Component streams are split off by hashing a label into
+   the seed (FNV-1a), so adding a consumer never perturbs the others. *)
+let default_seed = 0x4D6972616C6973L (* "Miralis" *)
+
+let derive seed label =
+  let h = ref (Int64.logxor 0xCBF29CE484222325L seed) in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    label;
+  Mir_util.Prng.create ~seed:!h
+
+let prng t label = derive t.seed label
 
 (* Fixed reserved entries: Miralis memory, virtual-device window,
    zero-anchor, catch-all (Fig. 5); the experimental virtual PLIC
@@ -23,7 +43,7 @@ type t = {
 let fixed_reserved ~virtualize_plic = if virtualize_plic then 5 else 4
 
 let make ?(offload = true) ?(policy_pmp_slots = 1) ?(virtualize_plic = false)
-    ?(allowed_custom_csrs = []) ?cost ?inject_bug
+    ?(allowed_custom_csrs = []) ?cost ?inject_bug ?(seed = default_seed)
     ~(machine : Mir_rv.Machine.config) () =
   let cost = Option.value cost ~default:Cost.default in
   let phys_pmp = machine.Mir_rv.Machine.csr_config.Mir_rv.Csr_spec.pmp_count in
@@ -62,6 +82,7 @@ let make ?(offload = true) ?(policy_pmp_slots = 1) ?(virtualize_plic = false)
         force_s_interrupt_delegation = true;
       };
     inject_bug;
+    seed;
   }
 
 let reserved_pmp_slots t =

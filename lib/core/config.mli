@@ -31,6 +31,9 @@ type t = {
       (** the *virtual* hart configuration exposed to the firmware
           (Definition 2's reference configuration [c_r]) *)
   inject_bug : bug option;
+  seed : int64;
+      (** root of every PRNG in the system — runs are reproducible by
+          construction (required by record/replay) *)
 }
 
 val make :
@@ -40,6 +43,7 @@ val make :
   ?allowed_custom_csrs:int list ->
   ?cost:Cost.t ->
   ?inject_bug:bug ->
+  ?seed:int64 ->
   machine:Mir_rv.Machine.config ->
   unit ->
   t
@@ -52,3 +56,13 @@ val reserved_pmp_slots : t -> int
 (** Entries not available to the virtual firmware. *)
 
 val vpmp_count : t -> int
+
+val default_seed : int64
+
+val prng : t -> string -> Mir_util.Prng.t
+(** [prng t label] is the deterministic PRNG stream for component
+    [label], split off the configuration seed. Same seed and label —
+    same stream; distinct labels — independent streams. *)
+
+val derive : int64 -> string -> Mir_util.Prng.t
+(** Like {!prng} from a bare seed (for call sites without a config). *)

@@ -21,10 +21,19 @@ type t = {
   mutable policy : Policy.t;
   stats : Vfm_stats.t;
   mutable violation : string option;
+  mutable tracer : Mir_trace.Tracer.t option;
 }
 
 let charge t hart n = ignore t; Machine.charge hart n
 let vhart t (hart : Hart.t) = t.vharts.(hart.Hart.id)
+
+(* Monitor-level trace events (world switches, PMP reinstalls, vtraps,
+   SBI calls) interleave with the machine-level stream emitted by the
+   same tracer. *)
+let emit_event t hart kind =
+  match t.tracer with
+  | Some tr -> Mir_trace.Tracer.emit tr hart kind
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Resuming the hart                                                   *)
@@ -79,7 +88,8 @@ and policy_pmp_entries t hart =
   t.policy.Policy.pmp_entries (policy_ctx t hart)
 
 and reinstall_pmp t hart =
-  Vpmp.install t.config (vhart t hart) hart ~policy:(policy_pmp_entries t hart)
+  Vpmp.install t.config (vhart t hart) hart ~policy:(policy_pmp_entries t hart);
+  emit_event t hart Mir_trace.Event.Pmp_reinstall
 
 (* ------------------------------------------------------------------ *)
 (* World switches                                                      *)
@@ -92,13 +102,15 @@ let switch_to_fw t hart vh =
      builder and the policy's pmp_entries must see the new world. *)
   vh.Vhart.world <- Vhart.Firmware;
   World.to_fw t.config vh hart ~policy:(policy_pmp_entries t hart);
-  t.stats.Vfm_stats.world_switches <- t.stats.Vfm_stats.world_switches + 1
+  t.stats.Vfm_stats.world_switches <- t.stats.Vfm_stats.world_switches + 1;
+  emit_event t hart (Mir_trace.Event.World_switch { to_fw = true })
 
 let switch_to_os t hart vh =
   assert (vh.Vhart.world = Vhart.Firmware);
   t.policy.Policy.on_switch_to_os (policy_ctx t hart);
   vh.Vhart.world <- Vhart.Os;
-  World.to_os t.config vh hart ~policy:(policy_pmp_entries t hart)
+  World.to_os t.config vh hart ~policy:(policy_pmp_entries t hart);
+  emit_event t hart (Mir_trace.Event.World_switch { to_fw = false })
 
 (* ------------------------------------------------------------------ *)
 (* Virtual trap injection                                              *)
@@ -113,6 +125,7 @@ let vtvec_target vtvec cause =
 
 let inject_vtrap t hart (vh : Vhart.t) cause ~tval ~epc ~mpp =
   assert (vh.Vhart.world = Vhart.Firmware);
+  emit_event t hart (Mir_trace.Event.Vtrap { cause; tval });
   let v = vh.Vhart.csr in
   Csr_file.write_raw v Csr_addr.mepc epc;
   Csr_file.write_raw v Csr_addr.mcause (Cause.to_xcause cause);
@@ -433,9 +446,18 @@ let handle_from_os t hart vh cause =
       match t.policy.Policy.on_ecall_from_os (policy_ctx t hart) with
       | Policy.Handled -> ()
       | Policy.Pass -> begin
+          let emit_sbi offloaded =
+            emit_event t hart
+              (Mir_trace.Event.Sbi_call
+                 { ext = Hart.get hart 17; fid = Hart.get hart 16; offloaded })
+          in
           match Offload.try_ecall t.config t.machine t.vclint t.stats hart with
-          | Offload.Resume_at pc -> return_to_os t hart ~pc
-          | Offload.Not_handled -> reinject_from_os t hart vh cause ~tval:0L
+          | Offload.Resume_at pc ->
+              emit_sbi true;
+              return_to_os t hart ~pc
+          | Offload.Not_handled ->
+              emit_sbi false;
+              reinject_from_os t hart vh cause ~tval:0L
         end
     end
   | Cause.Exception Cause.Illegal_instr -> begin
@@ -575,6 +597,37 @@ let handle t (hart : Hart.t) cause =
    end);
   charge t hart t.config.Config.cost.Cost.trap_exit
 
+(* Checkpoint support: capture all monitor-owned state (the machine
+   itself is snapshotted separately by [Mir_trace.Snapshot]) and
+   return the closure that restores it. *)
+let save t =
+  let vh_states =
+    Array.map
+      (fun (vh : Vhart.t) ->
+        ( Csr_file.dump vh.Vhart.csr,
+          vh.Vhart.world,
+          vh.Vhart.mprv_active,
+          vh.Vhart.entered_s ))
+      t.vharts
+  in
+  let vclint_s = Vclint.save_state t.vclint in
+  let vplic_s = Vplic.save_state t.vplic in
+  let stats_s = Vfm_stats.save_state t.stats in
+  let violation = t.violation in
+  fun () ->
+    Array.iteri
+      (fun i (csrs, world, mprv_active, entered_s) ->
+        let vh = t.vharts.(i) in
+        Csr_file.restore_dump vh.Vhart.csr csrs;
+        vh.Vhart.world <- world;
+        vh.Vhart.mprv_active <- mprv_active;
+        vh.Vhart.entered_s <- entered_s)
+      vh_states;
+    Vclint.load_state t.vclint vclint_s;
+    Vplic.load_state t.vplic vplic_s;
+    Vfm_stats.load_state t.stats stats_s;
+    t.violation <- violation
+
 let create ?policy config machine =
   let nharts = Array.length machine.Machine.harts in
   let t =
@@ -587,6 +640,7 @@ let create ?policy config machine =
       policy = Option.value policy ~default:(Policy.default "none");
       stats = Vfm_stats.create ();
       violation = None;
+      tracer = None;
     }
   in
   machine.Machine.mmode_hook <- Some (fun _m hart cause -> handle t hart cause);

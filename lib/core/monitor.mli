@@ -20,6 +20,9 @@ type t = {
   stats : Vfm_stats.t;
   mutable violation : string option;
       (** set when a policy stopped the machine *)
+  mutable tracer : Mir_trace.Tracer.t option;
+      (** when set, world switches, PMP reinstalls, virtual traps and
+          SBI calls are emitted into the trace stream *)
 }
 
 val create : ?policy:Policy.t -> Config.t -> Mir_rv.Machine.t -> t
@@ -52,3 +55,8 @@ val inject_vtrap :
 val switch_to_fw : t -> Mir_rv.Hart.t -> Vhart.t -> unit
 val switch_to_os : t -> Mir_rv.Hart.t -> Vhart.t -> unit
 (** World switches including policy hooks and statistics. *)
+
+val save : t -> unit -> unit
+(** Snapshot all monitor state (virtual harts, vCLINT, vPLIC, stats)
+    and return the restore closure — pass as the [extra_save] of
+    [Mir_trace.Snapshot.manage]. *)

@@ -23,6 +23,34 @@ let create ~nharts =
     rfence = Array.make nharts false;
   }
 
+type state = {
+  s_vmtimecmp : int64 array;
+  s_varmed : bool array;
+  s_offload_deadline : int64 array;
+  s_vmsip : bool array;
+  s_os_ipi : bool array;
+  s_rfence : bool array;
+}
+
+let save_state t =
+  {
+    s_vmtimecmp = Array.copy t.vmtimecmp;
+    s_varmed = Array.copy t.varmed;
+    s_offload_deadline = Array.copy t.offload_deadline;
+    s_vmsip = Array.copy t.vmsip;
+    s_os_ipi = Array.copy t.os_ipi;
+    s_rfence = Array.copy t.rfence;
+  }
+
+let load_state t s =
+  let n = Array.length t.vmtimecmp in
+  Array.blit s.s_vmtimecmp 0 t.vmtimecmp 0 n;
+  Array.blit s.s_varmed 0 t.varmed 0 n;
+  Array.blit s.s_offload_deadline 0 t.offload_deadline 0 n;
+  Array.blit s.s_vmsip 0 t.vmsip 0 n;
+  Array.blit s.s_os_ipi 0 t.os_ipi 0 n;
+  Array.blit s.s_rfence 0 t.rfence 0 n
+
 let vmtimecmp t h = t.vmtimecmp.(h)
 
 let set_vmtimecmp t h v =

@@ -59,3 +59,11 @@ val emulate_access :
     stores), or [None] if the offset/size is not a valid CLINT
     register access. mtime reads pass through to the physical clock;
     msip and mtimecmp hit the virtual state. *)
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -27,6 +27,23 @@ let create () =
     vclint_accesses = 0;
   }
 
+(* Checkpoint support: every field is a mutable int, so a shallow
+   record copy is a complete snapshot. *)
+let save_state t = { t with traps_from_os = t.traps_from_os }
+
+let load_state t s =
+  t.traps_from_os <- s.traps_from_os;
+  t.traps_from_fw <- s.traps_from_fw;
+  t.world_switches <- s.world_switches;
+  t.emulated_instrs <- s.emulated_instrs;
+  t.vtraps <- s.vtraps;
+  t.offload_time_read <- s.offload_time_read;
+  t.offload_set_timer <- s.offload_set_timer;
+  t.offload_ipi <- s.offload_ipi;
+  t.offload_rfence <- s.offload_rfence;
+  t.offload_misaligned <- s.offload_misaligned;
+  t.vclint_accesses <- s.vclint_accesses
+
 let offload_hits t =
   t.offload_time_read + t.offload_set_timer + t.offload_ipi + t.offload_rfence
   + t.offload_misaligned

@@ -17,6 +17,13 @@ type t = {
 }
 
 val create : unit -> t
+
+val save_state : t -> t
+(** Snapshot (checkpoint support). *)
+
+val load_state : t -> t -> unit
+(** [load_state t s] restores [t] from the snapshot [s]. *)
+
 val offload_hits : t -> int
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,24 @@ let create ~nharts ~nsources =
     vthreshold = Array.make nharts 0L;
   }
 
+type state = {
+  s_vpriority : int64 array;
+  s_venable : int64 array;
+  s_vthreshold : int64 array;
+}
+
+let save_state t =
+  {
+    s_vpriority = Array.copy t.vpriority;
+    s_venable = Array.copy t.venable;
+    s_vthreshold = Array.copy t.vthreshold;
+  }
+
+let load_state t s =
+  Array.blit s.s_vpriority 0 t.vpriority 0 (Array.length t.vpriority);
+  Array.blit s.s_venable 0 t.venable 0 (Array.length t.venable);
+  Array.blit s.s_vthreshold 0 t.vthreshold 0 (Array.length t.vthreshold)
+
 let venable t ~hart = t.venable.(hart)
 let vthreshold t ~hart = t.vthreshold.(hart)
 let vpriority t src = t.vpriority.(src)

@@ -31,3 +31,11 @@ val venable : t -> hart:int -> int64
 
 val vthreshold : t -> hart:int -> int64
 val vpriority : t -> int -> int64
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -62,6 +62,37 @@ let run_scripts ?(max_instrs = 500_000_000L) system scripts =
   done;
   Machine.run ~max_instrs system.machine
 
+(* ------------------------------------------------------------------ *)
+(* Tracing: record, replay, checkpoint (lib/trace)                     *)
+(* ------------------------------------------------------------------ *)
+
+let attach_tracer system ~sink =
+  let tr = Mir_trace.Tracer.attach system.machine ~sink in
+  (match system.miralis with
+  | Some m -> m.Miralis.Monitor.tracer <- Some tr
+  | None -> ());
+  tr
+
+let attach_recorder ?capacity system =
+  let recorder = Mir_trace.Recorder.create ?capacity () in
+  let tracer =
+    attach_tracer system ~sink:(Mir_trace.Recorder.push recorder)
+  in
+  (recorder, tracer)
+
+let attach_replay system ~events =
+  let replay = Mir_trace.Replay.create ~machine:system.machine ~events in
+  let tracer = attach_tracer system ~sink:(Mir_trace.Replay.feed replay) in
+  (replay, tracer)
+
+let checkpoint_manager ?events_seen system ~every =
+  let extra_save =
+    Option.map (fun m () -> Miralis.Monitor.save m) system.miralis
+  in
+  Mir_trace.Snapshot.manage ?extra_save ?events_seen ~every system.machine
+
+let state_hash system = Mir_trace.Snapshot.hash system.machine
+
 let hart0_cycles system = system.machine.Machine.harts.(0).Hart.cycles
 
 let stats system =

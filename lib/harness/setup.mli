@@ -32,6 +32,29 @@ val run_scripts :
 (** Write one script per hart (harts beyond the list get [Halt]) and
     run to power-off or the instruction budget. *)
 
+(** {2 Tracing (record / replay / checkpoint)} *)
+
+val attach_tracer : system -> sink:(Mir_trace.Event.t -> unit) -> Mir_trace.Tracer.t
+(** Install trace hooks on the machine and, when present, the monitor.
+    Attach after {!create} so boot is outside the recorded window (a
+    replayed system attaches at the same point). *)
+
+val attach_recorder :
+  ?capacity:int -> system -> Mir_trace.Recorder.t * Mir_trace.Tracer.t
+
+val attach_replay :
+  system -> events:Mir_trace.Event.t list ->
+  Mir_trace.Replay.t * Mir_trace.Tracer.t
+
+val checkpoint_manager :
+  ?events_seen:(unit -> int) -> system -> every:int64 ->
+  Mir_trace.Snapshot.manager
+(** Periodic checkpoints; monitor state is captured via
+    [Miralis.Monitor.save] when the system runs under the VFM. *)
+
+val state_hash : system -> int64
+(** Digest of the full architectural state ({!Mir_trace.Snapshot.hash}). *)
+
 val hart0_cycles : system -> int64
 val stats : system -> Miralis.Vfm_stats.t option
 val uart_output : system -> string

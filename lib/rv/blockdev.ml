@@ -30,6 +30,33 @@ let create ~ram ~capacity_sectors ~latency_ticks ~irq =
 
 let busy t = t.status = 1L
 
+type state = {
+  s_disk : bytes;
+  s_sector : int64;
+  s_dma : int64;
+  s_len : int64;
+  s_status : int64;
+  s_pending : pending option;
+}
+
+let save_state t =
+  {
+    s_disk = Bytes.copy t.disk;
+    s_sector = t.sector;
+    s_dma = t.dma;
+    s_len = t.len;
+    s_status = t.status;
+    s_pending = t.pending;
+  }
+
+let load_state t s =
+  Bytes.blit s.s_disk 0 t.disk 0 (Bytes.length t.disk);
+  t.sector <- s.s_sector;
+  t.dma <- s.s_dma;
+  t.len <- s.s_len;
+  t.status <- s.s_status;
+  t.pending <- s.s_pending
+
 let load t off size =
   if size <> 8 then 0L
   else

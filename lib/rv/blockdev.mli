@@ -30,3 +30,11 @@ val write_sector : t -> int -> bytes -> unit
 
 val read_sector : t -> int -> bytes
 val busy : t -> bool
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy of the device state. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -18,6 +18,25 @@ let create ~nharts =
   }
 
 let nharts t = Array.length t.msip
+
+type state = {
+  s_msip : bool array;
+  s_mtimecmp : int64 array;
+  s_mtime : int64;
+}
+
+let save_state t =
+  {
+    s_msip = Array.copy t.msip;
+    s_mtimecmp = Array.copy t.mtimecmp;
+    s_mtime = t.mtime;
+  }
+
+let load_state t s =
+  Array.blit s.s_msip 0 t.msip 0 (nharts t);
+  Array.blit s.s_mtimecmp 0 t.mtimecmp 0 (nharts t);
+  t.mtime <- s.s_mtime
+
 let mtime t = t.mtime
 let set_mtime t v = t.mtime <- v
 let advance t d = t.mtime <- Int64.add t.mtime d

@@ -36,3 +36,11 @@ val device : t -> base:int64 -> Device.t
 val msip_offset : int -> int64
 val mtimecmp_offset : int -> int64
 val mtime_offset : int64
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy of the device state. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -34,6 +34,13 @@ let write_raw t addr v =
   end;
   t.store.(addr) <- v
 
+let dump t = Array.copy t.store
+
+let restore_dump t store =
+  Array.blit store 0 t.store 0 (Array.length t.store);
+  t.pmp_cache <- None;
+  t.pmp_ranges_cache <- None
+
 let decode_pmp_entries t =
   Array.init t.config.Csr_spec.pmp_count (fun i ->
       let cfg_reg = Csr_addr.pmpcfg (i / 8 * 2) in

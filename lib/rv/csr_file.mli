@@ -28,6 +28,12 @@ val read_raw : t -> int -> int64
 val write_raw : t -> int -> int64 -> unit
 (** Direct store, bypassing WARL — hardware-internal updates only. *)
 
+val dump : t -> int64 array
+(** Copy of the raw backing store (checkpointing). *)
+
+val restore_dump : t -> int64 array -> unit
+(** Restore a {!dump}ed store; PMP decode caches are invalidated. *)
+
 val pmp_entries : t -> Pmp.entry array
 (** Decoded PMP entries 0..pmp_count-1, in priority order. *)
 

@@ -39,6 +39,12 @@ type t = {
   mutable mmode_hook : (t -> Hart.t -> Cause.t -> unit) option;
   mutable on_trap :
     (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
+  mutable on_csr_write : (t -> Hart.t -> int -> int64 -> unit) option;
+  mutable on_mmio :
+    (t -> Hart.t -> write:bool -> addr:int64 -> size:int -> value:int64 ->
+     unit)
+    option;
+  mutable on_chunk : (t -> unit) option;
   mutable poweroff : bool;
   mutable instr_count : int64;
 }
@@ -69,6 +75,9 @@ let create config =
       icache = Array.make (config.ram_size / 4) None;
       mmode_hook = None;
       on_trap = None;
+      on_csr_write = None;
+      on_mmio = None;
+      on_chunk = None;
       poweroff = false;
       instr_count = 0L;
     }
@@ -329,10 +338,15 @@ let vload t hart vaddr size ~signed =
   end
   else begin
     let phys = resolve t hart ~priv Vmem.Load vaddr size in
-    if not (Memory.in_range (Bus.ram t.bus) phys size) then
-      charge hart t.config.mmio_penalty;
+    let is_mmio = not (Memory.in_range (Bus.ram t.bus) phys size) in
+    if is_mmio then charge hart t.config.mmio_penalty;
     match phys_load t phys size with
-    | Some v -> if signed then Bits.sext v ~width:(8 * size) else v
+    | Some v ->
+        (if is_mmio then
+           match t.on_mmio with
+           | Some f -> f t hart ~write:false ~addr:phys ~size ~value:v
+           | None -> ());
+        if signed then Bits.sext v ~width:(8 * size) else v
     | None -> raise (Cause.Trap (Cause.Load_access_fault, vaddr))
   end
 
@@ -352,7 +366,8 @@ let vstore t hart vaddr size v =
   end
   else begin
     let phys = resolve t hart ~priv Vmem.Store vaddr size in
-    if not (Memory.in_range (Bus.ram t.bus) phys size) then begin
+    let is_mmio = not (Memory.in_range (Bus.ram t.bus) phys size) in
+    if is_mmio then begin
       charge hart t.config.mmio_penalty;
       (* a device store may change interrupt lines (CLINT msip /
          mtimecmp): force a refresh on every hart's next step *)
@@ -360,6 +375,10 @@ let vstore t hart vaddr size v =
     end;
     if not (phys_store t phys size v) then
       raise (Cause.Trap (Cause.Store_access_fault, vaddr));
+    (if is_mmio then
+       match t.on_mmio with
+       | Some f -> f t hart ~write:true ~addr:phys ~size ~value:v
+       | None -> ());
     (* stores break reservations overlapping the written bytes *)
     Array.iter
       (fun h ->
@@ -444,14 +463,18 @@ let exec_csr t hart bits op rd src csr_addr =
     | Instr.Imm z -> Int64.of_int z
   in
   let finish ?(storage = true) old =
-    (if write_needed && storage then
+    (if write_needed && storage then begin
        let value =
          match op with
          | Instr.Csrrw -> src_val
          | Instr.Csrrs -> Int64.logor old src_val
          | Instr.Csrrc -> Int64.logand old (Int64.lognot src_val)
        in
-       Csr_file.write csr csr_addr value);
+       Csr_file.write csr csr_addr value;
+       match t.on_csr_write with
+       | Some f -> f t hart csr_addr (Csr_file.read_raw csr csr_addr)
+       | None -> ()
+     end);
     Hart.set hart rd old;
     hart.Hart.pc <- Int64.add hart.Hart.pc 4L
   in
@@ -741,6 +764,7 @@ let run ?(max_instrs = Int64.max_int) ?(chunk = 32) t =
         done)
       t.harts;
     sync_time t;
-    poll_devices t
+    poll_devices t;
+    match t.on_chunk with Some f -> f t | None -> ()
   done;
   sync_time t

@@ -45,6 +45,17 @@ type t = {
   mutable on_trap :
     (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
       (** observation hook fired on every trap, for statistics *)
+  mutable on_csr_write : (t -> Hart.t -> int -> int64 -> unit) option;
+      (** fired after every architectural CSR write executed by a
+          guest instruction, with the legalized stored value *)
+  mutable on_mmio :
+    (t -> Hart.t -> write:bool -> addr:int64 -> size:int -> value:int64 ->
+     unit)
+    option;
+      (** fired after every successful device (non-RAM) load/store *)
+  mutable on_chunk : (t -> unit) option;
+      (** fired once per scheduler round in {!run}, after device
+          polling — used by the checkpoint layer *)
   mutable poweroff : bool;
   mutable instr_count : int64;
 }

@@ -1,8 +1,22 @@
-type t = { base : int64; data : Bytes.t }
+(* Dirty tracking uses 4 KiB pages: coarse enough that the per-store
+   cost is one shift and one byte write, fine enough that incremental
+   checkpoints stay small. *)
+let page_shift = 12
+let page_size = 1 lsl page_shift
 
-let create ~base ~size = { base; data = Bytes.make size '\000' }
+type t = { base : int64; data : Bytes.t; dirty : Bytes.t }
+
+let create ~base ~size =
+  let npages = (size + page_size - 1) / page_size in
+  { base; data = Bytes.make size '\000'; dirty = Bytes.make npages '\000' }
+
 let base t = t.base
 let size t = Bytes.length t.data
+
+let mark_dirty t o len =
+  for p = o lsr page_shift to (o + len - 1) lsr page_shift do
+    Bytes.unsafe_set t.dirty p '\001'
+  done
 
 let in_range t addr len =
   let off = Int64.sub addr t.base in
@@ -21,6 +35,7 @@ let load t addr size =
 
 let store t addr size v =
   let o = offset t addr in
+  mark_dirty t o size;
   match size with
   | 1 -> Bytes.set t.data o (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
   | 2 -> Bytes.set_uint16_le t.data o (Int64.to_int (Int64.logand v 0xFFFFL))
@@ -31,6 +46,52 @@ let store t addr size v =
 let load_bytes t addr len = Bytes.sub t.data (offset t addr) len
 
 let store_bytes t addr b =
-  Bytes.blit b 0 t.data (offset t addr) (Bytes.length b)
+  let o = offset t addr in
+  if Bytes.length b > 0 then mark_dirty t o (Bytes.length b);
+  Bytes.blit b 0 t.data o (Bytes.length b)
 
-let fill t addr len c = Bytes.fill t.data (offset t addr) len c
+let fill t addr len c =
+  let o = offset t addr in
+  if len > 0 then mark_dirty t o len;
+  Bytes.fill t.data o len c
+
+(* ------------------------------------------------------------------ *)
+(* Dirty pages and snapshots (used by lib/trace checkpoints)           *)
+(* ------------------------------------------------------------------ *)
+
+let npages t = Bytes.length t.dirty
+
+let dirty_pages t =
+  let acc = ref [] in
+  for p = npages t - 1 downto 0 do
+    if Bytes.get t.dirty p <> '\000' then acc := p :: !acc
+  done;
+  !acc
+
+let clear_dirty t = Bytes.fill t.dirty 0 (npages t) '\000'
+
+let page_len t p =
+  min page_size (Bytes.length t.data - (p lsl page_shift))
+
+let get_page t p = Bytes.sub t.data (p lsl page_shift) (page_len t p)
+
+let set_page t p b =
+  Bytes.blit b 0 t.data (p lsl page_shift) (Bytes.length b)
+
+let copy_all t = Bytes.copy t.data
+let restore_all t b = Bytes.blit b 0 t.data 0 (Bytes.length t.data)
+
+(* FNV-1a over the whole RAM, 8 bytes at a stride (RAM sizes are
+   power-of-two and >= 4 KiB, so always a multiple of 8). *)
+let hash t =
+  let h = ref 0xCBF29CE484222325L in
+  let n = Bytes.length t.data in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Bytes.get_int64_le t.data !i))
+        0x100000001B3L;
+    i := !i + 8
+  done;
+  !h

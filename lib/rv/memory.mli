@@ -23,3 +23,26 @@ val store : t -> int64 -> int -> int64 -> unit
 val load_bytes : t -> int64 -> int -> bytes
 val store_bytes : t -> int64 -> bytes -> unit
 val fill : t -> int64 -> int -> char -> unit
+
+(** {2 Dirty-page tracking}
+
+    Every store marks its 4 KiB page dirty; the checkpoint layer in
+    [lib/trace] snapshots only the pages touched since the previous
+    checkpoint. *)
+
+val page_size : int
+val npages : t -> int
+
+val dirty_pages : t -> int list
+(** Indices of pages written since the last {!clear_dirty}, ascending. *)
+
+val clear_dirty : t -> unit
+val get_page : t -> int -> bytes
+(** Copy of page [p] (short at the end of an unaligned window). *)
+
+val set_page : t -> int -> bytes -> unit
+val copy_all : t -> bytes
+val restore_all : t -> bytes -> unit
+
+val hash : t -> int64
+(** FNV-1a digest of the full contents. *)

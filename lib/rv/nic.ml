@@ -14,6 +14,32 @@ let create ~ram ~irq =
   { ram; rx = Queue.create (); tx = Queue.create (); irq;
     rx_addr = 0L; tx_addr = 0L; tx_len = 0L }
 
+type state = {
+  s_rx : bytes list;
+  s_tx : bytes list;
+  s_rx_addr : int64;
+  s_tx_addr : int64;
+  s_tx_len : int64;
+}
+
+let save_state t =
+  {
+    s_rx = List.of_seq (Queue.to_seq t.rx);
+    s_tx = List.of_seq (Queue.to_seq t.tx);
+    s_rx_addr = t.rx_addr;
+    s_tx_addr = t.tx_addr;
+    s_tx_len = t.tx_len;
+  }
+
+let load_state t s =
+  Queue.clear t.rx;
+  List.iter (fun p -> Queue.add p t.rx) s.s_rx;
+  Queue.clear t.tx;
+  List.iter (fun p -> Queue.add p t.tx) s.s_tx;
+  t.rx_addr <- s.s_rx_addr;
+  t.tx_addr <- s.s_tx_addr;
+  t.tx_len <- s.s_tx_len
+
 let inject_rx t pkt = Queue.add pkt t.rx
 let rx_pending t = Queue.length t.rx
 let take_tx t = if Queue.is_empty t.tx then None else Some (Queue.pop t.tx)

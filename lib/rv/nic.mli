@@ -28,3 +28,11 @@ val irq_line : t -> bool
 (** Level of the interrupt line (high while packets wait). *)
 
 val irq : t -> int
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy of the device state. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -24,6 +24,30 @@ let create ~nharts ~nsources =
     nctx;
   }
 
+type state = {
+  s_priority : int array;
+  s_pending : bool array;
+  s_claimed : bool array;
+  s_enable : int array;
+  s_threshold : int array;
+}
+
+let save_state t =
+  {
+    s_priority = Array.copy t.priority;
+    s_pending = Array.copy t.pending;
+    s_claimed = Array.copy t.claimed;
+    s_enable = Array.copy t.enable;
+    s_threshold = Array.copy t.threshold;
+  }
+
+let load_state t s =
+  Array.blit s.s_priority 0 t.priority 0 (Array.length t.priority);
+  Array.blit s.s_pending 0 t.pending 0 (Array.length t.pending);
+  Array.blit s.s_claimed 0 t.claimed 0 (Array.length t.claimed);
+  Array.blit s.s_enable 0 t.enable 0 t.nctx;
+  Array.blit s.s_threshold 0 t.threshold 0 t.nctx
+
 let raise_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- true
 let lower_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- false
 

@@ -38,3 +38,11 @@ val claim : t -> ctx:int -> int
 
 val complete : t -> ctx:int -> int -> unit
 val device : t -> base:int64 -> Device.t
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy of the device state. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

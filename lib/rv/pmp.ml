@@ -112,8 +112,8 @@ let lookup ~entries access ~addr ~size =
   in
   go 0 0L
 
-(* Like lookup, but also reports whether the deciding entry is locked
-   (needed for the M-mode rule). *)
+(* Like lookup, but also reports the deciding entry and whether the
+   access is fully contained (needed for the M-mode rules). *)
 let lookup_entry ~entries access ~addr ~size =
   let n = Array.length entries in
   let rec go i prev_addr =
@@ -128,7 +128,8 @@ let lookup_entry ~entries access ~addr ~size =
       in
       match matched with
       | Some (lo, hi) ->
-          Some (e, contains ~lo ~hi ~addr ~size && perm_ok e access)
+          let contained = contains ~lo ~hi ~addr ~size in
+          Some (e, contained, contained && perm_ok e access)
       | None -> go (i + 1) e.addr
   in
   go 0 0L
@@ -138,7 +139,11 @@ let check ~entries ~priv access ~addr ~size =
   | Priv.M -> begin
       match lookup_entry ~entries access ~addr ~size with
       | None -> true (* M-mode default: allowed *)
-      | Some (e, ok) -> if e.l then ok else true
+      | Some (e, contained, ok) ->
+          (* a partial match fails irrespective of L/R/W/X (priv. spec
+             v1.12 §3.7.1); a full match on an unlocked entry does not
+             constrain M *)
+          if e.l then ok else contained
     end
   | Priv.S | Priv.U -> begin
       match lookup ~entries access ~addr ~size with
@@ -180,7 +185,7 @@ let check_ranges ranges ~priv access ~addr ~size =
         let contained = Bits.ule lo addr && (hi = -1L || Bits.ult last hi) in
         let ok = contained && perm_ok e access in
         match priv with
-        | Priv.M -> if e.l then ok else true
+        | Priv.M -> if e.l then ok else contained
         | Priv.S | Priv.U -> ok
       end
       else go (i + 1)

@@ -5,6 +5,14 @@ let create () = { buf = Buffer.create 256 }
 let output t = Buffer.contents t.buf
 let clear t = Buffer.clear t.buf
 
+type state = string
+
+let save_state t = Buffer.contents t.buf
+
+let load_state t s =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf s
+
 let load _t off size =
   (* LSR: THR empty + idle. *)
   if Int64.to_int off = 5 && size = 1 then 0x60L else 0L

@@ -13,3 +13,11 @@ val output : t -> string
 
 val clear : t -> unit
 val device : t -> base:int64 -> Device.t
+
+(** {2 Checkpoint support} *)
+
+type state
+(** Opaque deep copy of the device state. *)
+
+val save_state : t -> state
+val load_state : t -> state -> unit

@@ -1,0 +1,28 @@
+(** Ring-buffer event store plus JSON-lines (de)serialization. *)
+
+type t
+
+val default_capacity : int
+(** 2^20 events (~100 MB of JSONL at the upper end). *)
+
+val create : ?capacity:int -> unit -> t
+
+val push : t -> Event.t -> unit
+(** The recorder's sink — pass [push t] to {!Tracer.attach}. *)
+
+val count : t -> int
+val dropped : t -> int
+(** Events shed because the ring filled. A trace with drops cannot be
+    replayed from the initial state (only from a checkpoint taken
+    after the last drop). *)
+
+val total : t -> int
+val events : t -> Event.t list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val to_jsonl : t -> string
+val of_jsonl : string -> (Event.t list, string) result
+val save : t -> path:string -> unit
+val load : path:string -> (Event.t list, string) result

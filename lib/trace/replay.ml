@@ -1,0 +1,207 @@
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Csr_file = Mir_rv.Csr_file
+module Priv = Mir_rv.Priv
+
+type delta = { name : string; recorded : int64; live : int64 }
+
+type divergence = {
+  seq : int;
+  hart : int;
+  instrs : int64;
+  pc : int64;
+  expected : Event.t option;
+  got : Event.t option;
+  deltas : delta list;
+  reason : string;
+}
+
+(* Shadow state: the last *verified* architectural state of each hart.
+   The log only carries digests, so when a digest mismatches we diff
+   the live hart against this shadow to name the registers that moved
+   since the last agreed point. *)
+type shadow = {
+  mutable valid : bool;
+  mutable s_pc : int64;
+  mutable s_priv : Priv.t;
+  s_regs : int64 array;
+  s_csrs : int64 array; (* indexed like Tracer.tracked_csrs *)
+}
+
+type t = {
+  machine : Machine.t;
+  mutable remaining : Event.t list;
+  mutable verified : int;
+  mutable divergence : divergence option;
+  shadows : shadow array;
+}
+
+type outcome =
+  | Match of { verified : int }
+  | Diverged of divergence
+  | Truncated of { verified : int; remaining : int }
+
+let ntracked = List.length Tracer.tracked_csrs
+
+let create ~machine ~events =
+  {
+    machine;
+    remaining = events;
+    verified = 0;
+    divergence = None;
+    shadows =
+      Array.map
+        (fun (_ : Hart.t) ->
+          {
+            valid = false;
+            s_pc = 0L;
+            s_priv = Priv.M;
+            s_regs = Array.make 32 0L;
+            s_csrs = Array.make ntracked 0L;
+          })
+        machine.Machine.harts;
+  }
+
+let update_shadow t (hart : Hart.t) =
+  let s = t.shadows.(hart.Hart.id) in
+  s.valid <- true;
+  s.s_pc <- hart.Hart.pc;
+  s.s_priv <- hart.Hart.priv;
+  Array.blit hart.Hart.regs 0 s.s_regs 0 32;
+  List.iteri
+    (fun i (_, addr) ->
+      s.s_csrs.(i) <- Csr_file.read_raw hart.Hart.csr addr)
+    Tracer.tracked_csrs
+
+let reg_names =
+  [|
+    "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0";
+    "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5";
+    "s6"; "s7"; "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6";
+  |]
+
+(* Diff live hart state against the shadow (last verified state). The
+   "recorded" side of each delta is the shadow value — what the state
+   was when record and replay last agreed. *)
+let compute_deltas t (hart : Hart.t) =
+  let s = t.shadows.(hart.Hart.id) in
+  if not s.valid then []
+  else begin
+    let deltas = ref [] in
+    if hart.Hart.pc <> s.s_pc then
+      deltas := { name = "pc"; recorded = s.s_pc; live = hart.Hart.pc } :: !deltas;
+    if hart.Hart.priv <> s.s_priv then
+      deltas :=
+        {
+          name = "priv";
+          recorded = Int64.of_int (Priv.to_int s.s_priv);
+          live = Int64.of_int (Priv.to_int hart.Hart.priv);
+        }
+        :: !deltas;
+    for i = 31 downto 1 do
+      if hart.Hart.regs.(i) <> s.s_regs.(i) then
+        deltas :=
+          { name = reg_names.(i); recorded = s.s_regs.(i);
+            live = hart.Hart.regs.(i) }
+          :: !deltas
+    done;
+    List.iteri
+      (fun i (name, addr) ->
+        let live = Csr_file.read_raw hart.Hart.csr addr in
+        if live <> s.s_csrs.(i) then
+          deltas := { name; recorded = s.s_csrs.(i); live } :: !deltas)
+      Tracer.tracked_csrs;
+    List.rev !deltas
+  end
+
+let diverge t (hart : Hart.t) ~expected ~got ~reason =
+  if t.divergence = None then begin
+    t.divergence <-
+      Some
+        {
+          seq =
+            (match expected with
+            | Some (e : Event.t) -> e.Event.seq
+            | None -> t.verified);
+          hart = hart.Hart.id;
+          instrs = t.machine.Machine.instr_count;
+          pc = hart.Hart.pc;
+          expected;
+          got;
+          deltas = compute_deltas t hart;
+          reason;
+        };
+    (* stop the run at the next chunk boundary *)
+    t.machine.Machine.poweroff <- true
+  end
+
+let mismatch_reason (expected : Event.t) (got : Event.t) =
+  if expected.Event.hart <> got.Event.hart then Some "event on wrong hart"
+  else if Event.kind_name expected.Event.kind <> Event.kind_name got.Event.kind
+  then Some "event kind differs"
+  else if expected.Event.kind <> got.Event.kind then
+    Some "event payload differs"
+  else if expected.Event.pc <> got.Event.pc then Some "pc differs"
+  else if expected.Event.instrs <> got.Event.instrs then
+    Some "instruction count differs"
+  else if expected.Event.digest <> got.Event.digest then
+    Some "architectural state digest differs"
+  else None
+
+let feed t (got : Event.t) =
+  if t.divergence <> None then ()
+  else begin
+    let hart = t.machine.Machine.harts.(got.Event.hart) in
+    match t.remaining with
+    | [] ->
+        diverge t hart ~expected:None ~got:(Some got)
+          ~reason:"live execution produced an event past the end of the log"
+    | expected :: rest ->
+        (match mismatch_reason expected got with
+        | None ->
+            t.remaining <- rest;
+            t.verified <- t.verified + 1;
+            update_shadow t hart
+        | Some reason ->
+            diverge t hart ~expected:(Some expected) ~got:(Some got) ~reason)
+  end
+
+let sink t = feed t
+
+let finish t =
+  match t.divergence with
+  | Some d -> Diverged d
+  | None ->
+      if t.remaining = [] then Match { verified = t.verified }
+      else
+        Truncated
+          { verified = t.verified; remaining = List.length t.remaining }
+
+let verified t = t.verified
+let divergence t = t.divergence
+
+let pp_delta fmt d =
+  Format.fprintf fmt "%s: recorded %Lx, live %Lx" d.name d.recorded d.live
+
+let pp_divergence fmt d =
+  Format.fprintf fmt
+    "divergence at event #%d: hart%d pc=%Lx instrs=%Ld: %s" d.seq d.hart
+    d.pc d.instrs d.reason;
+  (match d.expected with
+  | Some e -> Format.fprintf fmt "@\n  expected: %a" Event.pp e
+  | None -> ());
+  (match d.got with
+  | Some e -> Format.fprintf fmt "@\n  got:      %a" Event.pp e
+  | None -> ());
+  List.iter (fun dl -> Format.fprintf fmt "@\n  delta %a" pp_delta dl) d.deltas
+
+let pp_outcome fmt = function
+  | Match { verified } ->
+      Format.fprintf fmt "replay OK: %d events verified, no divergence"
+        verified
+  | Diverged d -> pp_divergence fmt d
+  | Truncated { verified; remaining } ->
+      Format.fprintf fmt
+        "replay ended early: %d events verified, %d recorded events not \
+         reached"
+        verified remaining

@@ -1,0 +1,52 @@
+(** Replay with divergence detection.
+
+    Replay re-executes the (deterministic) machine while a fresh
+    tracer feeds live events into {!feed}. Each live event must match
+    the next recorded one — same hart, kind, payload, pc, instruction
+    count and state digest. On the first mismatch the replayer freezes
+    a structured report: the two events, plus a register/CSR delta of
+    the live hart against its last *verified* state (the log carries
+    digests, not full states, so the delta names what moved since
+    record and replay last agreed), and powers the machine off.
+
+    To replay from a checkpoint, [Snapshot.restore] the machine and
+    pass the event-list suffix starting at the checkpoint's
+    [events_before] index. *)
+
+type delta = { name : string; recorded : int64; live : int64 }
+
+type divergence = {
+  seq : int;  (** recorded sequence number at the mismatch *)
+  hart : int;
+  instrs : int64;
+  pc : int64;
+  expected : Event.t option;  (** next recorded event, if any *)
+  got : Event.t option;  (** live event, if any *)
+  deltas : delta list;  (** named register/CSR drift *)
+  reason : string;
+}
+
+type t
+
+val create : machine:Mir_rv.Machine.t -> events:Event.t list -> t
+
+val feed : t -> Event.t -> unit
+(** The replayer's sink — pass [feed t] (or {!sink}) to
+    {!Tracer.attach}. After a divergence further events are ignored
+    and the machine is asked to power off. *)
+
+val sink : t -> Event.t -> unit
+
+type outcome =
+  | Match of { verified : int }
+  | Diverged of divergence
+  | Truncated of { verified : int; remaining : int }
+      (** execution ended before consuming the whole log *)
+
+val finish : t -> outcome
+val verified : t -> int
+val divergence : t -> divergence option
+
+val pp_delta : Format.formatter -> delta -> unit
+val pp_divergence : Format.formatter -> divergence -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

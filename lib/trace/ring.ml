@@ -1,0 +1,50 @@
+type 'a t = {
+  data : 'a option array;
+  capacity : int;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  { data = Array.make capacity None; capacity; start = 0; len = 0; dropped = 0 }
+
+let capacity t = t.capacity
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.len + t.dropped
+
+let push t x =
+  if t.len < t.capacity then begin
+    t.data.((t.start + t.len) mod t.capacity) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* full: overwrite the oldest *)
+    t.data.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get";
+  Option.get t.data.((t.start + i) mod t.capacity)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := get t i :: !acc
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.data 0 t.capacity None;
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,27 @@
+(** A bounded ring buffer that drops the *oldest* element on overflow.
+
+    The recorder sits on the simulator's hot paths, so the event sink
+    must never allocate unboundedly; when the window fills, the ring
+    keeps the most recent events and counts what it shed. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Elements overwritten since creation (or the last {!clear}). *)
+
+val total : 'a t -> int
+(** Total pushes: [length + dropped]. *)
+
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th oldest retained element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,92 @@
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Priv = Mir_rv.Priv
+
+(* The CSRs folded into every event digest — and diffed on divergence.
+   These are the registers trap delivery and virtualization touch;
+   anything else that drifts shows up indirectly (via pc, a GPR, or a
+   later trap). *)
+let tracked_csrs =
+  [
+    ("mstatus", Csr_addr.mstatus);
+    ("mepc", Csr_addr.mepc);
+    ("mcause", Csr_addr.mcause);
+    ("mtval", Csr_addr.mtval);
+    ("mscratch", Csr_addr.mscratch);
+    ("mtvec", Csr_addr.mtvec);
+    ("mie", Csr_addr.mie);
+    ("mip", Csr_addr.mip);
+    ("mideleg", Csr_addr.mideleg);
+    ("medeleg", Csr_addr.medeleg);
+    ("satp", Csr_addr.satp);
+    ("sepc", Csr_addr.sepc);
+    ("scause", Csr_addr.scause);
+    ("stvec", Csr_addr.stvec);
+    ("stval", Csr_addr.stval);
+    ("sscratch", Csr_addr.sscratch);
+  ]
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+let mix h v = Int64.mul (Int64.logxor h v) fnv_prime
+
+let digest (hart : Hart.t) =
+  let h = ref fnv_offset in
+  h := mix !h hart.Hart.pc;
+  h := mix !h (Int64.of_int (Priv.to_int hart.Hart.priv));
+  h := mix !h (if hart.Hart.wfi then 1L else 0L);
+  for i = 1 to 31 do
+    h := mix !h hart.Hart.regs.(i)
+  done;
+  List.iter
+    (fun (_, addr) -> h := mix !h (Csr_file.read_raw hart.Hart.csr addr))
+    tracked_csrs;
+  !h
+
+type t = {
+  machine : Machine.t;
+  mutable sink : Event.t -> unit;
+  mutable seq : int;
+}
+
+let set_sink t sink = t.sink <- sink
+
+let reset t =
+  t.seq <- 0
+
+let emit t (hart : Hart.t) kind =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.sink
+    {
+      Event.seq;
+      hart = hart.Hart.id;
+      instrs = t.machine.Machine.instr_count;
+      pc = hart.Hart.pc;
+      digest = digest hart;
+      kind;
+    }
+
+let attach machine ~sink =
+  let t = { machine; sink; seq = 0 } in
+  let prev_trap = machine.Machine.on_trap in
+  machine.Machine.on_trap <-
+    Some
+      (fun m hart cause ~from_priv ~to_m ->
+        (match prev_trap with
+        | Some f -> f m hart cause ~from_priv ~to_m
+        | None -> ());
+        let tval =
+          Csr_file.read_raw hart.Hart.csr
+            (if to_m then Csr_addr.mtval else Csr_addr.stval)
+        in
+        emit t hart (Event.Trap { cause; from_priv; to_m; tval }));
+  machine.Machine.on_csr_write <-
+    Some (fun _m hart addr value -> emit t hart (Event.Csr_write { addr; value }));
+  machine.Machine.on_mmio <-
+    Some
+      (fun _m hart ~write ~addr ~size ~value ->
+        emit t hart (Event.Mmio { write; addr; size; value }));
+  t

@@ -1,0 +1,33 @@
+(** Event emission: hooks the machine and stamps events.
+
+    A tracer owns the event sequence counter and the state-digest
+    function. {!attach} installs the machine-level hooks (traps, CSR
+    writes, MMIO); the VFM monitor calls {!emit} directly for its own
+    events (world switches, PMP reinstalls, virtual traps, SBI calls),
+    so machine-level and monitor-level events interleave in emission
+    order in one stream. *)
+
+type t
+
+val attach : Mir_rv.Machine.t -> sink:(Event.t -> unit) -> t
+(** Install trap/CSR/MMIO hooks. A pre-existing [on_trap] observer is
+    chained, not replaced. Attach *after* system construction so boot
+    is not recorded (replay attaches at the same point). *)
+
+val emit : t -> Mir_rv.Hart.t -> Event.kind -> unit
+(** Stamp [kind] with seq/hart/instrs/pc/digest and pass it to the
+    sink. *)
+
+val set_sink : t -> (Event.t -> unit) -> unit
+(** Redirect the event stream (e.g. from a recorder to a replayer
+    after rewinding to a checkpoint). *)
+
+val reset : t -> unit
+(** Restart the sequence counter. *)
+
+val digest : Mir_rv.Hart.t -> int64
+(** FNV-1a over pc, privilege, wfi, x1..x31 and {!tracked_csrs}. *)
+
+val tracked_csrs : (string * int) list
+(** Names and addresses of the CSRs covered by {!digest} — also the
+    set diffed when replay reports a divergence. *)

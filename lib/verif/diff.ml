@@ -22,7 +22,7 @@ type t = {
   pc0 : int64;
 }
 
-let create ?inject_bug () =
+let create ?inject_bug ?seed () =
   (* A small host: the derived virtual configuration is what both
      sides use. *)
   let host =
@@ -32,7 +32,7 @@ let create ?inject_bug () =
       nharts = 1;
     }
   in
-  let config = Miralis.Config.make ?inject_bug ~machine:host () in
+  let config = Miralis.Config.make ?inject_bug ?seed ~machine:host () in
   let ref_machine_config =
     { host with Machine.csr_config = config.Miralis.Config.vcsr_config }
   in
@@ -60,7 +60,8 @@ type sample = {
 
 let value_patterns =
   [| 0L; -1L; 1L; 0x5555555555555555L; 0xAAAAAAAAAAAAAAAAL;
-     0x8000000000000000L; 0x7FFFFFFFFFFFFFFFL; 0x1800L; 0x222L; 0x80L |]
+     0x8000000000000000L; 0x7FFFFFFFFFFFFFFFL; 0x1800L; 0x1000L; 0x222L;
+     0x80L |]
 
 let gen_value prng =
   match Prng.int_below prng 3 with

@@ -16,9 +16,10 @@
 
 type t
 
-val create : ?inject_bug:Miralis.Config.bug -> unit -> t
+val create : ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit -> t
 (** A checker instance: a one-hart reference machine configured with
-    the virtual configuration, plus a virtual hart. *)
+    the virtual configuration, plus a virtual hart. [seed] roots all
+    sampling randomness (default {!Miralis.Config.default_seed}). *)
 
 val config : t -> Miralis.Config.t
 

@@ -47,16 +47,16 @@ let probe_addresses prng config ventries =
   List.concat_map boundary regions @ carveouts @ random
   |> List.filter (fun a -> a >= 0L)
 
-let run ?(configs = 400) ?inject_bug () =
+let run ?(configs = 400) ?inject_bug ?seed () =
   Tasks.timed "PMP faithful execution" (fun () ->
       let host =
         { Machine.default_config with Machine.ram_size = 64 * 1024 }
       in
-      let config = Config.make ?inject_bug ~machine:host () in
+      let config = Config.make ?inject_bug ?seed ~machine:host () in
       let machine = Machine.create host in
       let hart = machine.Machine.harts.(0) in
       let vh = Vhart.create config ~id:0 in
-      let prng = Prng.create ~seed:0xFEEDL in
+      let prng = Config.prng config "verif:faithful-execution" in
       let cases = ref 0 and bad = ref 0 in
       let first = ref None in
       let vcfg = config.Config.vcsr_config in

@@ -18,4 +18,5 @@
     and random probe addresses. *)
 
 val run :
-  ?configs:int -> ?inject_bug:Miralis.Config.bug -> unit -> Tasks.report
+  ?configs:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  Tasks.report

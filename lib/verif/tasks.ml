@@ -31,10 +31,11 @@ let timed name f =
   }
 
 (* Run [instrs] against [samples] fresh state samples each. *)
-let sweep ?inject_bug ~name ~samples instrs =
+let sweep ?inject_bug ?seed ~name ~samples instrs =
   timed name (fun () ->
-      let d = Diff.create ?inject_bug () in
-      let prng = Prng.create ~seed:0x5EEDL in
+      let d = Diff.create ?inject_bug ?seed () in
+      (* one deterministic stream per task, split off the config seed *)
+      let prng = Miralis.Config.prng (Diff.config d) ("verif:" ^ name) in
       let cases = ref 0 and skipped = ref 0 and bad = ref 0 in
       let first = ref None in
       for _ = 1 to samples do
@@ -55,14 +56,14 @@ let sweep ?inject_bug ~name ~samples instrs =
 let mret_instr = Instr.Mret
 let sret_instr = Instr.Sret
 
-let mret ?(samples = 3000) ?inject_bug () =
-  sweep ?inject_bug ~name:"mret instruction" ~samples [ mret_instr ]
+let mret ?(samples = 3000) ?inject_bug ?seed () =
+  sweep ?inject_bug ?seed ~name:"mret instruction" ~samples [ mret_instr ]
 
-let sret ?(samples = 3000) ?inject_bug () =
-  sweep ?inject_bug ~name:"sret instruction" ~samples [ sret_instr ]
+let sret ?(samples = 3000) ?inject_bug ?seed () =
+  sweep ?inject_bug ?seed ~name:"sret instruction" ~samples [ sret_instr ]
 
-let wfi ?(samples = 3000) ?inject_bug () =
-  sweep ?inject_bug ~name:"wfi instruction" ~samples
+let wfi ?(samples = 3000) ?inject_bug ?seed () =
+  sweep ?inject_bug ?seed ~name:"wfi instruction" ~samples
     [ Instr.Wfi; Instr.Sfence_vma (0, 0); Instr.Ecall; Instr.Ebreak ]
 
 (* The CSR tasks sweep the *entire* 12-bit CSR address space —
@@ -91,25 +92,29 @@ let write_forms csr =
     Instr.Csr { op = Instr.Csrrc; rd = 5; src = Instr.Imm 9; csr };
   ]
 
-let csr_read ?(samples = 40) ?inject_bug () =
-  let d = Diff.create ?inject_bug () in
+let csr_read ?(samples = 40) ?inject_bug ?seed () =
+  let d = Diff.create ?inject_bug ?seed () in
   let addrs =
     csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
   in
-  sweep ?inject_bug ~name:"CSR read" ~samples
+  sweep ?inject_bug ?seed ~name:"CSR read" ~samples
     (List.concat_map read_forms addrs)
 
-let csr_write ?(samples = 60) ?inject_bug () =
-  let d = Diff.create ?inject_bug () in
+let csr_write ?(samples = 60) ?inject_bug ?seed () =
+  let d = Diff.create ?inject_bug ?seed () in
   let addrs =
     csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
   in
-  sweep ?inject_bug ~name:"CSR write" ~samples
+  sweep ?inject_bug ?seed ~name:"CSR write" ~samples
     (List.concat_map write_forms addrs)
 
-let decoder ?(words = 400_000) () =
+let decoder ?(words = 400_000) ?seed () =
   timed "instruction decoder" (fun () ->
-      let prng = Prng.create ~seed:0xDECL in
+      let prng =
+        Miralis.Config.derive
+          (Option.value seed ~default:Miralis.Config.default_seed)
+          "verif:decoder"
+      in
       let cases = ref 0 and bad = ref 0 in
       let first = ref None in
       let note ok msg =
@@ -204,8 +209,8 @@ let virtual_interrupt ?inject_bug () =
       done;
       (!cases, 0, !bad, !first))
 
-let end_to_end ?(samples = 25) ?inject_bug () =
-  let d = Diff.create ?inject_bug () in
+let end_to_end ?(samples = 25) ?inject_bug ?seed () =
+  let d = Diff.create ?inject_bug ?seed () in
   let addrs =
     csr_probe_addrs (Diff.config d).Miralis.Config.vcsr_config
   in
@@ -214,17 +219,17 @@ let end_to_end ?(samples = 25) ?inject_bug () =
     @ [ Instr.Mret; Instr.Sret; Instr.Wfi; Instr.Sfence_vma (5, 6);
         Instr.Ecall; Instr.Ebreak ]
   in
-  sweep ?inject_bug ~name:"end-to-end emulation" ~samples instrs
+  sweep ?inject_bug ?seed ~name:"end-to-end emulation" ~samples instrs
 
-let all ?(quick = false) () =
+let all ?(quick = false) ?seed () =
   let s n = if quick then max 1 (n / 10) else n in
   [
-    mret ~samples:(s 3000) ();
-    sret ~samples:(s 3000) ();
-    wfi ~samples:(s 3000) ();
-    decoder ~words:(s 400_000) ();
-    csr_read ~samples:(s 40) ();
-    csr_write ~samples:(s 60) ();
+    mret ~samples:(s 3000) ?seed ();
+    sret ~samples:(s 3000) ?seed ();
+    wfi ~samples:(s 3000) ?seed ();
+    decoder ~words:(s 400_000) ?seed ();
+    csr_read ~samples:(s 40) ?seed ();
+    csr_write ~samples:(s 60) ?seed ();
     virtual_interrupt ();
-    end_to_end ~samples:(s 25) ();
+    end_to_end ~samples:(s 25) ?seed ();
   ]

@@ -19,19 +19,29 @@ val pp_report : Format.formatter -> report -> unit
 val timed : string -> (unit -> int * int * int * string option) -> report
 (** Wrap a task body returning (cases, skipped, mismatches, first). *)
 
-val mret : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
-val sret : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
-val wfi : ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+val mret :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
 
-val decoder : ?words:int -> unit -> report
+val sret :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
+
+val wfi :
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
+
+val decoder : ?words:int -> ?seed:int64 -> unit -> report
 (** Round-trip and totality over the privileged encoding space. *)
 
 val csr_read :
-  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
 (** Every implemented CSR (plus unimplemented probes) × read forms. *)
 
 val csr_write :
-  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
 (** Every implemented CSR × csrrw/csrrs/csrrc × register and immediate
     forms — the long pole, as in the paper. *)
 
@@ -41,9 +51,10 @@ val virtual_interrupt :
     mstatus.MIE × world. *)
 
 val end_to_end :
-  ?samples:int -> ?inject_bug:Miralis.Config.bug -> unit -> report
+  ?samples:int -> ?inject_bug:Miralis.Config.bug -> ?seed:int64 -> unit ->
+  report
 (** The full privileged instruction space. *)
 
-val all : ?quick:bool -> unit -> report list
+val all : ?quick:bool -> ?seed:int64 -> unit -> report list
 (** Every task, in Table 2 order. [quick] shrinks sample counts for
     use in the test suite. *)

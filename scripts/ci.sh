@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 check: build, unit tests, then a record/replay smoke run —
+# record a virtualized boot with periodic checkpoints, replay the log
+# on a fresh system, and require zero divergence (the sim exits 1 on
+# any divergence, and the shell's -e propagates it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+trace=$(mktemp /tmp/miralis_smoke.XXXXXX.jsonl)
+trap 'rm -f "$trace"' EXIT
+
+dune exec bin/miralis_sim.exe -- run --platform visionfive2 --mode miralis \
+  --record "$trace" --checkpoint-every 100000
+dune exec bin/miralis_sim.exe -- run --platform visionfive2 --mode miralis \
+  --replay "$trace"
+
+echo "ci: ok"
