@@ -246,17 +246,33 @@ let run_term =
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let parse_bug = function
+  | "" -> None
+  | "mpp" -> Some Miralis.Config.Mpp_not_legalized
+  | "pmp-wr" -> Some Miralis.Config.Pmp_w_without_r
+  | "vpmp-overrun" -> Some Miralis.Config.Vpmp_overrun
+  | "irq-priority" -> Some Miralis.Config.Interrupt_priority_swapped
+  | "mret-mpie" -> Some Miralis.Config.Mret_skips_mpie
+  | other -> failwith ("unknown bug injection: " ^ other)
+
+let inject_bug_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "inject-bug" ] ~docv:"BUG"
+        ~doc:
+          "Inject a §6.5 bug class: $(b,mpp), $(b,pmp-wr), \
+           $(b,vpmp-overrun), $(b,irq-priority), $(b,mret-mpie).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int64 Miralis.Config.default_seed
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Root PRNG seed for all sampled checkers.")
+
 let verify_cmd quick bug seed =
-  let inject_bug =
-    match bug with
-    | "" -> None
-    | "mpp" -> Some Miralis.Config.Mpp_not_legalized
-    | "pmp-wr" -> Some Miralis.Config.Pmp_w_without_r
-    | "vpmp-overrun" -> Some Miralis.Config.Vpmp_overrun
-    | "irq-priority" -> Some Miralis.Config.Interrupt_priority_swapped
-    | "mret-mpie" -> Some Miralis.Config.Mret_skips_mpie
-    | other -> failwith ("unknown bug injection: " ^ other)
-  in
+  let inject_bug = parse_bug bug in
+  Printf.printf "seed: 0x%Lx (reproduce with --seed 0x%Lx)\n" seed seed;
   let s n = if quick then max 1 (n / 10) else n in
   let reports =
     [
@@ -282,17 +298,132 @@ let verify_term =
   Term.(
     const verify_cmd
     $ Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sample counts.")
+    $ inject_bug_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_replay ~inject_bug ~seed path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "miralis-sim: %s: no such file or directory\n" path;
+    exit 2
+  end;
+  let vectors =
+    if Sys.is_directory path then
+      Mir_fuzz.Corpus.load_dir path
+      |> List.filter (fun (name, _) ->
+             (* skip minimized duplicates of full crash vectors *)
+             not (Filename.check_suffix name ".min.jsonl")
+             || not
+                  (Sys.file_exists
+                     (Filename.concat path
+                        (Filename.chop_suffix name ".min.jsonl" ^ ".jsonl"))))
+    else [ (Filename.basename path, Mir_fuzz.Input.load ~path) ]
+  in
+  let bad_parse = ref false in
+  let inputs =
+    List.filter_map
+      (fun (name, r) ->
+        match r with
+        | Ok input -> Some (name, input)
+        | Error msg ->
+            Printf.eprintf "miralis-sim: %s: %s\n" name msg;
+            bad_parse := true;
+            None)
+      vectors
+  in
+  if inputs = [] then begin
+    Printf.eprintf "miralis-sim: no vectors under %s\n" path;
+    exit 2
+  end;
+  let verdict, coverage = Mir_fuzz.Fuzzer.replay ?inject_bug ~seed inputs in
+  Printf.printf "replayed %d vectors, %d coverage edges\n" (List.length inputs)
+    (Mir_fuzz.Coverage.edges coverage);
+  match verdict with
+  | Ok () ->
+      if !bad_parse then exit 2;
+      Printf.printf "all vectors agree\n"
+  | Error (name, idx, reason) ->
+      Printf.printf "DIVERGENCE in %s at op %d:\n  %s\n" name idx reason;
+      if inject_bug <> None then
+        Printf.printf "bug injection DETECTED (as expected)\n"
+      else exit 1
+
+let fuzz_cmd seed max_execs corpus_dir bug replay_path emit_dir =
+  let inject_bug = parse_bug bug in
+  match (emit_dir, replay_path) with
+  | Some dir, _ ->
+      let paths = Mir_fuzz.Vectors.emit ~dir in
+      Printf.printf "wrote %d conformance vectors to %s\n" (List.length paths)
+        dir
+  | None, Some path -> fuzz_replay ~inject_bug ~seed path
+  | None, None ->
+      Printf.printf "fuzz: seed=0x%Lx max-execs=%d%s\n" seed max_execs
+        (match inject_bug with
+        | Some _ -> Printf.sprintf " inject-bug=%s" bug
+        | None -> "");
+      let r =
+        Mir_fuzz.Fuzzer.run ?inject_bug ?corpus_dir ~seed ~max_execs ()
+      in
+      List.iter
+        (fun (execs, edges) ->
+          Printf.printf "  after %6d execs: %4d edges\n" execs edges)
+        r.Mir_fuzz.Fuzzer.curve;
+      Printf.printf
+        "%d execs in %.2fs (%.0f/s), %d coverage edges, %d corpus inputs\n"
+        r.Mir_fuzz.Fuzzer.execs r.Mir_fuzz.Fuzzer.seconds
+        r.Mir_fuzz.Fuzzer.execs_per_sec
+        (Mir_fuzz.Coverage.edges r.Mir_fuzz.Fuzzer.coverage)
+        (List.length r.Mir_fuzz.Fuzzer.corpus);
+      (match r.Mir_fuzz.Fuzzer.divergence with
+      | None -> Printf.printf "no divergence found\n"
+      | Some d ->
+          Format.printf
+            "DIVERGENCE after %d execs:@\n  %s@\nfailing input: %a@\n\
+             shrunk to %d ops: %a@\nreproduce with: fuzz --seed 0x%Lx\
+             %s --max-execs %d@."
+            d.Mir_fuzz.Fuzzer.at_exec d.Mir_fuzz.Fuzzer.reason
+            Mir_fuzz.Input.pp d.Mir_fuzz.Fuzzer.input
+            (Mir_fuzz.Input.length d.Mir_fuzz.Fuzzer.shrunk)
+            Mir_fuzz.Input.pp d.Mir_fuzz.Fuzzer.shrunk seed
+            (match inject_bug with
+            | Some _ -> " --inject-bug " ^ bug
+            | None -> "")
+            max_execs;
+          if inject_bug <> None then
+            Printf.printf "bug injection DETECTED (as expected)\n"
+          else exit 1);
+      if inject_bug <> None && r.Mir_fuzz.Fuzzer.divergence = None then
+        Printf.printf "bug injection %s NOT detected: fuzzer gap!\n" bug
+
+let fuzz_term =
+  Term.(
+    const fuzz_cmd $ seed_arg
     $ Arg.(
-        value & opt string ""
-        & info [ "inject-bug" ] ~docv:"BUG"
-            ~doc:
-              "Inject a §6.5 bug class: $(b,mpp), $(b,pmp-wr), \
-               $(b,vpmp-overrun), $(b,irq-priority), $(b,mret-mpie).")
+        value & opt int 20_000
+        & info [ "max-execs" ] ~docv:"N"
+            ~doc:"Execution budget for the campaign.")
     $ Arg.(
         value
-        & opt int64 Miralis.Config.default_seed
-        & info [ "seed" ] ~docv:"SEED"
-            ~doc:"Root PRNG seed for all sampled checkers."))
+        & opt (some string) None
+        & info [ "corpus" ] ~docv:"DIR"
+            ~doc:
+              "Persist coverage-increasing inputs, crashes and the \
+               coverage map to $(docv).")
+    $ inject_bug_arg
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "replay" ] ~docv:"PATH"
+            ~doc:
+              "Replay a vector file or a directory of vectors instead of \
+               fuzzing; exits non-zero on divergence.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "emit-vectors" ] ~docv:"DIR"
+            ~doc:"Write the built-in conformance vectors to $(docv) and exit."))
 
 (* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)
@@ -348,6 +479,12 @@ let cmds =
       (Cmd.info "verify"
          ~doc:"Run the faithful-emulation and faithful-execution checkers")
       verify_term;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Coverage-guided differential fuzzing of the VFM emulator \
+            against the reference machine")
+      fuzz_term;
     Cmd.v
       (Cmd.info "experiments"
          ~doc:"Regenerate the paper's tables and figures")

@@ -1,0 +1,51 @@
+(* Corpus directory layout: one JSONL vector per file, named by
+   content hash so re-running the same campaign rewrites identical
+   files (deterministic corpora diff clean).
+
+     cov-<hash>.jsonl        coverage-increasing input
+     crash-<hash>.jsonl      diverging input, as found
+     crash-<hash>.min.jsonl  the shrunk version
+     coverage.txt            final coverage map *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "corpus path %S is not a directory" dir)
+
+let filename ~prefix input = Printf.sprintf "%s-%016Lx.jsonl" prefix (Input.hash input)
+
+let save_input ~dir ~prefix input =
+  ensure_dir dir;
+  let path = Filename.concat dir (filename ~prefix input) in
+  Input.save input ~path;
+  path
+
+let save_min ~dir input =
+  ensure_dir dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "crash-%016Lx.min.jsonl" (Input.hash input))
+  in
+  Input.save input ~path;
+  path
+
+let save_coverage ~dir coverage =
+  ensure_dir dir;
+  let path = Filename.concat dir "coverage.txt" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Coverage.to_string coverage));
+  path
+
+(* Load every vector in a directory, sorted by file name so the order
+   (and thus any replay) is stable across file systems. *)
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (f, Input.load ~path))

@@ -1,0 +1,16 @@
+(** Corpus persistence: content-hash-named JSONL vectors in a flat
+    directory, so identical campaigns rewrite identical files. *)
+
+val ensure_dir : string -> unit
+
+val save_input : dir:string -> prefix:string -> Input.t -> string
+(** Write [<dir>/<prefix>-<hash>.jsonl]; returns the path. *)
+
+val save_min : dir:string -> Input.t -> string
+(** Write the shrunk crash as [<dir>/crash-<hash>.min.jsonl]. *)
+
+val save_coverage : dir:string -> Coverage.t -> string
+
+val load_dir : string -> (string * (Input.t, string) result) list
+(** All [*.jsonl] vectors in the directory, sorted by file name.
+    Missing directory loads as the empty list. *)

@@ -1,0 +1,114 @@
+module Diff = Mir_verif.Diff
+module Instr = Mir_rv.Instr
+module Csr_addr = Mir_rv.Csr_addr
+
+(* The differential executor: one input = one evolving stream through
+   the reference machine and the VFM emulator, compared step by step
+   with the lib/trace digest oracle (see Mir_verif.Diff stream API). *)
+
+type t = { diff : Diff.t; config : Miralis.Config.t }
+
+let create ?inject_bug ?seed () =
+  let diff = Diff.create ?inject_bug ?seed () in
+  { diff; config = Diff.config diff }
+
+let config t = t.config
+
+(* ------------------------------------------------------------------ *)
+(* Coverage-edge classification                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Instruction class: which privileged operation kind ran, with CSR
+   traffic subdivided by the architectural group it touches. *)
+let csr_group csr =
+  if Csr_addr.is_pmpcfg csr then 0
+  else if Csr_addr.is_pmpaddr csr then 1
+  else if csr = Csr_addr.mstatus || csr = Csr_addr.sstatus then 2
+  else if
+    csr = Csr_addr.mie || csr = Csr_addr.mip || csr = Csr_addr.sie
+    || csr = Csr_addr.sip
+  then 3
+  else if csr = Csr_addr.mideleg || csr = Csr_addr.medeleg then 4
+  else if
+    csr = Csr_addr.mtvec || csr = Csr_addr.stvec || csr = Csr_addr.mepc
+    || csr = Csr_addr.sepc || csr = Csr_addr.mcause || csr = Csr_addr.scause
+    || csr = Csr_addr.mtval || csr = Csr_addr.stval
+  then 5
+  else if csr = Csr_addr.satp then 6
+  else if
+    csr = Csr_addr.mcycle || csr = Csr_addr.minstret || csr = Csr_addr.cycle
+    || csr = Csr_addr.time || csr = Csr_addr.instret
+    || csr = Csr_addr.mcounteren || csr = Csr_addr.scounteren
+    || csr = Csr_addr.mcountinhibit
+  then 7
+  else 8
+
+let op_class = function
+  | Input.Op_instr (Instr.Csr { op; csr; _ }) ->
+      let opi =
+        match op with Instr.Csrrw -> 0 | Instr.Csrrs -> 1 | Instr.Csrrc -> 2
+      in
+      (csr_group csr * 3) + opi (* 0..26 *)
+  | Input.Op_instr Instr.Mret -> 27
+  | Input.Op_instr Instr.Sret -> 28
+  | Input.Op_instr Instr.Wfi -> 29
+  | Input.Op_instr Instr.Ecall -> 30
+  | Input.Op_instr Instr.Ebreak -> 31
+  | Input.Op_instr (Instr.Sfence_vma _) -> 32
+  | Input.Op_instr _ -> 33 (* unprivileged: rejected by the emulator *)
+  | Input.Op_lines _ -> 34
+
+let edge_of op step =
+  Coverage.edge ~cls:(op_class op)
+    ~tag:(Diff.outcome_tag step.Diff.outcome)
+    ~cause:(Diff.outcome_cause step.Diff.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Running one input                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  divergence : (int * string) option;
+      (** index of the diverging op and the named mismatch *)
+  ops_run : int;
+  interesting : bool;
+      (** the input produced new coverage (when a map was given) *)
+}
+
+let state_prng (input : Input.t) =
+  Miralis.Config.derive input.Input.seed "fuzz:state"
+
+let run ?coverage t (input : Input.t) =
+  let sample = Diff.gen_sample t.diff (state_prng input) in
+  Diff.stream_begin t.diff sample;
+  let divergence = ref None in
+  let interesting = ref false in
+  let ops_run = ref 0 in
+  let note op step =
+    (match coverage with
+    | Some map -> if Coverage.add map (edge_of op step) then interesting := true
+    | None -> ());
+    match step.Diff.verdict with
+    | Diff.Agree | Diff.Skip -> true
+    | Diff.Disagree msg ->
+        divergence := Some (!ops_run, msg);
+        false
+  in
+  let rec go = function
+    | [] -> ()
+    | op :: rest ->
+        let step =
+          match op with
+          | Input.Op_instr i -> Diff.stream_step t.diff i
+          | Input.Op_lines { mtip; msip; meip } ->
+              Diff.set_lines t.diff ~mtip ~msip ~meip;
+              { Diff.verdict = Diff.Agree; outcome = Diff.O_next }
+        in
+        let ok = note op step in
+        incr ops_run;
+        if ok then go rest
+  in
+  go input.Input.ops;
+  { divergence = !divergence; ops_run = !ops_run; interesting = !interesting }
+
+let diverges t input = (run t input).divergence <> None

@@ -1,0 +1,152 @@
+module Prng = Mir_util.Prng
+module Instr = Mir_rv.Instr
+module Csr_addr = Mir_rv.Csr_addr
+
+(* The privileged-instruction grammar. Weights favour CSR traffic —
+   that is where the WARL/PMP/delegation state lives — with a steady
+   trickle of xRET/WFI/trap instructions and interrupt-line changes so
+   that the accumulated state is actually exercised. *)
+
+let gpr_pool = [| 0; 1; 5; 6; 7; 10; 11; 12; 17; 28; 31 |]
+
+(* CSR addresses worth hammering: everything trap delivery,
+   delegation, PMP and translation touch, a few read-only and counter
+   CSRs (privilege/WARL corner cases), and unimplemented addresses so
+   both sides must agree on illegal-instruction injection. *)
+let csr_pool config =
+  let vpmp = Miralis.Config.vpmp_count config in
+  [
+    Csr_addr.mstatus; Csr_addr.mstatus; Csr_addr.mstatus;
+    Csr_addr.mie; Csr_addr.mip; Csr_addr.mideleg; Csr_addr.medeleg;
+    Csr_addr.mtvec; Csr_addr.mepc; Csr_addr.mcause; Csr_addr.mtval;
+    Csr_addr.mscratch; Csr_addr.misa; Csr_addr.mhartid;
+    Csr_addr.mvendorid; Csr_addr.mcounteren; Csr_addr.mcountinhibit;
+    Csr_addr.mcycle; Csr_addr.minstret; Csr_addr.menvcfg;
+    Csr_addr.sstatus; Csr_addr.sie; Csr_addr.sip; Csr_addr.stvec;
+    Csr_addr.sepc; Csr_addr.scause; Csr_addr.stval; Csr_addr.sscratch;
+    Csr_addr.scounteren; Csr_addr.satp; Csr_addr.satp;
+  ]
+  @ List.init 8 (fun i -> Csr_addr.pmpcfg (2 * (i mod 2)))
+  @ List.init (vpmp + 2) Csr_addr.pmpaddr (* +2: out-of-range probes *)
+  |> Array.of_list
+
+let csr_ops = [| Instr.Csrrw; Instr.Csrrs; Instr.Csrrc |]
+
+let gen_csr config prng =
+  let csr =
+    if Prng.int_below prng 16 = 0 then Prng.int_below prng 4096
+      (* random address: unimplemented/read-only/low-privilege space *)
+    else Prng.choose prng (csr_pool config)
+  in
+  let op = Prng.choose prng csr_ops in
+  let rd = Prng.choose prng gpr_pool in
+  let src =
+    if Prng.bool prng then Instr.Reg (Prng.choose prng gpr_pool)
+    else Instr.Imm (Prng.int_below prng 32)
+  in
+  Instr.Csr { op; rd; src; csr }
+
+let gen_op config prng =
+  match Prng.int_below prng 100 with
+  | n when n < 50 -> Input.Op_instr (gen_csr config prng)
+  | n when n < 60 -> Input.Op_instr Instr.Mret
+  | n when n < 67 -> Input.Op_instr Instr.Sret
+  | n when n < 72 -> Input.Op_instr Instr.Wfi
+  | n when n < 76 -> Input.Op_instr Instr.Ecall
+  | n when n < 79 -> Input.Op_instr Instr.Ebreak
+  | n when n < 82 ->
+      Input.Op_instr
+        (Instr.Sfence_vma (Prng.choose prng gpr_pool, Prng.choose prng gpr_pool))
+  | n when n < 86 ->
+      (* arm the global enable: interrupt-delivery divergences (e.g.
+         priority order) need MIE=1, which every trap entry clears, so
+         the random CSR traffic alone almost never leaves it on *)
+      Input.Op_instr
+        (Instr.Csr
+           { op = Instr.Csrrs; rd = 0; src = Instr.Imm 8; csr = Csr_addr.mstatus })
+  | n when n < 90 ->
+      (* arm individual enables with a (random) register value *)
+      Input.Op_instr
+        (Instr.Csr
+           {
+             op = Instr.Csrrs;
+             rd = 0;
+             src = Instr.Reg (Prng.choose prng gpr_pool);
+             csr = Csr_addr.mie;
+           })
+  | _ ->
+      (* bias toward both lines on: simultaneous pending interrupts
+         are where delivery-priority differences show *)
+      Input.Op_lines
+        {
+          mtip = Prng.int_below prng 3 > 0;
+          msip = Prng.int_below prng 3 > 0;
+          meip = Prng.int_below prng 3 > 0;
+        }
+
+let fresh config prng ~len =
+  let seed = Prng.next prng in
+  { Input.seed; ops = List.init (max 1 len) (fun _ -> gen_op config prng) }
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let max_len = 64
+
+let nth_opt ops i = List.nth_opt ops i
+
+let replace ops i op = List.mapi (fun j o -> if j = i then op else o) ops
+
+let insert ops i op =
+  let rec go j = function
+    | [] -> [ op ]
+    | x :: rest -> if j = i then op :: x :: rest else x :: go (j + 1) rest
+  in
+  go 0 ops
+
+let remove ops i = List.filteri (fun j _ -> j <> i) ops
+
+let take n ops = List.filteri (fun i _ -> i < n) ops
+let drop n ops = List.filteri (fun i _ -> i >= n) ops
+
+(* One mutation of [input]: grammar-level havoc plus corpus splicing.
+   All randomness flows from [prng], so the whole campaign is a pure
+   function of the root seed. *)
+let mutate config prng ~(corpus : Input.t array) (input : Input.t) =
+  let ops = input.Input.ops in
+  let n = List.length ops in
+  let pick () = Prng.int_below prng (max 1 n) in
+  let mutated =
+    match Prng.int_below prng 8 with
+    | 0 -> { input with Input.ops = replace ops (pick ()) (gen_op config prng) }
+    | 1 when n < max_len ->
+        { input with Input.ops = insert ops (Prng.int_below prng (n + 1)) (gen_op config prng) }
+    | 2 when n > 1 -> { input with Input.ops = remove ops (pick ()) }
+    | 3 when n > 0 && n < max_len ->
+        (* duplicate a slice: repetition finds counter/lock bugs *)
+        let i = pick () in
+        let len = 1 + Prng.int_below prng (max 1 (min 4 (n - i))) in
+        let slice = take len (drop i ops) in
+        { input with Input.ops = take i ops @ slice @ drop i ops }
+    | 4 when n > 1 ->
+        let i = pick () and j = pick () in
+        let oi = nth_opt ops i and oj = nth_opt ops j in
+        (match (oi, oj) with
+        | Some oi, Some oj ->
+            { input with Input.ops = replace (replace ops i oj) j oi }
+        | _ -> input)
+    | 5 when Array.length corpus > 0 ->
+        (* splice: our prefix, another interesting input's suffix *)
+        let other = Prng.choose prng corpus in
+        let m = List.length other.Input.ops in
+        let i = Prng.int_below prng (max 1 n)
+        and j = Prng.int_below prng (max 1 m) in
+        { input with Input.ops = take max_len (take i ops @ drop j other.Input.ops) }
+    | 6 -> { input with Input.seed = Prng.next prng } (* new initial state *)
+    | _ when n > 1 -> { input with Input.ops = take (1 + pick ()) ops }
+    | _ -> { input with Input.ops = replace ops (pick ()) (gen_op config prng) }
+  in
+  if mutated.Input.ops = [] then
+    { mutated with Input.ops = [ gen_op config prng ] }
+  else mutated

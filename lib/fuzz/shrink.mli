@@ -1,0 +1,8 @@
+(** Divergence minimization: truncation at the diverging op, greedy
+    ddmin-style chunk removal, then per-op simplification. *)
+
+val shrink : Exec.t -> Input.t -> Input.t
+(** Returns a minimal input that still diverges under [exec] (the
+    input itself if it does not diverge). Every removal is validated
+    by re-execution, so the result is a genuine failing input no
+    larger than the original. *)

@@ -1,0 +1,10 @@
+(** Hand-designed privileged-ISA conformance vectors: PMP
+    reconfiguration, delegation flips, xRET MPP/MPIE dances, WFI vs
+    interrupt lines, out-of-range vPMP probes, unimplemented CSRs. *)
+
+val builtin : (string * Input.t) list
+(** Named vectors, replayable with {!Fuzzer.replay}. *)
+
+val emit : dir:string -> string list
+(** Write each builtin vector to [<dir>/<name>.jsonl]; returns the
+    paths. Used to (re)generate the checked-in [test/vectors/]. *)

@@ -80,8 +80,19 @@ let attach_recorder ?capacity system =
   in
   (recorder, tracer)
 
-let attach_replay system ~events =
-  let replay = Mir_trace.Replay.create ~machine:system.machine ~events in
+let attach_replay ?seed system ~events =
+  (* Divergence reports carry the run's root PRNG seed so a failure is
+     reproducible with a single --seed flag; default to the monitor's
+     configured seed when the caller doesn't override it. *)
+  let seed =
+    match (seed, system.miralis) with
+    | (Some _ as s), _ -> s
+    | None, Some m -> Some m.Miralis.Monitor.config.Miralis.Config.seed
+    | None, None -> None
+  in
+  let replay =
+    Mir_trace.Replay.create ?seed ~machine:system.machine ~events ()
+  in
   let tracer = attach_tracer system ~sink:(Mir_trace.Replay.feed replay) in
   (replay, tracer)
 

@@ -43,8 +43,11 @@ val attach_recorder :
   ?capacity:int -> system -> Mir_trace.Recorder.t * Mir_trace.Tracer.t
 
 val attach_replay :
-  system -> events:Mir_trace.Event.t list ->
+  ?seed:int64 -> system -> events:Mir_trace.Event.t list ->
   Mir_trace.Replay.t * Mir_trace.Tracer.t
+(** Divergence reports name the run's root PRNG seed (the monitor's
+    configured seed unless overridden), so a failure is one-command
+    reproducible. *)
 
 val checkpoint_manager :
   ?events_seen:(unit -> int) -> system -> every:int64 ->

@@ -51,6 +51,12 @@ let load_state t s =
 let raise_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- true
 let lower_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- false
 
+let enable_source t ~ctx src =
+  if src > 0 && src <= t.nsources && ctx >= 0 && ctx < t.nctx then begin
+    if t.priority.(src) = 0 then t.priority.(src) <- 1;
+    t.enable.(ctx) <- t.enable.(ctx) lor (1 lsl src)
+  end
+
 let best_candidate t ~ctx =
   let best = ref 0 and best_prio = ref t.threshold.(ctx) in
   for src = 1 to t.nsources do

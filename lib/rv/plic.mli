@@ -22,6 +22,11 @@ val raise_irq : t -> int -> unit
 
 val lower_irq : t -> int -> unit
 
+val enable_source : t -> ctx:int -> int -> unit
+(** Route [src] to [ctx] (priority raised to at least 1), without
+    going through the MMIO window — so a harness can drive the
+    external line like the CLINT-driven timer/software ones. *)
+
 val pending_for : t -> ctx:int -> bool
 (** True iff some enabled source with priority above the context's
     threshold is pending and unclaimed — i.e. the external interrupt

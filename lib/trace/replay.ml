@@ -14,6 +14,9 @@ type divergence = {
   got : Event.t option;
   deltas : delta list;
   reason : string;
+  seed : int64 option;
+      (* the root PRNG seed of the diverging run, when known — printed
+         so a failure is reproducible with one --seed flag *)
 }
 
 (* Shadow state: the last *verified* architectural state of each hart.
@@ -30,6 +33,7 @@ type shadow = {
 
 type t = {
   machine : Machine.t;
+  seed : int64 option;
   mutable remaining : Event.t list;
   mutable verified : int;
   mutable divergence : divergence option;
@@ -43,9 +47,10 @@ type outcome =
 
 let ntracked = List.length Tracer.tracked_csrs
 
-let create ~machine ~events =
+let create ?seed ~machine ~events () =
   {
     machine;
+    seed;
     remaining = events;
     verified = 0;
     divergence = None;
@@ -130,6 +135,7 @@ let diverge t (hart : Hart.t) ~expected ~got ~reason =
           got;
           deltas = compute_deltas t hart;
           reason;
+          seed = t.seed;
         };
     (* stop the run at the next chunk boundary *)
     t.machine.Machine.poweroff <- true
@@ -187,6 +193,10 @@ let pp_divergence fmt d =
   Format.fprintf fmt
     "divergence at event #%d: hart%d pc=%Lx instrs=%Ld: %s" d.seq d.hart
     d.pc d.instrs d.reason;
+  (match d.seed with
+  | Some s ->
+      Format.fprintf fmt "@\n  reproduce with: --seed 0x%Lx" s
+  | None -> ());
   (match d.expected with
   | Some e -> Format.fprintf fmt "@\n  expected: %a" Event.pp e
   | None -> ());

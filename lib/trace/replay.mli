@@ -24,11 +24,18 @@ type divergence = {
   got : Event.t option;  (** live event, if any *)
   deltas : delta list;  (** named register/CSR drift *)
   reason : string;
+  seed : int64 option;
+      (** the root PRNG seed of the diverging run, when known — a
+          divergence report carries everything needed to reproduce the
+          failure with a single [--seed] flag *)
 }
 
 type t
 
-val create : machine:Mir_rv.Machine.t -> events:Event.t list -> t
+val create :
+  ?seed:int64 -> machine:Mir_rv.Machine.t -> events:Event.t list -> unit -> t
+(** [seed] is stamped into any divergence report (and printed by
+    {!pp_divergence}), making failures one-command reproducible. *)
 
 val feed : t -> Event.t -> unit
 (** The replayer's sink — pass [feed t] (or {!sink}) to

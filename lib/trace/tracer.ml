@@ -32,18 +32,28 @@ let fnv_offset = 0xCBF29CE484222325L
 let fnv_prime = 0x100000001B3L
 let mix h v = Int64.mul (Int64.logxor h v) fnv_prime
 
-let digest (hart : Hart.t) =
+(* The digest over explicit state components. [read_csr] is applied to
+   each address in [csrs], so the same function digests a physical
+   hart, a virtual hart, or any synthetic state a checker holds — the
+   fuzzer compares reference and emulated executions with it. *)
+let digest_values ~pc ~priv ~wfi ~regs ~csrs ~read_csr =
   let h = ref fnv_offset in
-  h := mix !h hart.Hart.pc;
-  h := mix !h (Int64.of_int (Priv.to_int hart.Hart.priv));
-  h := mix !h (if hart.Hart.wfi then 1L else 0L);
+  h := mix !h pc;
+  h := mix !h (Int64.of_int priv);
+  h := mix !h (if wfi then 1L else 0L);
   for i = 1 to 31 do
-    h := mix !h hart.Hart.regs.(i)
+    h := mix !h (regs i)
   done;
-  List.iter
-    (fun (_, addr) -> h := mix !h (Csr_file.read_raw hart.Hart.csr addr))
-    tracked_csrs;
+  List.iter (fun addr -> h := mix !h (read_csr addr)) csrs;
   !h
+
+let digest (hart : Hart.t) =
+  digest_values ~pc:hart.Hart.pc
+    ~priv:(Priv.to_int hart.Hart.priv)
+    ~wfi:hart.Hart.wfi
+    ~regs:(fun i -> hart.Hart.regs.(i))
+    ~csrs:(List.map snd tracked_csrs)
+    ~read_csr:(Csr_file.read_raw hart.Hart.csr)
 
 type t = {
   machine : Machine.t;

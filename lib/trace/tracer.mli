@@ -28,6 +28,15 @@ val reset : t -> unit
 val digest : Mir_rv.Hart.t -> int64
 (** FNV-1a over pc, privilege, wfi, x1..x31 and {!tracked_csrs}. *)
 
+val digest_values :
+  pc:int64 -> priv:int -> wfi:bool -> regs:(int -> int64) ->
+  csrs:int list -> read_csr:(int -> int64) -> int64
+(** The same digest over explicit state components, so virtual or
+    synthetic hart states can be digested with the identical function —
+    the differential fuzzer's oracle compares a reference hart against
+    an emulated one through this. [csrs] selects which addresses are
+    folded in (the caller fixes the order). *)
+
 val tracked_csrs : (string * int) list
 (** Names and addresses of the CSRs covered by {!digest} — also the
     set diffed when replay reports a divergence. *)

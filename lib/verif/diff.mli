@@ -47,3 +47,47 @@ val check_interrupt_case :
   world:Miralis.Vhart.world -> verdict
 (** Compare the virtual-interrupt injection decision against the
     reference machine's M-level interrupt selection. *)
+
+(** {2 Stream execution — the fuzzer's engine}
+
+    A stream runs a whole instruction sequence against ONE evolving
+    architectural state: CSR effects accumulate across steps, which is
+    where sequence-dependent bugs (PMP reconfiguration, delegation
+    flips, MPIE shuffles) live. Each step re-arms pc/privilege/world —
+    the firmware handler executes one privileged instruction at a time
+    from a fixed address — while all other state flows on. The oracle
+    is the {!Mir_trace.Tracer.digest_values} digest over pc, priv,
+    wfi, x1..x31 and {e every} implemented CSR, computed with the
+    identical function on both sides. *)
+
+(** How a stream step resolved — the trap-cause coordinate of the
+    fuzzer's coverage edges. *)
+type outcome =
+  | O_next  (** plain fall-through emulation *)
+  | O_jump  (** mret back into vM-mode *)
+  | O_exit_os  (** world switch out of virtual M-mode *)
+  | O_vtrap of Mir_rv.Cause.exc  (** trap injected into the firmware *)
+  | O_wfi
+  | O_irq of Mir_rv.Cause.intr  (** a virtual interrupt preempted the step *)
+  | O_skip  (** the sampled PMP blocks the reference fetch *)
+
+type step = { verdict : verdict; outcome : outcome }
+
+val outcome_tag : outcome -> int
+(** Small-int class of the outcome (0..6), stable across runs. *)
+
+val outcome_cause : outcome -> int
+(** Exception/interrupt code of trap outcomes, 0 otherwise. *)
+
+val stream_begin : t -> sample -> unit
+(** Load the sampled initial state into both sides. *)
+
+val stream_step : t -> Mir_rv.Instr.t -> step
+(** Execute one instruction on the evolving stream state: the
+    reference machine steps for real (interrupt delivery included),
+    the emulator runs on the virtual hart, and the post-state digests
+    must agree. *)
+
+val set_lines : t -> mtip:bool -> msip:bool -> meip:bool -> unit
+(** Drive the timer/software/external interrupt lines mid-stream
+    (CLINT, PLIC and both raw mip copies stay consistent). *)

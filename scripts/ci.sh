@@ -18,4 +18,10 @@ dune exec bin/miralis_sim.exe -- run --platform visionfive2 --mode miralis \
 dune exec bin/miralis_sim.exe -- run --platform visionfive2 --mode miralis \
   --replay "$trace"
 
+# Differential-fuzzing smoke: a short deterministic campaign must find
+# no divergence between the reference machine and the emulator (~10s),
+# and the checked-in conformance vectors must replay green.
+dune exec bin/miralis_sim.exe -- fuzz --max-execs 2000
+dune exec bin/miralis_sim.exe -- fuzz --replay test/vectors
+
 echo "ci: ok"

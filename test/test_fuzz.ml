@@ -1,0 +1,207 @@
+(* Tests for the coverage-guided differential fuzzer: determinism,
+   bug-catching + shrinking, serialization round-trips, and the
+   checked-in conformance vector suite. *)
+
+module Fuzz = Mir_fuzz
+module Config = Miralis.Config
+
+let seed = Config.default_seed
+
+(* Same seed, same budget -> byte-identical campaign: corpus content
+   hashes, coverage map and coverage curve. *)
+let test_deterministic () =
+  let run () = Fuzz.Fuzzer.run ~seed:5L ~max_execs:1500 () in
+  let a = run () and b = run () in
+  Alcotest.(check int)
+    "same corpus size"
+    (List.length a.Fuzz.Fuzzer.corpus)
+    (List.length b.Fuzz.Fuzzer.corpus);
+  List.iter2
+    (fun x y ->
+      Helpers.check_i64 "same corpus hash" (Fuzz.Input.hash x)
+        (Fuzz.Input.hash y))
+    a.Fuzz.Fuzzer.corpus b.Fuzz.Fuzzer.corpus;
+  Helpers.check_bool "same coverage counts" true
+    (Fuzz.Coverage.equal a.Fuzz.Fuzzer.coverage b.Fuzz.Fuzzer.coverage);
+  Alcotest.(check (list (pair int int)))
+    "same coverage curve" a.Fuzz.Fuzzer.curve b.Fuzz.Fuzzer.curve;
+  Helpers.check_bool "found some coverage" true
+    (Fuzz.Coverage.edges a.Fuzz.Fuzzer.coverage > 0)
+
+(* Every §6.5 bug class must be caught, and the shrunk reproduction
+   must be a genuine failing input no bigger than the original and
+   within the advertised bound. *)
+let test_catches_and_shrinks_injected_bugs () =
+  List.iter
+    (fun (name, bug) ->
+      match
+        (Fuzz.Fuzzer.run ~inject_bug:bug ~seed:42L ~max_execs:30_000 ())
+          .Fuzz.Fuzzer.divergence
+      with
+      | None -> Alcotest.failf "%s: not caught in 30k execs" name
+      | Some d ->
+          let len_found = Fuzz.Input.length d.Fuzz.Fuzzer.input
+          and len_min = Fuzz.Input.length d.Fuzz.Fuzzer.shrunk in
+          if len_min > len_found then
+            Alcotest.failf "%s: shrunk %d ops > original %d ops" name len_min
+              len_found;
+          if len_min > 8 then
+            Alcotest.failf "%s: shrunk input still has %d ops" name len_min;
+          (* the minimized input must still fail on a fresh executor *)
+          let exec = Fuzz.Exec.create ~inject_bug:bug ~seed:42L () in
+          Helpers.check_bool
+            (name ^ ": shrunk input still diverges")
+            true
+            (Fuzz.Exec.diverges exec d.Fuzz.Fuzzer.shrunk);
+          (* ... and must pass without the bug (it is the emulator
+             that is broken, not the oracle) *)
+          let clean = Fuzz.Exec.create ~seed:42L () in
+          Helpers.check_bool
+            (name ^ ": shrunk input agrees without the bug")
+            true
+            (not (Fuzz.Exec.diverges clean d.Fuzz.Fuzzer.shrunk)))
+    [
+      ("mpp", Config.Mpp_not_legalized);
+      ("pmp-wr", Config.Pmp_w_without_r);
+      ("vpmp-overrun", Config.Vpmp_overrun);
+      ("irq-priority", Config.Interrupt_priority_swapped);
+      ("mret-mpie", Config.Mret_skips_mpie);
+    ]
+
+(* A clean emulator survives a substantial campaign. *)
+let test_no_false_positives () =
+  let r = Fuzz.Fuzzer.run ~seed:7L ~max_execs:8_000 () in
+  match r.Fuzz.Fuzzer.divergence with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf "clean campaign diverged: %s" d.Fuzz.Fuzzer.reason
+
+let test_coverage_roundtrip () =
+  let c = Fuzz.Coverage.create () in
+  List.iter
+    (fun i -> ignore (Fuzz.Coverage.add c i))
+    [ 0; 0; 0; 5; 17; 17; 4093; Fuzz.Coverage.size - 1 ];
+  match Fuzz.Coverage.of_string (Fuzz.Coverage.to_string c) with
+  | Error msg -> Alcotest.failf "coverage parse: %s" msg
+  | Ok c' ->
+      Helpers.check_bool "coverage round-trips" true (Fuzz.Coverage.equal c c');
+      Alcotest.(check int) "edges" (Fuzz.Coverage.edges c)
+        (Fuzz.Coverage.edges c');
+      Alcotest.(check int) "total" (Fuzz.Coverage.total c)
+        (Fuzz.Coverage.total c')
+
+let test_input_jsonl_roundtrip () =
+  let check_input name input =
+    match Fuzz.Input.of_jsonl (Fuzz.Input.to_jsonl input) with
+    | Error msg -> Alcotest.failf "%s: parse: %s" name msg
+    | Ok input' ->
+        Helpers.check_bool (name ^ " round-trips") true
+          (Fuzz.Input.equal input input');
+        Helpers.check_i64 (name ^ " hash") (Fuzz.Input.hash input)
+          (Fuzz.Input.hash input')
+  in
+  List.iter (fun (name, input) -> check_input name input) Fuzz.Vectors.builtin;
+  (* and a pile of generated ones *)
+  let config = Fuzz.Exec.config (Fuzz.Exec.create ~seed ()) in
+  let prng = Config.derive seed "test:jsonl" in
+  for i = 1 to 50 do
+    check_input
+      (Printf.sprintf "fresh-%d" i)
+      (Fuzz.Gen.fresh config prng ~len:(1 + (i mod Fuzz.Gen.max_len)))
+  done
+
+(* The built-in conformance vectors agree on a clean emulator... *)
+let test_builtin_vectors_agree () =
+  match Fuzz.Fuzzer.replay ~seed Fuzz.Vectors.builtin with
+  | Ok (), coverage ->
+      Helpers.check_bool "vectors exercise many edges" true
+        (Fuzz.Coverage.edges coverage > 10)
+  | Error (name, idx, reason), _ ->
+      Alcotest.failf "vector %s diverges at op %d: %s" name idx reason
+
+(* ... and the irq-priority vector pins the interrupt-priority bug. *)
+let test_irq_vector_detects_priority_bug () =
+  match
+    Fuzz.Fuzzer.replay ~seed
+      ~inject_bug:Config.Interrupt_priority_swapped
+      Fuzz.Vectors.builtin
+  with
+  | Ok (), _ -> Alcotest.fail "irq-priority bug not detected by vectors"
+  | Error (name, _, _), _ ->
+      Alcotest.(check string) "caught by the irq vector" "irq-priority" name
+
+(* The checked-in test/vectors/ files replay green: they are the
+   regression suite for the emulator, frozen on disk. *)
+let test_checked_in_vectors_agree () =
+  (* cwd is the test directory under `dune runtest`, the project root
+     under a bare `dune exec` *)
+  let dir =
+    if Sys.file_exists "vectors" then "vectors" else "test/vectors"
+  in
+  let vectors = Fuzz.Corpus.load_dir dir in
+  Helpers.check_bool "vectors directory is populated" true
+    (List.length vectors >= 10);
+  let inputs =
+    List.map
+      (fun (name, r) ->
+        match r with
+        | Ok input -> (name, input)
+        | Error msg -> Alcotest.failf "%s: %s" name msg)
+      vectors
+  in
+  match Fuzz.Fuzzer.replay ~seed inputs with
+  | Ok (), _ -> ()
+  | Error (name, idx, reason), _ ->
+      Alcotest.failf "checked-in vector %s diverges at op %d: %s" name idx
+        reason
+
+(* Corpus persistence: content-hash names, loadable, deduplicated. *)
+let test_corpus_dir_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "mir_fuzz_test" in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (if Sys.file_exists dir then Sys.readdir dir else [||]);
+  let r = Fuzz.Fuzzer.run ~seed:11L ~max_execs:500 ~corpus_dir:dir () in
+  let loaded = Fuzz.Corpus.load_dir dir in
+  (* mutation can rediscover an input with identical content (count
+     bucketing makes it "interesting" again): files dedup by hash *)
+  let distinct =
+    List.sort_uniq Int64.compare (List.map Fuzz.Input.hash r.Fuzz.Fuzzer.corpus)
+  in
+  Alcotest.(check int)
+    "one file per distinct corpus input" (List.length distinct)
+    (List.length loaded);
+  List.iter
+    (fun (name, res) ->
+      match res with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok input ->
+          let expect = Printf.sprintf "cov-%016Lx.jsonl" (Fuzz.Input.hash input) in
+          Alcotest.(check string) "hash-named" expect name)
+    loaded
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "deterministic campaigns" `Quick
+            test_deterministic;
+          Alcotest.test_case "catches and shrinks injected bugs" `Slow
+            test_catches_and_shrinks_injected_bugs;
+          Alcotest.test_case "no false positives" `Quick
+            test_no_false_positives;
+          Alcotest.test_case "coverage round-trip" `Quick
+            test_coverage_roundtrip;
+          Alcotest.test_case "input jsonl round-trip" `Quick
+            test_input_jsonl_roundtrip;
+          Alcotest.test_case "builtin vectors agree" `Quick
+            test_builtin_vectors_agree;
+          Alcotest.test_case "irq vector detects priority bug" `Quick
+            test_irq_vector_detects_priority_bug;
+          Alcotest.test_case "checked-in vectors agree" `Quick
+            test_checked_in_vectors_agree;
+          Alcotest.test_case "corpus dir round-trip" `Quick
+            test_corpus_dir_roundtrip;
+        ] );
+    ]

@@ -144,6 +144,100 @@ let test_cfg_byte_roundtrip () =
       (Pmp.cfg_byte_of_entry entry)
   done
 
+(* Fixed-vector boundary cases: exact first/last grain of each
+   addressing mode, plus straddling accesses — the PR-1 bug class
+   (address-matching off-by-ones) frozen as literal expectations. *)
+
+let test_napot_boundary_vectors () =
+  let entries =
+    [| e ~r:true ~a:Pmp.Napot (napot ~base:0x80004000L ~size:0x1000L) |]
+  in
+  let ck name expected addr size =
+    check_verdict name expected (Pmp.lookup ~entries Pmp.Read ~addr ~size)
+  in
+  ck "just below" Pmp.No_match 0x80003FFCL 4;
+  ck "first word" Pmp.Allowed 0x80004000L 4;
+  ck "last word" Pmp.Allowed 0x80004FFCL 4;
+  ck "one past" Pmp.No_match 0x80005000L 4;
+  (* straddling either edge is a partial overlap: denied *)
+  ck "straddles start" Pmp.Denied 0x80003FFCL 8;
+  ck "straddles end" Pmp.Denied 0x80004FFCL 8
+
+let test_na4_boundary_vectors () =
+  let entries =
+    [| e ~r:true ~a:Pmp.Na4 (Int64.shift_right_logical 0x80000100L 2) |]
+  in
+  let ck name expected addr size =
+    check_verdict name expected (Pmp.lookup ~entries Pmp.Read ~addr ~size)
+  in
+  ck "the word" Pmp.Allowed 0x80000100L 4;
+  ck "below" Pmp.No_match 0x800000FCL 4;
+  ck "above" Pmp.No_match 0x80000104L 4;
+  ck "8-byte access straddles out" Pmp.Denied 0x80000100L 8
+
+let test_tor_boundary_vectors () =
+  (* TOR pair: entry 0 ends at 0x1000, entry 1 covers [0x1000,0x3000) *)
+  let entries =
+    [|
+      e ~a:Pmp.Tor (Pmp.tor_encode 0x1000L);
+      e ~r:true ~w:true ~a:Pmp.Tor (Pmp.tor_encode 0x3000L);
+    |]
+  in
+  let ck name expected addr size =
+    check_verdict name expected (Pmp.lookup ~entries Pmp.Write ~addr ~size)
+  in
+  ck "below region: entry0, no perms" Pmp.Denied 0xFF8L 4;
+  ck "first word" Pmp.Allowed 0x1000L 4;
+  ck "last word" Pmp.Allowed 0x2FFCL 4;
+  ck "at upper bound" Pmp.No_match 0x3000L 4;
+  ck "straddles lower bound" Pmp.Denied 0xFFCL 8;
+  ck "straddles upper bound" Pmp.Denied 0x2FFCL 8
+
+let test_locked_entry_vectors () =
+  (* A locked entry binds M-mode too — including the partial-overlap
+     rule; an identical unlocked entry does not. *)
+  let region l =
+    [| e ~r:true ~l ~a:Pmp.Napot (napot ~base:0x2000L ~size:0x1000L) |]
+  in
+  Alcotest.(check bool) "M write inside locked R-only region" false
+    (Pmp.check ~entries:(region true) ~priv:Priv.M Pmp.Write ~addr:0x2800L
+       ~size:8);
+  Alcotest.(check bool) "M write inside unlocked region" true
+    (Pmp.check ~entries:(region false) ~priv:Priv.M Pmp.Write ~addr:0x2800L
+       ~size:8);
+  Alcotest.(check bool) "M straddling locked region boundary" false
+    (Pmp.check ~entries:(region true) ~priv:Priv.M Pmp.Read ~addr:0x2FFCL
+       ~size:8);
+  (* the lock also freezes the pmpaddr CSR behind it *)
+  let csr = Mir_rv.Csr_file.create Mir_rv.Csr_spec.default_config ~hart_id:0 in
+  let addr0 = Mir_rv.Csr_addr.pmpaddr 0 in
+  Mir_rv.Csr_file.write csr addr0 0x1234L;
+  Mir_rv.Csr_file.write csr (Mir_rv.Csr_addr.pmpcfg 0) 0x99L (* L|R *);
+  Mir_rv.Csr_file.write csr addr0 0x5678L;
+  Helpers.check_i64 "locked pmpaddr write ignored" 0x1234L
+    (Mir_rv.Csr_file.read csr addr0)
+
+let test_partial_overlap_vectors () =
+  (* Adjacent regions with different permissions: an access contained
+     in either is judged by its own entry; a straddling access is
+     denied even though both sides individually allow reading. *)
+  let entries =
+    [|
+      e ~r:true ~w:true ~a:Pmp.Napot (napot ~base:0x4000L ~size:0x1000L);
+      e ~r:true ~a:Pmp.Napot (napot ~base:0x5000L ~size:0x1000L);
+    |]
+  in
+  check_verdict "read low" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x4FF8L ~size:8);
+  check_verdict "read high" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x5000L ~size:8);
+  check_verdict "read straddling" Pmp.Denied
+    (Pmp.lookup ~entries Pmp.Read ~addr:0x4FFCL ~size:8);
+  check_verdict "write low" Pmp.Allowed
+    (Pmp.lookup ~entries Pmp.Write ~addr:0x4FF8L ~size:8);
+  check_verdict "write high denied" Pmp.Denied
+    (Pmp.lookup ~entries Pmp.Write ~addr:0x5000L ~size:8)
+
 let test_napot_encode_decode =
   Helpers.qcheck_case ~count:200 "napot range round-trips"
     (fun (base_k, size_log) ->
@@ -206,6 +300,16 @@ let () =
           Alcotest.test_case "perm bits" `Quick test_perm_bits;
           Alcotest.test_case "locked TOR" `Quick test_locked_tor_locks_prev_addr;
           Alcotest.test_case "cfg byte roundtrip" `Quick test_cfg_byte_roundtrip;
+          Alcotest.test_case "napot boundary vectors" `Quick
+            test_napot_boundary_vectors;
+          Alcotest.test_case "na4 boundary vectors" `Quick
+            test_na4_boundary_vectors;
+          Alcotest.test_case "tor boundary vectors" `Quick
+            test_tor_boundary_vectors;
+          Alcotest.test_case "locked entry vectors" `Quick
+            test_locked_entry_vectors;
+          Alcotest.test_case "partial overlap vectors" `Quick
+            test_partial_overlap_vectors;
           test_napot_encode_decode;
           prop_ranges_equivalent;
         ] );

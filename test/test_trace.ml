@@ -234,6 +234,7 @@ let test_checkpoint_restore_and_rewind_replay () =
   let replay =
     Replay.create ~machine:sys.Setup.machine
       ~events:(drop (Snapshot.events_before mid) events)
+      ()
   in
   Tracer.set_sink tracer (Replay.feed replay);
   Machine.run ~max_instrs:500_000_000L sys.Setup.machine;
