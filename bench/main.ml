@@ -133,6 +133,66 @@ let fuzz_bench () =
   print_endline "  wrote BENCH_fuzz.json"
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic prover throughput (BENCH_sym.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+let sym_bench () =
+  print_endline "\nSymbolic faithful-emulation prover";
+  print_endline "==================================";
+  let reports = Mir_verif.Prove.all () in
+  let paths = List.fold_left (fun a r -> a + r.Mir_verif.Prove.paths) 0 reports
+  and instances =
+    List.fold_left (fun a r -> a + r.Mir_verif.Prove.instances) 0 reports
+  and seconds =
+    List.fold_left (fun a r -> a +. r.Mir_verif.Prove.seconds) 0. reports
+  in
+  let hist_len =
+    List.fold_left
+      (fun a r -> max a (Array.length r.Mir_verif.Prove.depth_hist))
+      0 reports
+  in
+  let hist = Array.make hist_len 0 in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun d n -> hist.(d) <- hist.(d) + n)
+        r.Mir_verif.Prove.depth_hist)
+    reports;
+  let max_depth = ref 0 in
+  Array.iteri (fun d n -> if n > 0 then max_depth := d) hist;
+  let paths_per_sec = float_of_int paths /. seconds in
+  List.iter
+    (fun r -> Format.printf "  %a@." Mir_verif.Prove.pp_report r)
+    reports;
+  Printf.printf "  %d paths in %.2fs: %.0f paths/sec (max split depth %d)\n"
+    paths seconds paths_per_sec !max_depth;
+  let task_json =
+    String.concat ",\n    "
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"name\": %S, \"instances\": %d, \"paths\": %d, \
+              \"unexplored\": %d, \"proved\": %b, \"seconds\": %.3f}"
+             r.Mir_verif.Prove.name r.Mir_verif.Prove.instances
+             r.Mir_verif.Prove.paths r.Mir_verif.Prove.unexplored
+             (Mir_verif.Prove.proved r) r.Mir_verif.Prove.seconds)
+         reports)
+  in
+  let hist_json =
+    String.concat ", "
+      (Array.to_list (Array.mapi (fun _ n -> string_of_int n)
+                        (Array.sub hist 0 (!max_depth + 1))))
+  in
+  let oc = open_out "BENCH_sym.json" in
+  Printf.fprintf oc
+    "{\n  \"instances\": %d,\n  \"paths\": %d,\n  \"seconds\": %.3f,\n  \
+     \"paths_per_sec\": %.0f,\n  \"split_depth_hist\": [%s],\n  \
+     \"tasks\": [\n    %s\n  ]\n}\n"
+    instances paths seconds paths_per_sec hist_json task_json;
+  close_out oc;
+  print_endline "  wrote BENCH_sym.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's primitives              *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,6 +256,7 @@ let () =
       List.iter (fun (_, f) -> f ()) experiments;
       trace_bench ();
       fuzz_bench ();
+      sym_bench ();
       micro ()
   | names ->
       List.iter
@@ -203,11 +264,13 @@ let () =
           if name = "micro" then micro ()
           else if name = "trace" then trace_bench ()
           else if name = "fuzz" then fuzz_bench ()
+          else if name = "sym" then sym_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
-                Printf.eprintf "unknown experiment %S; known: %s trace fuzz micro\n"
+                Printf.eprintf
+                  "unknown experiment %S; known: %s trace fuzz sym micro\n"
                   name
                   (String.concat " " (List.map fst experiments)))
         names);

@@ -270,7 +270,23 @@ let seed_arg =
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Root PRNG seed for all sampled checkers.")
 
-let verify_cmd quick bug seed =
+let verify_symbolic quick bug =
+  let inject_bug = parse_bug bug in
+  let reports = Mir_verif.Prove.all ~quick ?inject_bug () in
+  List.iter (fun r -> Format.printf "%a@." Mir_verif.Prove.pp_report r) reports;
+  let bad = List.exists (fun r -> not (Mir_verif.Prove.proved r)) reports in
+  if inject_bug <> None then begin
+    let detected =
+      List.exists (fun r -> r.Mir_verif.Prove.mismatches > 0) reports
+    in
+    Printf.printf "\nbug injection %s %s\n" bug
+      (if detected then "DETECTED (as expected)"
+       else "NOT detected: prover gap!");
+    if not detected then exit 1
+  end
+  else if bad then exit 1
+
+let verify_sampled quick bug seed =
   let inject_bug = parse_bug bug in
   Printf.printf "seed: 0x%Lx (reproduce with --seed 0x%Lx)\n" seed seed;
   let s n = if quick then max 1 (n / 10) else n in
@@ -294,10 +310,26 @@ let verify_cmd quick bug seed =
       (if bad then "DETECTED (as expected)" else "NOT detected: checker gap!")
   else if bad then exit 1
 
+let verify_cmd symbolic quick bug seed =
+  if symbolic then verify_symbolic quick bug
+  else verify_sampled quick bug seed
+
 let verify_term =
   Term.(
     const verify_cmd
-    $ Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sample counts.")
+    $ Arg.(
+        value & flag
+        & info [ "symbolic" ]
+            ~doc:
+              "Run the symbolic faithful-emulation prover instead of the \
+               sampled checkers: covers all states, reports proved and \
+               unexplored path counts, extracts concrete counterexamples.")
+    $ Arg.(
+        value & flag
+        & info [ "quick" ]
+            ~doc:
+              "Reduced sample counts; with $(b,--symbolic), restrict the \
+               CSR sweep to implemented addresses plus interesting corners.")
     $ inject_bug_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)

@@ -8,7 +8,6 @@
 
      dune exec examples/cvm_demo.exe *)
 
-module Setup = Mir_harness.Setup
 module Script = Mir_kernel.Script
 module Platform = Mir_platform.Platform
 module Machine = Mir_rv.Machine

@@ -31,6 +31,74 @@ type outcome = { action : action; pmp_dirty : bool }
 let ok action = { action; pmp_dirty = false }
 let bug (config : Config.t) b = config.Config.inject_bug = Some b
 
+let intr_priority =
+  Cause.
+    [
+      (Machine_external, 11);
+      (Machine_software, 3);
+      (Machine_timer, 7);
+      (Supervisor_external, 9);
+      (Supervisor_software, 1);
+      (Supervisor_timer, 5);
+    ]
+
+let intr_priority_buggy =
+  (* MSI checked before MEI: the wrong-interrupt-priority bug. *)
+  Cause.
+    [
+      (Machine_software, 3);
+      (Machine_external, 11);
+      (Machine_timer, 7);
+      (Supervisor_external, 9);
+      (Supervisor_software, 1);
+      (Supervisor_timer, 5);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The emulator's pure state transforms, over an abstract bitvector    *)
+(* domain. The concrete instantiation [Sem_c] is what [emulate] runs   *)
+(* below; the faithful-emulation prover runs [Sem (Mir_sym.Backend)]   *)
+(* against the reference semantics over the whole state space —        *)
+(* including the injected-bug variants, which must each produce a      *)
+(* divergence with a concrete counterexample.                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sem (B : Mir_util.Bits_sig.S) = struct
+  module X = Mir_rv.Hart.Xfer (B)
+
+  let csr_rmw = X.csr_rmw
+  let mret_mstatus = X.mret_mstatus
+  let mret_target_priv = X.mret_target_priv
+  let sret_mstatus = X.sret_mstatus
+  let sret_target_priv = X.sret_target_priv
+
+  (* The Mpp_not_legalized bug: mask-merge into mstatus but skip the
+     WARL legalization of the MPP field. *)
+  let mstatus_write_no_legalize ~old ~value =
+    let wm = B.const Ms.write_mask in
+    B.logor (B.logand old (B.lognot wm)) (B.logand value wm)
+
+  (* The virtual-interrupt injection decision: only non-delegated
+     (M-level) interrupts are injected into vM-mode — delegated ones
+     belong to the OS and are delivered natively. In the Firmware
+     world the virtual privilege is M, so injection is gated by the
+     virtual mstatus.MIE; below M it is always enabled. *)
+  let virtual_interrupt ~order ~(world : Vhart.world) ~mstatus ~mip ~mie
+      ~mideleg =
+    let pending = B.logand (B.logand mip mie) (B.lognot mideleg) in
+    if B.decide (B.eq_const pending 0L) then None
+    else begin
+      let enabled =
+        match world with
+        | Vhart.Firmware -> B.decide (B.test mstatus Ms.mie)
+        | Vhart.Os -> true
+      in
+      if not enabled then None else X.select_interrupt order pending
+    end
+end
+
+module Sem_c = Sem (Mir_util.Bits_sig.I64)
+
 (* Recompute whether the MPRV-emulation trick must be engaged: the
    firmware enabled MPRV with an MPP pointing below M, so its loads
    and stores must be translated on its behalf. *)
@@ -61,12 +129,7 @@ let emulate_csr config (vh : Vhart.t) ctx ~bits op rd src csr_addr =
       | Instr.Reg r -> ctx.read_gpr r
       | Instr.Imm z -> Int64.of_int z
     in
-    let new_value old =
-      match op with
-      | Instr.Csrrw -> src_val
-      | Instr.Csrrs -> Int64.logor old src_val
-      | Instr.Csrrc -> Int64.logand old (Int64.lognot src_val)
-    in
+    let new_value old = Sem_c.csr_rmw op ~old ~src:src_val in
     let finish ?(pmp_dirty = false) old =
       ctx.write_gpr rd old;
       { action = Next; pmp_dirty }
@@ -110,10 +173,8 @@ let emulate_csr config (vh : Vhart.t) ctx ~bits op rd src csr_addr =
           (* skip WARL legalization of MPP (bug class: CSR bit
              patterns) *)
           Csr_file.write_raw vcsr csr_addr
-            (Int64.logor
-               (Int64.logand (Csr_file.read_raw vcsr csr_addr)
-                  (Int64.lognot Ms.write_mask))
-               (Int64.logand v Ms.write_mask))
+            (Sem_c.mstatus_write_no_legalize
+               ~old:(Csr_file.read_raw vcsr csr_addr) ~value:v)
         else if
           Csr_addr.is_pmpcfg csr_addr && bug config Config.Pmp_w_without_r
         then
@@ -144,15 +205,9 @@ let emulate_csr config (vh : Vhart.t) ctx ~bits op rd src csr_addr =
 let emulate_mret config (vh : Vhart.t) =
   let vcsr = vh.Vhart.csr in
   let m = Csr_file.read_raw vcsr Csr_addr.mstatus in
-  let new_priv = Ms.get_mpp m in
-  let m =
-    if bug config Config.Mret_skips_mpie then m
-    else Bits.write m Ms.mie (Bits.test m Ms.mpie)
-  in
-  let m = Bits.set m Ms.mpie in
-  let m = Ms.set_mpp m Priv.U in
-  let m = if new_priv <> Priv.M then Bits.clear m Ms.mprv else m in
-  Csr_file.write_raw vcsr Csr_addr.mstatus m;
+  let new_priv = Sem_c.mret_target_priv m in
+  Csr_file.write_raw vcsr Csr_addr.mstatus
+    (Sem_c.mret_mstatus ~skip_mpie:(bug config Config.Mret_skips_mpie) m);
   let mprv_changed = sync_mprv vh in
   let target = Csr_file.read_raw vcsr Csr_addr.mepc in
   let action =
@@ -164,12 +219,8 @@ let emulate_mret config (vh : Vhart.t) =
 let emulate_sret (vh : Vhart.t) =
   let vcsr = vh.Vhart.csr in
   let m = Csr_file.read_raw vcsr Csr_addr.mstatus in
-  let new_priv = Ms.get_spp m in
-  let m = Bits.write m Ms.sie (Bits.test m Ms.spie) in
-  let m = Bits.set m Ms.spie in
-  let m = Ms.set_spp m Priv.U in
-  let m = Bits.clear m Ms.mprv in
-  Csr_file.write_raw vcsr Csr_addr.mstatus m;
+  let new_priv = Sem_c.sret_target_priv m in
+  Csr_file.write_raw vcsr Csr_addr.mstatus (Sem_c.sret_mstatus m);
   let mprv_changed = sync_mprv vh in
   let target = Csr_file.read_raw vcsr Csr_addr.sepc in
   { action = Exit_to_os { pc = target; priv = new_priv };
@@ -191,58 +242,14 @@ let emulate config vh ctx ~bits instr =
   | Instr.Op_imm32 _ | Instr.Op _ | Instr.Op32 _ | Instr.Amo _ ->
       ok Unsupported
 
-let intr_priority =
-  Cause.
-    [
-      (Machine_external, 11);
-      (Machine_software, 3);
-      (Machine_timer, 7);
-      (Supervisor_external, 9);
-      (Supervisor_software, 1);
-      (Supervisor_timer, 5);
-    ]
-
-let intr_priority_buggy =
-  (* MSI checked before MEI: the wrong-interrupt-priority bug. *)
-  Cause.
-    [
-      (Machine_software, 3);
-      (Machine_external, 11);
-      (Machine_timer, 7);
-      (Supervisor_external, 9);
-      (Supervisor_software, 1);
-      (Supervisor_timer, 5);
-    ]
-
 let check_virtual_interrupt config (vh : Vhart.t) =
   let vcsr = vh.Vhart.csr in
-  let vmip = Csr_file.read_raw vcsr Csr_addr.mip in
-  let vmie = Csr_file.read_raw vcsr Csr_addr.mie in
-  let vmideleg = Csr_file.read_raw vcsr Csr_addr.mideleg in
-  (* Only non-delegated (M-level) interrupts are injected into vM-mode;
-     delegated ones belong to the OS and are delivered natively. *)
-  let pending =
-    Int64.logand (Int64.logand vmip vmie) (Int64.lognot vmideleg)
+  let order =
+    if bug config Config.Interrupt_priority_swapped then intr_priority_buggy
+    else intr_priority
   in
-  if pending = 0L then None
-  else begin
-    let enabled =
-      match vh.Vhart.world with
-      | Vhart.Firmware ->
-          (* virtual privilege = M: gated by virtual mstatus.MIE *)
-          Bits.test (Csr_file.read_raw vcsr Csr_addr.mstatus) Ms.mie
-      | Vhart.Os ->
-          (* virtual privilege < M: M interrupts always enabled *)
-          true
-    in
-    if not enabled then None
-    else
-      let order =
-        if bug config Config.Interrupt_priority_swapped then
-          intr_priority_buggy
-        else intr_priority
-      in
-      match List.find_opt (fun (_, code) -> Bits.test pending code) order with
-      | Some (i, _) -> Some i
-      | None -> None
-  end
+  Sem_c.virtual_interrupt ~order ~world:vh.Vhart.world
+    ~mstatus:(Csr_file.read_raw vcsr Csr_addr.mstatus)
+    ~mip:(Csr_file.read_raw vcsr Csr_addr.mip)
+    ~mie:(Csr_file.read_raw vcsr Csr_addr.mie)
+    ~mideleg:(Csr_file.read_raw vcsr Csr_addr.mideleg)

@@ -41,6 +41,36 @@ type outcome = {
           must be reinstalled *)
 }
 
+val intr_priority : (Mir_rv.Cause.intr * int) list
+(** Standard interrupt priority: MEI, MSI, MTI, SEI, SSI, STI. *)
+
+val intr_priority_buggy : (Mir_rv.Cause.intr * int) list
+(** MSI before MEI — the Interrupt_priority_swapped injected bug. *)
+
+(** The emulator's pure state transforms over an abstract bitvector
+    domain; [emulate] runs the concrete instantiation, the
+    faithful-emulation prover ({!Mir_verif.Prove}) the symbolic one. *)
+module Sem (B : Mir_util.Bits_sig.S) : sig
+  val csr_rmw : Mir_rv.Instr.csr_op -> old:B.t -> src:B.t -> B.t
+  val mret_mstatus : ?skip_mpie:bool -> B.t -> B.t
+  val mret_target_priv : B.t -> Mir_rv.Priv.t
+  val sret_mstatus : B.t -> B.t
+  val sret_target_priv : B.t -> Mir_rv.Priv.t
+
+  val mstatus_write_no_legalize : old:B.t -> value:B.t -> B.t
+  (** The Mpp_not_legalized bug: mask-merge, skipping WARL. *)
+
+  val virtual_interrupt :
+    order:(Mir_rv.Cause.intr * int) list ->
+    world:Vhart.world ->
+    mstatus:B.t ->
+    mip:B.t ->
+    mie:B.t ->
+    mideleg:B.t ->
+    Mir_rv.Cause.intr option
+  (** The virtual-interrupt injection decision (paper §4.1). *)
+end
+
 val emulate :
   Config.t -> Vhart.t -> ctx -> bits:int -> Mir_rv.Instr.t -> outcome
 (** Emulate one privileged instruction against the virtual state.

@@ -6,7 +6,6 @@ module Csr_file = Mir_rv.Csr_file
 module Csr_addr = Mir_rv.Csr_addr
 module Csr_spec = Mir_rv.Csr_spec
 module Instr = Mir_rv.Instr
-module Cause = Mir_rv.Cause
 module Vmem = Mir_rv.Vmem
 module Ms = Csr_spec.Mstatus
 

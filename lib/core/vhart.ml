@@ -1,5 +1,4 @@
 module Csr_file = Mir_rv.Csr_file
-module Csr_addr = Mir_rv.Csr_addr
 module Csr_spec = Mir_rv.Csr_spec
 
 type world = Firmware | Os

@@ -1,5 +1,4 @@
 module Policy = Miralis.Policy
-module Vhart = Miralis.Vhart
 module Machine = Mir_rv.Machine
 module Hart = Mir_rv.Hart
 module Pmp = Mir_rv.Pmp

@@ -69,43 +69,34 @@ let pmp_ranges t =
 
 let mideleg t = t.store.(Csr_addr.mideleg)
 
+(* The view semantics (sstatus/sie/sip over mstatus/mie/mip) live in
+   Csr_spec.Sem so the symbolic prover analyses the very same code;
+   [Csr_spec.C] is its concrete int64 instantiation. *)
+
 let read t addr =
   if addr = Csr_addr.sstatus then
-    let m = t.store.(Csr_addr.mstatus) in
-    Int64.logor
-      (Int64.logand m Csr_spec.Mstatus.sstatus_mask)
-      (Int64.shift_left 2L 32) (* UXL = 64-bit *)
+    Csr_spec.C.sstatus_read ~mstatus:t.store.(Csr_addr.mstatus)
   else if addr = Csr_addr.sie then
-    Int64.logand t.store.(Csr_addr.mie) (mideleg t)
+    Csr_spec.C.sie_read ~mie:t.store.(Csr_addr.mie) ~mideleg:(mideleg t)
   else if addr = Csr_addr.sip then
-    Int64.logand t.store.(Csr_addr.mip) (mideleg t)
+    Csr_spec.C.sip_read ~mip:t.store.(Csr_addr.mip) ~mideleg:(mideleg t)
   else
     match spec t addr with
     | Some s -> Csr_spec.apply_read s t.store.(addr)
     | None -> invalid_arg ("Csr_file.read: " ^ Csr_addr.name addr)
 
 let write t addr v =
-  if addr = Csr_addr.sstatus then begin
-    let m = t.store.(Csr_addr.mstatus) in
-    let mask = Csr_spec.Mstatus.sstatus_mask in
-    let merged =
-      Int64.logor (Int64.logand m (Int64.lognot mask)) (Int64.logand v mask)
-    in
-    t.store.(Csr_addr.mstatus) <- merged
-  end
-  else if addr = Csr_addr.sie then begin
-    let d = mideleg t in
-    let m = t.store.(Csr_addr.mie) in
+  if addr = Csr_addr.sstatus then
+    t.store.(Csr_addr.mstatus) <-
+      Csr_spec.C.sstatus_write ~mstatus:t.store.(Csr_addr.mstatus) ~value:v
+  else if addr = Csr_addr.sie then
     t.store.(Csr_addr.mie) <-
-      Int64.logor (Int64.logand m (Int64.lognot d)) (Int64.logand v d)
-  end
-  else if addr = Csr_addr.sip then begin
-    (* Only SSIP is writable from S-mode, and only if delegated. *)
-    let d = Int64.logand (mideleg t) Csr_spec.Irq.ssip in
-    let m = t.store.(Csr_addr.mip) in
+      Csr_spec.C.sie_write ~mie:t.store.(Csr_addr.mie) ~mideleg:(mideleg t)
+        ~value:v
+  else if addr = Csr_addr.sip then
     t.store.(Csr_addr.mip) <-
-      Int64.logor (Int64.logand m (Int64.lognot d)) (Int64.logand v d)
-  end
+      Csr_spec.C.sip_write ~mip:t.store.(Csr_addr.mip) ~mideleg:(mideleg t)
+        ~value:v
   else if Csr_addr.is_pmpaddr addr then begin
     let i = addr - 0x3B0 in
     if not (Pmp.locked (pmp_entries t) i) then

@@ -25,30 +25,34 @@ let default_config =
     mimpid = 0L;
   }
 
+(* WARL legalization is declarative — a [rule], not a closure — so the
+   same rule can be interpreted over any bitvector domain by the [Sem]
+   functor below: concretely by the CSR files, symbolically by the
+   faithful-emulation prover. *)
+type rule =
+  | R_id  (** store the masked value as-is *)
+  | R_epc  (** clear bits 1:0 (IALIGN=32, no C extension) *)
+  | R_tvec  (** mode (1:0) WARL over {0,1}; bad mode keeps old mode *)
+  | R_satp  (** mode (63:60) WARL over {0,8}; bad mode keeps whole reg *)
+  | R_mstatus  (** reserved MPP encoding 2 keeps the old MPP *)
+  | R_pmpcfg of int  (** lock bit, reserved W&~R, bits 5:6; arg = entries *)
+  | R_force_or of int64  (** hardwire the given bits to 1 (mideleg) *)
+
 type t = {
   name : string;
   read_mask : int64;
   read_or : int64;
   write_mask : int64;
-  legalize : old:int64 -> value:int64 -> int64;
+  rule : rule;
   reset : int64;
 }
 
-let id_legalize ~old:_ ~value = value
-
 let ro name reset =
-  {
-    name;
-    read_mask = -1L;
-    read_or = 0L;
-    write_mask = 0L;
-    legalize = id_legalize;
-    reset;
-  }
+  { name; read_mask = -1L; read_or = 0L; write_mask = 0L; rule = R_id; reset }
 
-let rw ?(read_mask = -1L) ?(read_or = 0L) ?(write_mask = -1L)
-    ?(legalize = id_legalize) ?(reset = 0L) name =
-  { name; read_mask; read_or; write_mask; legalize; reset }
+let rw ?(read_mask = -1L) ?(read_or = 0L) ?(write_mask = -1L) ?(rule = R_id)
+    ?(reset = 0L) name =
+  { name; read_mask; read_or; write_mask; rule; reset }
 
 module Mstatus = struct
   let sie = 1
@@ -91,13 +95,6 @@ module Mstatus = struct
 
   (* UXL = SXL = 2 (64-bit), hardwired. *)
   let read_or = Int64.logor (Int64.shift_left 2L 32) (Int64.shift_left 2L 34)
-
-  let legalize ~old ~value =
-    (* MPP: the reserved encoding 2 is WARL'd back to the old value. *)
-    if Bits.extract value ~lo:mpp_lo ~hi:mpp_hi = 2L then
-      Bits.insert value ~lo:mpp_lo ~hi:mpp_hi
-        ~value:(Bits.extract old ~lo:mpp_lo ~hi:mpp_hi)
-    else value
 end
 
 module Irq = struct
@@ -110,6 +107,115 @@ module Irq = struct
   let s_mask = Int64.logor ssip (Int64.logor stip seip)
   let m_mask = Int64.logor msip (Int64.logor mtip meip)
 end
+
+(* ------------------------------------------------------------------ *)
+(* The abstract semantics: every WARL rule and every view over         *)
+(* mstatus/mie/mip, written once against the bitvector signature.      *)
+(* [Sem (Bits_sig.I64)] is the concrete semantics the CSR files run;   *)
+(* [Sem (Mir_sym.Backend)] is the transfer function the prover         *)
+(* explores. The rules are deliberately written in branch-free         *)
+(* ite/mask form so the symbolic instantiation never path-splits       *)
+(* inside a legalizer.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sem (B : Mir_util.Bits_sig.S) = struct
+  let epc_legalize ~value = B.clear (B.clear value 0) 1
+
+  let tvec_legalize ~old ~value =
+    (* mode (bits 1:0) is WARL over {0 direct, 1 vectored}: encodings
+       2 and 3 — exactly those with bit 1 set — keep the old mode. *)
+    let bad_mode = B.test value 1 in
+    B.ite bad_mode
+      (B.insert value ~lo:0 ~hi:1 ~value:(B.extract old ~lo:0 ~hi:1))
+      value
+
+  let satp_legalize ~old ~value =
+    (* mode (63:60) is WARL over {0 bare, 8 Sv39}: other modes leave
+       the whole register unchanged, matching common hardware. *)
+    let mode = B.extract value ~lo:60 ~hi:63 in
+    let ok = B.bit_or (B.eq_const mode 0L) (B.eq_const mode 8L) in
+    B.ite ok value old
+
+  let mstatus_legalize ~old ~value =
+    (* MPP: the reserved encoding 2 is WARL'd back to the old value. *)
+    let reserved =
+      B.eq_const (B.extract value ~lo:Mstatus.mpp_lo ~hi:Mstatus.mpp_hi) 2L
+    in
+    B.ite reserved
+      (B.insert value ~lo:Mstatus.mpp_lo ~hi:Mstatus.mpp_hi
+         ~value:(B.extract old ~lo:Mstatus.mpp_lo ~hi:Mstatus.mpp_hi))
+      value
+
+  (* pmpcfg legalization: per entry byte, honour the lock bit, clear
+     the reserved W=1/R=0 combination (one of the paper's reported PMP
+     virtualization bugs), and zero the reserved bits 5:6. *)
+  let pmpcfg_legalize ~entries_in_reg ~old ~value =
+    let result = ref (B.const 0L) in
+    for i = 0 to 7 do
+      let shift = 8 * i in
+      if i < entries_in_reg then begin
+        let old_byte = B.extract old ~lo:shift ~hi:(shift + 7) in
+        let new_byte = B.extract value ~lo:shift ~hi:(shift + 7) in
+        let locked = B.test old (shift + 7) in
+        let b = B.logand new_byte (B.const 0x9FL) (* clear bits 5:6 *) in
+        (* W=1,R=0 is reserved: clear W *)
+        let w_not_r = B.bit_and (B.test b 1) (B.bit_not (B.test b 0)) in
+        let b = B.ite w_not_r (B.clear b 1) b in
+        let byte = B.ite locked old_byte b in
+        result := B.insert !result ~lo:shift ~hi:(shift + 7) ~value:byte
+      end
+    done;
+    !result
+
+  let legalize rule ~old ~value =
+    match rule with
+    | R_id -> value
+    | R_epc -> epc_legalize ~value
+    | R_tvec -> tvec_legalize ~old ~value
+    | R_satp -> satp_legalize ~old ~value
+    | R_mstatus -> mstatus_legalize ~old ~value
+    | R_pmpcfg entries_in_reg -> pmpcfg_legalize ~entries_in_reg ~old ~value
+    | R_force_or bits -> B.logor value (B.const bits)
+
+  let apply_write t ~old ~value =
+    let wm = B.const t.write_mask in
+    let merged =
+      B.logor (B.logand old (B.lognot wm)) (B.logand value wm)
+    in
+    legalize t.rule ~old ~value:merged
+
+  let apply_read t stored =
+    B.logor (B.logand stored (B.const t.read_mask)) (B.const t.read_or)
+
+  (* Views over mstatus/mie/mip — the sstatus/sie/sip read and write
+     semantics shared by the reference CSR file and the virtual one. *)
+  let sstatus_read ~mstatus =
+    B.logor
+      (B.logand mstatus (B.const Mstatus.sstatus_mask))
+      (B.const (Int64.shift_left 2L 32)) (* UXL = 64-bit *)
+
+  let sstatus_write ~mstatus ~value =
+    let mask = B.const Mstatus.sstatus_mask in
+    B.logor (B.logand mstatus (B.lognot mask)) (B.logand value mask)
+
+  let sie_read ~mie ~mideleg = B.logand mie mideleg
+
+  let sie_write ~mie ~mideleg ~value =
+    B.logor (B.logand mie (B.lognot mideleg)) (B.logand value mideleg)
+
+  let sip_read ~mip ~mideleg = B.logand mip mideleg
+
+  let sip_write ~mip ~mideleg ~value =
+    (* Only SSIP is writable from S-mode, and only if delegated. *)
+    let d = B.logand mideleg (B.const Irq.ssip) in
+    B.logor (B.logand mip (B.lognot d)) (B.logand value d)
+end
+
+(* The concrete instantiation — today's semantics, bit for bit. *)
+module C = Sem (Mir_util.Bits_sig.I64)
+
+let apply_write = C.apply_write
+let apply_read = C.apply_read
 
 let misa_value config =
   let ext c = Int64.shift_left 1L (Char.code c - Char.code 'a') in
@@ -126,50 +232,7 @@ let misa_value config =
    ecall-from-M (11). *)
 let medeleg_mask = 0xB3FFL
 let mideleg_mask = Irq.s_mask
-
-let epc_legalize ~old:_ ~value = Bits.clear (Bits.clear value 0) 1
-
-let tvec_legalize ~old ~value =
-  (* mode (bits 1:0) is WARL over {0 direct, 1 vectored}. *)
-  if Bits.extract value ~lo:0 ~hi:1 > 1L then
-    Bits.insert value ~lo:0 ~hi:1 ~value:(Bits.extract old ~lo:0 ~hi:1)
-  else value
-
-let satp_legalize ~old ~value =
-  (* mode (63:60) is WARL over {0 bare, 8 Sv39}: other modes leave the
-     whole register unchanged, matching common hardware. *)
-  let mode = Bits.extract value ~lo:60 ~hi:63 in
-  if mode = 0L || mode = 8L then value else old
-
-(* pmpcfg legalization: per entry byte, honour the lock bit, clear the
-   reserved W=1/R=0 combination (one of the paper's reported PMP
-   virtualization bugs), and zero the reserved bits 5:6. *)
-let pmpcfg_byte_legalize ~old_byte ~new_byte =
-  if old_byte land 0x80 <> 0 then old_byte (* locked: write ignored *)
-  else
-    let b = new_byte land 0x9F (* clear reserved bits 5:6 *) in
-    let b = if b land 0x3 = 0x2 then b land lnot 0x2 else b (* W=1,R=0 *) in
-    b
-
-let pmpcfg_legalize ~entries_in_reg ~old ~value =
-  let result = ref 0L in
-  for i = 0 to 7 do
-    let shift = 8 * i in
-    let old_byte = Int64.to_int (Bits.extract old ~lo:shift ~hi:(shift + 7)) in
-    let new_byte =
-      Int64.to_int (Bits.extract value ~lo:shift ~hi:(shift + 7))
-    in
-    let byte =
-      if i < entries_in_reg then pmpcfg_byte_legalize ~old_byte ~new_byte
-      else 0
-    in
-    result := Bits.insert !result ~lo:shift ~hi:(shift + 7)
-        ~value:(Int64.of_int byte)
-  done;
-  !result
-
 let pmpaddr_mask = Bits.mask 54
-
 let counteren_mask = 0xFFFFFFFFL
 
 let find config addr =
@@ -182,11 +245,7 @@ let find config addr =
       let first_entry = reg * 4 in
       let entries_in_reg = max 0 (min 8 (n_pmp - first_entry)) in
       if first_entry >= 64 then None
-      else
-        some
-          (rw (Csr_addr.name addr)
-             ~legalize:(fun ~old ~value ->
-               pmpcfg_legalize ~entries_in_reg ~old ~value))
+      else some (rw (Csr_addr.name addr) ~rule:(R_pmpcfg entries_in_reg))
   end
   else if Csr_addr.is_pmpaddr addr then begin
     let idx = addr - 0x3B0 in
@@ -202,7 +261,7 @@ let find config addr =
   else if addr = Csr_addr.mstatus then
     some
       (rw "mstatus" ~write_mask:Mstatus.write_mask ~read_or:Mstatus.read_or
-         ~legalize:Mstatus.legalize)
+         ~rule:R_mstatus)
   else if addr = Csr_addr.misa then some (ro "misa" (misa_value config))
   else if addr = Csr_addr.medeleg then
     some (rw "medeleg" ~write_mask:medeleg_mask)
@@ -210,12 +269,12 @@ let find config addr =
     if config.force_s_interrupt_delegation then
       some
         (rw "mideleg" ~write_mask:mideleg_mask ~reset:Irq.s_mask
-           ~legalize:(fun ~old:_ ~value -> Int64.logor value Irq.s_mask))
+           ~rule:(R_force_or Irq.s_mask))
     else some (rw "mideleg" ~write_mask:mideleg_mask)
   end
   else if addr = Csr_addr.mie then
     some (rw "mie" ~write_mask:(Int64.logor Irq.s_mask Irq.m_mask))
-  else if addr = Csr_addr.mtvec then some (rw "mtvec" ~legalize:tvec_legalize)
+  else if addr = Csr_addr.mtvec then some (rw "mtvec" ~rule:R_tvec)
   else if addr = Csr_addr.mcounteren then
     some (rw "mcounteren" ~write_mask:counteren_mask)
   else if addr = Csr_addr.menvcfg then
@@ -225,7 +284,7 @@ let find config addr =
   else if addr = Csr_addr.mcountinhibit then
     some (rw "mcountinhibit" ~write_mask:0x5L)
   else if addr = Csr_addr.mscratch then some (rw "mscratch")
-  else if addr = Csr_addr.mepc then some (rw "mepc" ~legalize:epc_legalize)
+  else if addr = Csr_addr.mepc then some (rw "mepc" ~rule:R_epc)
   else if addr = Csr_addr.mcause then some (rw "mcause")
   else if addr = Csr_addr.mtval then some (rw "mtval")
   else if addr = Csr_addr.mip then
@@ -238,15 +297,15 @@ let find config addr =
   else if addr = Csr_addr.mimpid then some (ro "mimpid" config.mimpid)
   else if addr = Csr_addr.mhartid then some (ro "mhartid" 0L)
   else if addr = Csr_addr.mconfigptr then some (ro "mconfigptr" 0L)
-  else if addr = Csr_addr.stvec then some (rw "stvec" ~legalize:tvec_legalize)
+  else if addr = Csr_addr.stvec then some (rw "stvec" ~rule:R_tvec)
   else if addr = Csr_addr.scounteren then
     some (rw "scounteren" ~write_mask:counteren_mask)
   else if addr = Csr_addr.senvcfg then some (rw "senvcfg" ~write_mask:1L)
   else if addr = Csr_addr.sscratch then some (rw "sscratch")
-  else if addr = Csr_addr.sepc then some (rw "sepc" ~legalize:epc_legalize)
+  else if addr = Csr_addr.sepc then some (rw "sepc" ~rule:R_epc)
   else if addr = Csr_addr.scause then some (rw "scause")
   else if addr = Csr_addr.stval then some (rw "stval")
-  else if addr = Csr_addr.satp then some (rw "satp" ~legalize:satp_legalize)
+  else if addr = Csr_addr.satp then some (rw "satp" ~rule:R_satp)
   else if addr = Csr_addr.stimecmp then
     if config.has_sstc then some (rw "stimecmp") else None
   else if
@@ -269,20 +328,18 @@ let find config addr =
     else if addr = Csr_addr.hip then some (rw "hip" ~write_mask:0x444L)
     else if addr = Csr_addr.hvip then some (rw "hvip" ~write_mask:0x444L)
     else if addr = Csr_addr.htinst then some (rw "htinst")
-    else if addr = Csr_addr.hgatp then some (rw "hgatp" ~legalize:satp_legalize)
+    else if addr = Csr_addr.hgatp then some (rw "hgatp" ~rule:R_satp)
     else if addr = Csr_addr.hgeip then some (ro "hgeip" 0L)
     else if addr = Csr_addr.vsstatus then
       some (rw "vsstatus" ~write_mask:Mstatus.write_mask)
     else if addr = Csr_addr.vsie then some (rw "vsie" ~write_mask:Irq.s_mask)
-    else if addr = Csr_addr.vstvec then
-      some (rw "vstvec" ~legalize:tvec_legalize)
+    else if addr = Csr_addr.vstvec then some (rw "vstvec" ~rule:R_tvec)
     else if addr = Csr_addr.vsscratch then some (rw "vsscratch")
-    else if addr = Csr_addr.vsepc then some (rw "vsepc" ~legalize:epc_legalize)
+    else if addr = Csr_addr.vsepc then some (rw "vsepc" ~rule:R_epc)
     else if addr = Csr_addr.vscause then some (rw "vscause")
     else if addr = Csr_addr.vstval then some (rw "vstval")
     else if addr = Csr_addr.vsip then some (rw "vsip" ~write_mask:Irq.s_mask)
-    else if addr = Csr_addr.vsatp then
-      some (rw "vsatp" ~legalize:satp_legalize)
+    else if addr = Csr_addr.vsatp then some (rw "vsatp" ~rule:R_satp)
     else None
   end
   else None
@@ -295,13 +352,3 @@ let all_addresses config =
     if exists config addr then acc := addr :: !acc
   done;
   !acc
-
-let apply_write t ~old ~value =
-  let merged =
-    Int64.logor
-      (Int64.logand old (Int64.lognot t.write_mask))
-      (Int64.logand value t.write_mask)
-  in
-  t.legalize ~old ~value:merged
-
-let apply_read t stored = Int64.logor (Int64.logand stored t.read_mask) t.read_or

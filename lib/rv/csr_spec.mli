@@ -7,7 +7,14 @@
     once, here, and consumed both by the reference machine's CSR file
     and by Miralis's virtual CSRs. The verifier
     ({!Mir_verif.Faithful_emulation}) then checks that the *composed*
-    behaviours (privilege checks, side effects, views) agree. *)
+    behaviours (privilege checks, side effects, views) agree.
+
+    Legalization rules are data ({!rule}), interpreted by the {!Sem}
+    functor over an abstract bitvector domain: instantiated at
+    [Mir_util.Bits_sig.I64] they are the concrete semantics; at the
+    symbolic backend they become the transfer functions the
+    faithful-emulation prover ({!Mir_verif.Prove}) explores over the
+    whole state space. *)
 
 (** Which optional architectural features a hart implements. The VFM
     instantiates two of these: the host configuration and the virtual
@@ -29,15 +36,25 @@ type config = {
 val default_config : config
 (** A fully featured configuration (8 PMP entries, no Sstc, no H). *)
 
+(** A WARL legalization rule, as data. *)
+type rule =
+  | R_id  (** store the masked value as-is *)
+  | R_epc  (** clear bits 1:0 (IALIGN=32, no C extension) *)
+  | R_tvec  (** mode (1:0) WARL over {0,1}; bad mode keeps old mode *)
+  | R_satp  (** mode (63:60) WARL over {0,8}; bad mode keeps whole reg *)
+  | R_mstatus  (** reserved MPP encoding 2 keeps the old MPP *)
+  | R_pmpcfg of int  (** lock bit, reserved W&~R, bits 5:6; arg = entries *)
+  | R_force_or of int64  (** hardwire the given bits to 1 (mideleg) *)
+
 (** Behaviour of one CSR. Writing stores
-    [legalize ~old ~value:((old land lnot write_mask) lor (value land write_mask))];
+    [legalize rule ~old ~value:((old land lnot write_mask) lor (value land write_mask))];
     reading yields [(stored land read_mask) lor read_or]. *)
 type t = {
   name : string;
   read_mask : int64;
   read_or : int64;
   write_mask : int64;
-  legalize : old:int64 -> value:int64 -> int64;
+  rule : rule;
   reset : int64;
 }
 
@@ -46,14 +63,53 @@ val find : config -> int -> t option
     the configuration does not implement it. *)
 
 val exists : config -> int -> bool
+
 val all_addresses : config -> int list
 (** Every implemented CSR address, used for exhaustive enumeration. *)
 
-val apply_write : t -> old:int64 -> value:int64 -> int64
-(** The stored value after a write, per the rule above. *)
+(** The semantics of the rules over an abstract bitvector domain. *)
+module Sem (B : Mir_util.Bits_sig.S) : sig
+  val epc_legalize : value:B.t -> B.t
+  val tvec_legalize : old:B.t -> value:B.t -> B.t
+  val satp_legalize : old:B.t -> value:B.t -> B.t
+  val mstatus_legalize : old:B.t -> value:B.t -> B.t
+  val pmpcfg_legalize : entries_in_reg:int -> old:B.t -> value:B.t -> B.t
+  val legalize : rule -> old:B.t -> value:B.t -> B.t
 
+  val apply_write : t -> old:B.t -> value:B.t -> B.t
+  (** The stored value after a write, per the rule above. *)
+
+  val apply_read : t -> B.t -> B.t
+  (** The value observed by a read of the stored value. *)
+
+  val sstatus_read : mstatus:B.t -> B.t
+  val sstatus_write : mstatus:B.t -> value:B.t -> B.t
+  val sie_read : mie:B.t -> mideleg:B.t -> B.t
+  val sie_write : mie:B.t -> mideleg:B.t -> value:B.t -> B.t
+  val sip_read : mip:B.t -> mideleg:B.t -> B.t
+  val sip_write : mip:B.t -> mideleg:B.t -> value:B.t -> B.t
+end
+
+module C : sig
+  val epc_legalize : value:int64 -> int64
+  val tvec_legalize : old:int64 -> value:int64 -> int64
+  val satp_legalize : old:int64 -> value:int64 -> int64
+  val mstatus_legalize : old:int64 -> value:int64 -> int64
+  val pmpcfg_legalize : entries_in_reg:int -> old:int64 -> value:int64 -> int64
+  val legalize : rule -> old:int64 -> value:int64 -> int64
+  val apply_write : t -> old:int64 -> value:int64 -> int64
+  val apply_read : t -> int64 -> int64
+  val sstatus_read : mstatus:int64 -> int64
+  val sstatus_write : mstatus:int64 -> value:int64 -> int64
+  val sie_read : mie:int64 -> mideleg:int64 -> int64
+  val sie_write : mie:int64 -> mideleg:int64 -> value:int64 -> int64
+  val sip_read : mip:int64 -> mideleg:int64 -> int64
+  val sip_write : mip:int64 -> mideleg:int64 -> value:int64 -> int64
+end
+(** [Sem] at the concrete [int64] domain — today's semantics. *)
+
+val apply_write : t -> old:int64 -> value:int64 -> int64
 val apply_read : t -> int64 -> int64
-(** The value observed by a read of the stored value. *)
 
 (** [mstatus] bit positions, shared by machine and VFM. *)
 module Mstatus : sig
@@ -81,6 +137,9 @@ module Mstatus : sig
 
   val write_mask : int64
   (** All software-writable mstatus bits. *)
+
+  val read_or : int64
+  (** The hardwired UXL/SXL fields OR'd into every mstatus read. *)
 end
 
 (** Interrupt bit masks for mip/mie/mideleg. *)
@@ -91,6 +150,7 @@ module Irq : sig
   val mtip : int64
   val seip : int64
   val meip : int64
+
   val s_mask : int64
   (** SSIP | STIP | SEIP *)
 

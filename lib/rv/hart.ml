@@ -37,3 +37,99 @@ let reset t ~pc =
   t.priv <- Priv.M;
   t.wfi <- false;
   t.halted <- false
+
+(* ------------------------------------------------------------------ *)
+(* Privilege-transfer transforms over an abstract bitvector domain.    *)
+(* The machine interpreter runs [Xfer_c]; the faithful-emulation       *)
+(* prover runs [Xfer (Mir_sym.Backend)] — the same code, so anything   *)
+(* proved about the symbolic instantiation holds of the interpreter.   *)
+(* Transforms are written branch-free (ite/mask form) where possible;  *)
+(* [B.decide] marks the genuine control decisions (target privilege,   *)
+(* interrupt selection), which the symbolic backend path-splits on.    *)
+(* ------------------------------------------------------------------ *)
+
+module Xfer (B : Mir_util.Bits_sig.S) = struct
+  module Ms = Csr_spec.Mstatus
+
+  (* mstatus after entering a trap handled in M-mode:
+     MPIE <- MIE, MIE <- 0, MPP <- from_priv. *)
+  let trap_entry_m ~mstatus ~from_priv =
+    let m = B.write mstatus Ms.mpie (B.test mstatus Ms.mie) in
+    let m = B.clear m Ms.mie in
+    B.insert m ~lo:Ms.mpp_lo ~hi:Ms.mpp_hi
+      ~value:(B.const (Int64.of_int (Priv.to_int from_priv)))
+
+  (* mstatus after a delegated trap (handled in S-mode):
+     SPIE <- SIE, SIE <- 0, SPP <- from_priv. *)
+  let trap_entry_s ~mstatus ~from_priv =
+    let m = B.write mstatus Ms.spie (B.test mstatus Ms.sie) in
+    let m = B.clear m Ms.sie in
+    B.write m Ms.spp (B.bit_const (from_priv = Priv.S))
+
+  (* mstatus after mret: MIE <- MPIE, MPIE <- 1, MPP <- U, and MPRV is
+     kept only when returning to M (MPP was 3). [skip_mpie] reproduces
+     the Mret_skips_mpie injected bug: MIE keeps its old value. *)
+  let mret_mstatus ?(skip_mpie = false) m0 =
+    let mpp_is_m = B.bit_and (B.test m0 Ms.mpp_hi) (B.test m0 Ms.mpp_lo) in
+    let m = if skip_mpie then m0 else B.write m0 Ms.mie (B.test m0 Ms.mpie) in
+    let m = B.set m Ms.mpie in
+    let m = B.insert m ~lo:Ms.mpp_lo ~hi:Ms.mpp_hi ~value:(B.const 0L) in
+    B.write m Ms.mprv (B.bit_and (B.test m0 Ms.mprv) mpp_is_m)
+
+  (* The privilege mret returns to — MPP, with the reserved encoding 2
+     (never stored: legalized away) mapping to U like Mstatus.get_mpp. *)
+  let mret_target_priv m =
+    let hi = B.decide (B.test m Ms.mpp_hi) in
+    let lo = B.decide (B.test m Ms.mpp_lo) in
+    if hi && lo then Priv.M else if (not hi) && lo then Priv.S else Priv.U
+
+  (* mstatus after sret: SIE <- SPIE, SPIE <- 1, SPP <- U, MPRV <- 0. *)
+  let sret_mstatus m0 =
+    let m = B.write m0 Ms.sie (B.test m0 Ms.spie) in
+    let m = B.set m Ms.spie in
+    let m = B.write m Ms.spp (B.bit_const false) in
+    B.clear m Ms.mprv
+
+  let sret_target_priv m =
+    if B.decide (B.test m Ms.spp) then Priv.S else Priv.U
+
+  (* The new CSR value of a csrrw/csrrs/csrrc before WARL merging. *)
+  let csr_rmw (op : Instr.csr_op) ~old ~src =
+    match op with
+    | Instr.Csrrw -> src
+    | Instr.Csrrs -> B.logor old src
+    | Instr.Csrrc -> B.logand old (B.lognot src)
+
+  (* Highest-priority pending interrupt in [mask], per [order]. *)
+  let select_interrupt order mask =
+    match
+      List.find_opt (fun (_, code) -> B.decide (B.test mask code)) order
+    with
+    | Some (i, _) -> Some i
+    | None -> None
+
+  (* The architectural pending-interrupt decision (privilege enables,
+     mideleg routing, priority), shared verbatim with the machine. *)
+  let pending_interrupt ~order ~priv ~mstatus ~mip ~mie ~mideleg =
+    let pending = B.logand mip mie in
+    if B.decide (B.eq_const pending 0L) then None
+    else begin
+      let m_enabled = priv <> Priv.M || B.decide (B.test mstatus Ms.mie) in
+      let s_enabled =
+        priv = Priv.U || (priv = Priv.S && B.decide (B.test mstatus Ms.sie))
+      in
+      let m_pending = B.logand pending (B.lognot mideleg) in
+      let s_pending = B.logand pending mideleg in
+      if m_enabled && not (B.decide (B.eq_const m_pending 0L)) then
+        select_interrupt order m_pending
+      else if
+        s_enabled
+        && (not (B.decide (B.eq_const s_pending 0L)))
+        && priv <> Priv.M
+      then select_interrupt order s_pending
+      else None
+    end
+end
+
+(* The concrete instantiation the interpreter and the VFM run. *)
+module Xfer_c = Xfer (Mir_util.Bits_sig.I64)

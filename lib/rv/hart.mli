@@ -31,3 +31,63 @@ val set : t -> int -> int64 -> unit
 
 val reset : t -> pc:int64 -> unit
 (** Reset to M-mode at the given PC (registers cleared). *)
+
+(** Privilege-transfer transforms (trap entry, mret/sret, interrupt
+    selection) over an abstract bitvector domain. The interpreter runs
+    the concrete instantiation {!Xfer_c}; the faithful-emulation
+    prover runs the same functor at the symbolic backend. *)
+module Xfer (B : Mir_util.Bits_sig.S) : sig
+  val trap_entry_m : mstatus:B.t -> from_priv:Priv.t -> B.t
+  (** mstatus after trap entry to M: MPIE<-MIE, MIE<-0, MPP<-priv. *)
+
+  val trap_entry_s : mstatus:B.t -> from_priv:Priv.t -> B.t
+  (** mstatus after a delegated trap: SPIE<-SIE, SIE<-0, SPP<-priv. *)
+
+  val mret_mstatus : ?skip_mpie:bool -> B.t -> B.t
+  (** mstatus after mret; [skip_mpie] reproduces Mret_skips_mpie. *)
+
+  val mret_target_priv : B.t -> Priv.t
+  (** The MPP field as a privilege (decides the MPP bits). *)
+
+  val sret_mstatus : B.t -> B.t
+  (** mstatus after sret: SIE<-SPIE, SPIE<-1, SPP<-U, MPRV<-0. *)
+
+  val sret_target_priv : B.t -> Priv.t
+
+  val csr_rmw : Instr.csr_op -> old:B.t -> src:B.t -> B.t
+  (** The written value of csrrw/csrrs/csrrc before WARL merging. *)
+
+  val select_interrupt : (Cause.intr * int) list -> B.t -> Cause.intr option
+  (** Highest-priority pending interrupt in the mask, if any. *)
+
+  val pending_interrupt :
+    order:(Cause.intr * int) list ->
+    priv:Priv.t ->
+    mstatus:B.t ->
+    mip:B.t ->
+    mie:B.t ->
+    mideleg:B.t ->
+    Cause.intr option
+  (** The architectural take-an-interrupt decision. *)
+end
+
+module Xfer_c : sig
+  val trap_entry_m : mstatus:int64 -> from_priv:Priv.t -> int64
+  val trap_entry_s : mstatus:int64 -> from_priv:Priv.t -> int64
+  val mret_mstatus : ?skip_mpie:bool -> int64 -> int64
+  val mret_target_priv : int64 -> Priv.t
+  val sret_mstatus : int64 -> int64
+  val sret_target_priv : int64 -> Priv.t
+  val csr_rmw : Instr.csr_op -> old:int64 -> src:int64 -> int64
+  val select_interrupt : (Cause.intr * int) list -> int64 -> Cause.intr option
+
+  val pending_interrupt :
+    order:(Cause.intr * int) list ->
+    priv:Priv.t ->
+    mstatus:int64 ->
+    mip:int64 ->
+    mie:int64 ->
+    mideleg:int64 ->
+    Cause.intr option
+end
+(** {!Xfer} at the concrete [int64] domain. *)

@@ -196,27 +196,12 @@ let pending_interrupt t hart =
   let csr = hart.Hart.csr in
   let mip = Csr_file.read_raw csr Csr_addr.mip in
   let mie = Csr_file.read_raw csr Csr_addr.mie in
-  let pending = Int64.logand mip mie in
-  if pending = 0L then None
-  else begin
-    let mideleg = Csr_file.read_raw csr Csr_addr.mideleg in
-    let ms = mstatus hart in
-    let priv = hart.Hart.priv in
-    let m_enabled = priv <> Priv.M || Bits.test ms Ms.mie in
-    let s_enabled =
-      priv = Priv.U || (priv = Priv.S && Bits.test ms Ms.sie)
-    in
-    let m_pending = Int64.logand pending (Int64.lognot mideleg) in
-    let s_pending = Int64.logand pending mideleg in
-    let pick mask =
-      List.find_opt (fun (_, code) -> Bits.test mask code) intr_priority
-    in
-    if m_enabled && m_pending <> 0L then
-      match pick m_pending with Some (i, _) -> Some i | None -> None
-    else if s_enabled && s_pending <> 0L && priv <> Priv.M then
-      match pick s_pending with Some (i, _) -> Some i | None -> None
-    else None
-  end
+  (* fast path: the common every-step case allocates nothing *)
+  if Int64.logand mip mie = 0L then None
+  else
+    Hart.Xfer_c.pending_interrupt ~order:intr_priority ~priv:hart.Hart.priv
+      ~mstatus:(mstatus hart) ~mip ~mie
+      ~mideleg:(Csr_file.read_raw csr Csr_addr.mideleg)
 
 (* ------------------------------------------------------------------ *)
 (* Trap entry                                                          *)
@@ -250,11 +235,8 @@ let take_trap t hart cause ~tval =
     (match t.on_trap with
     | Some f -> f t hart cause ~from_priv ~to_m
     | None -> ());
-    let ms = mstatus hart in
-    let ms = Bits.write ms Ms.mpie (Bits.test ms Ms.mie) in
-    let ms = Bits.clear ms Ms.mie in
-    let ms = Ms.set_mpp ms from_priv in
-    Csr_file.write_raw csr Csr_addr.mstatus ms;
+    Csr_file.write_raw csr Csr_addr.mstatus
+      (Hart.Xfer_c.trap_entry_m ~mstatus:(mstatus hart) ~from_priv);
     hart.Hart.priv <- Priv.M;
     (match t.mmode_hook with
     | Some hook -> hook t hart cause
@@ -272,11 +254,8 @@ let take_trap t hart cause ~tval =
     (match t.on_trap with
     | Some f -> f t hart cause ~from_priv ~to_m
     | None -> ());
-    let ms = mstatus hart in
-    let ms = Bits.write ms Ms.spie (Bits.test ms Ms.sie) in
-    let ms = Bits.clear ms Ms.sie in
-    let ms = Ms.set_spp ms from_priv in
-    Csr_file.write_raw csr Csr_addr.mstatus ms;
+    Csr_file.write_raw csr Csr_addr.mstatus
+      (Hart.Xfer_c.trap_entry_s ~mstatus:(mstatus hart) ~from_priv);
     hart.Hart.priv <- Priv.S;
     hart.Hart.pc <- tvec_target (Csr_file.read_raw csr Csr_addr.stvec) cause
   end
@@ -464,12 +443,7 @@ let exec_csr t hart bits op rd src csr_addr =
   in
   let finish ?(storage = true) old =
     (if write_needed && storage then begin
-       let value =
-         match op with
-         | Instr.Csrrw -> src_val
-         | Instr.Csrrs -> Int64.logor old src_val
-         | Instr.Csrrc -> Int64.logand old (Int64.lognot src_val)
-       in
+       let value = Hart.Xfer_c.csr_rmw op ~old ~src:src_val in
        Csr_file.write csr csr_addr value;
        match t.on_csr_write with
        | Some f -> f t hart csr_addr (Csr_file.read_raw csr csr_addr)
@@ -576,12 +550,8 @@ let exec t hart instr bits =
       charge hart t.config.xret_penalty;
       let csr = hart.Hart.csr in
       let m = ms () in
-      let new_priv = Ms.get_mpp m in
-      let m = Bits.write m Ms.mie (Bits.test m Ms.mpie) in
-      let m = Bits.set m Ms.mpie in
-      let m = Ms.set_mpp m Priv.U in
-      let m = if new_priv <> Priv.M then Bits.clear m Ms.mprv else m in
-      Csr_file.write_raw csr Csr_addr.mstatus m;
+      let new_priv = Hart.Xfer_c.mret_target_priv m in
+      Csr_file.write_raw csr Csr_addr.mstatus (Hart.Xfer_c.mret_mstatus m);
       hart.Hart.priv <- new_priv;
       hart.Hart.pc <- Csr_file.read_raw csr Csr_addr.mepc
   | Instr.Sret ->
@@ -590,12 +560,8 @@ let exec t hart instr bits =
       charge hart t.config.xret_penalty;
       let csr = hart.Hart.csr in
       let m = ms () in
-      let new_priv = Ms.get_spp m in
-      let m = Bits.write m Ms.sie (Bits.test m Ms.spie) in
-      let m = Bits.set m Ms.spie in
-      let m = Ms.set_spp m Priv.U in
-      let m = Bits.clear m Ms.mprv in
-      Csr_file.write_raw csr Csr_addr.mstatus m;
+      let new_priv = Hart.Xfer_c.sret_target_priv m in
+      Csr_file.write_raw csr Csr_addr.mstatus (Hart.Xfer_c.sret_mstatus m);
       hart.Hart.priv <- new_priv;
       hart.Hart.pc <- Csr_file.read_raw csr Csr_addr.sepc
   | Instr.Wfi ->

@@ -1,0 +1,30 @@
+(* The symbolic instantiation of the abstract bitvector signature.
+
+   Words are 64 bit-terms ({!Word}), bits are terms ({!Expr}), and
+   [decide] consults the engine's current path assignment — splitting
+   the path when the bit is genuinely unknown. Functorized semantics
+   applied to this module become symbolic transfer functions. *)
+
+type t = Word.t
+type bit = Expr.t
+
+let const = Word.const
+let logand = Word.logand
+let logor = Word.logor
+let logxor = Word.logxor
+let lognot = Word.lognot
+let shift_left = Word.shift_left
+let shift_right_logical = Word.shift_right_logical
+let extract = Word.extract
+let insert = Word.insert
+let test = Word.test
+let set = Word.set
+let clear = Word.clear
+let write = Word.write
+let eq_const = Word.eq_const
+let bit_const = Expr.b_const
+let bit_not = Expr.not_
+let bit_and = Expr.and_
+let bit_or = Expr.or_
+let ite = Word.ite
+let decide = Engine.decide_bit

@@ -1,0 +1,4 @@
+(** The symbolic backend, conforming to the shared bitvector signature
+    so that any functor over [Mir_util.Bits_sig.S] accepts it. *)
+
+include Mir_util.Bits_sig.S with type t = Word.t and type bit = Expr.t

@@ -1,0 +1,156 @@
+(* The path explorer.
+
+   Symbolic execution here is re-execution based: the transform under
+   analysis is a pure OCaml function written against the abstract
+   bitvector signature. We run it under a partial assignment of the
+   input variables; whenever the code asks to [decide] a bit whose
+   value the assignment does not force, we abort with {!Split} and
+   re-run twice, once with the pivot variable bound each way. Because
+   transforms are tiny (no loops over symbolic data), re-execution is
+   cheaper than checkpointing, and the set of leaves is exactly the
+   reachable path space.
+
+   The engine context is global and single-threaded, matching how the
+   concrete semantics run. Call {!reset} before each proof instance. *)
+
+exception Split of int
+(** raised by {!decide_bit} when the bit depends on the variable *)
+
+type ctx = {
+  mutable next_var : int;
+  inputs : (string, int) Hashtbl.t; (* input name -> base variable id *)
+  mutable input_order : string list; (* reverse creation order *)
+  assign : (int, bool) Hashtbl.t; (* current path assignment *)
+  mutable concolic : (int -> bool) option; (* full-assignment mode *)
+}
+
+let ctx =
+  {
+    next_var = 0;
+    inputs = Hashtbl.create 64;
+    input_order = [];
+    assign = Hashtbl.create 64;
+    concolic = None;
+  }
+
+let reset () =
+  ctx.next_var <- 0;
+  Hashtbl.reset ctx.inputs;
+  ctx.input_order <- [];
+  Hashtbl.reset ctx.assign;
+  ctx.concolic <- None
+
+(* A fresh unconstrained 64-bit input named [name]. The name keys the
+   counterexample rendering. *)
+let fresh_word name =
+  let base = ctx.next_var in
+  ctx.next_var <- base + 64;
+  Hashtbl.replace ctx.inputs name base;
+  ctx.input_order <- name :: ctx.input_order;
+  Array.init Word.width (fun i -> Expr.Var (base + i))
+
+(* The current partial assignment, as the environment shape the term
+   layer wants. *)
+let lookup v = Hashtbl.find_opt ctx.assign v
+
+(* A lookup over an explicit path assignment, independent of the
+   engine's current state — used when judging leaves after the
+   exploration has finished. *)
+let lookup_in path v = List.assoc_opt v path
+
+let decide_bit b =
+  match ctx.concolic with
+  | Some env -> Expr.eval env b
+  | None -> (
+      match Expr.reduce lookup b with
+      | Expr.B1 -> true
+      | Expr.B0 -> false
+      | e -> (
+          match Expr.some_var e with
+          | Some v -> raise (Split v)
+          | None -> assert false))
+
+type 'a leaf = { path : (int * bool) list; value : 'a }
+
+type 'a exploration = {
+  leaves : 'a leaf list;
+  paths : int;  (** completed paths *)
+  unexplored : int;  (** paths cut off by the split-depth bound *)
+  depth_hist : int array;  (** [depth_hist.(d)] = leaves at split depth d *)
+}
+
+(* Depth-first exploration of [f]'s path space. [max_depth] bounds the
+   number of splits along one path; transforms written in ite form stay
+   far below it, so hitting the bound (counted in [unexplored]) is a
+   soundness red flag the prover reports. *)
+let explore ?(max_depth = 32) f =
+  let leaves = ref [] and paths = ref 0 and unexplored = ref 0 in
+  let hist = Array.make (max_depth + 1) 0 in
+  let rec go depth path =
+    Hashtbl.reset ctx.assign;
+    List.iter (fun (v, b) -> Hashtbl.replace ctx.assign v b) path;
+    match f () with
+    | value ->
+        incr paths;
+        hist.(depth) <- hist.(depth) + 1;
+        leaves := { path; value } :: !leaves
+    | exception Split v ->
+        if depth >= max_depth then incr unexplored
+        else begin
+          go (depth + 1) ((v, true) :: path);
+          go (depth + 1) ((v, false) :: path)
+        end
+  in
+  go 0 [];
+  {
+    leaves = List.rev !leaves;
+    paths = !paths;
+    unexplored = !unexplored;
+    depth_hist = hist;
+  }
+
+(* Run [f] with every variable decided by [env]: no splits, a single
+   concrete execution through the symbolic code. Used by the domain
+   soundness tests to check concrete containment. *)
+let concolic env f =
+  ctx.concolic <- Some env;
+  Fun.protect ~finally:(fun () -> ctx.concolic <- None) f
+
+(* Build a total environment from concrete values for (a subset of) the
+   declared inputs; unmentioned variables read as 0. *)
+let env_of_inputs values =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (name, v64) ->
+      match Hashtbl.find_opt ctx.inputs name with
+      | None -> invalid_arg ("Engine.env_of_inputs: unknown input " ^ name)
+      | Some base ->
+          for i = 0 to Word.width - 1 do
+            Hashtbl.replace tbl (base + i)
+              (Int64.logand (Int64.shift_right_logical v64 i) 1L = 1L)
+          done)
+    values;
+  fun v -> match Hashtbl.find_opt tbl v with Some b -> b | None -> false
+
+(* Total environment extending a path assignment with a refuting
+   assignment from the equivalence checker; everything else is 0. *)
+let env_of_path ~path ~refutation =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (v, b) -> Hashtbl.replace tbl v b) path;
+  List.iter (fun (v, b) -> Hashtbl.replace tbl v b) refutation;
+  fun v -> match Hashtbl.find_opt tbl v with Some b -> b | None -> false
+
+(* Concrete values of all declared inputs under [env] — the
+   counterexample state handed back to the user. *)
+let concretize_inputs env =
+  List.rev_map
+    (fun name ->
+      let base = Hashtbl.find ctx.inputs name in
+      let v = ref 0L in
+      for i = Word.width - 1 downto 0 do
+        v :=
+          Int64.logor (Int64.shift_left !v 1)
+            (if env (base + i) then 1L else 0L)
+      done;
+      (name, !v))
+    ctx.input_order

@@ -1,0 +1,144 @@
+(* Single-bit symbolic expressions.
+
+   This is the term layer of the symbolic bitvector engine: a bit is
+   either a constant, a free variable, or a boolean combination. The
+   smart constructors below constant-fold aggressively — they are the
+   "known bits" domain: any bit whose value is forced by the inputs
+   already seen collapses to [B0]/[B1], so fully concrete executions
+   never allocate a composite node. What survives is a term over the
+   free input variables, compared structurally first and by bounded
+   bit-blasting ({!equiv}) as a fallback. *)
+
+type t =
+  | B0
+  | B1
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let b_const b = if b then B1 else B0
+
+let not_ = function
+  | B0 -> B1
+  | B1 -> B0
+  | Not e -> e
+  | e -> Not e
+
+(* Syntactic complement check — catches [x & ~x] without search. *)
+let complementary a b =
+  match (a, b) with Not x, y | y, Not x -> x = y | _ -> false
+
+let and_ a b =
+  match (a, b) with
+  | B0, _ | _, B0 -> B0
+  | B1, x | x, B1 -> x
+  | a, b when a = b -> a
+  | a, b when complementary a b -> B0
+  | a, b -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | B1, _ | _, B1 -> B1
+  | B0, x | x, B0 -> x
+  | a, b when a = b -> a
+  | a, b when complementary a b -> B1
+  | a, b -> Or (a, b)
+
+let xor_ a b =
+  match (a, b) with
+  | B0, x | x, B0 -> x
+  | B1, x | x, B1 -> not_ x
+  | a, b when a = b -> B0
+  | a, b when complementary a b -> B1
+  | a, b -> Xor (a, b)
+
+(* [c ? a : b] as a bit-level mux. *)
+let mux c a b = or_ (and_ c a) (and_ (not_ c) b)
+
+let rec eval env = function
+  | B0 -> false
+  | B1 -> true
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+(* Partial evaluation: substitute the variables [env] knows about and
+   re-simplify. The result is [B0]/[B1] exactly when the assignment
+   forces the bit. *)
+let rec reduce env = function
+  | B0 -> B0
+  | B1 -> B1
+  | Var v -> ( match env v with Some b -> b_const b | None -> Var v)
+  | Not e -> not_ (reduce env e)
+  | And (a, b) -> and_ (reduce env a) (reduce env b)
+  | Or (a, b) -> or_ (reduce env a) (reduce env b)
+  | Xor (a, b) -> xor_ (reduce env a) (reduce env b)
+
+module Iset = Set.Make (Int)
+
+let rec vars_acc acc = function
+  | B0 | B1 -> acc
+  | Var v -> Iset.add v acc
+  | Not e -> vars_acc acc e
+  | And (a, b) | Or (a, b) | Xor (a, b) -> vars_acc (vars_acc acc a) b
+
+let free_vars e = Iset.elements (vars_acc Iset.empty e)
+
+(* First free variable of [e], used to pick the next path split. *)
+let rec some_var = function
+  | B0 | B1 -> None
+  | Var v -> Some v
+  | Not e -> some_var e
+  | And (a, b) | Or (a, b) | Xor (a, b) -> (
+      match some_var a with Some _ as r -> r | None -> some_var b)
+
+type verdict =
+  | Proved
+  | Refuted of (int * bool) list  (** a falsifying partial assignment *)
+  | Abandoned of int  (** too many free variables to blast *)
+
+(* Equivalence of two bits under a partial assignment: structural
+   equality after reduction is the fast path; otherwise bit-blast the
+   difference by enumerating the (few) residual free variables. *)
+let equiv ?(max_blast_vars = 16) env a b =
+  let a = reduce env a and b = reduce env b in
+  if a = b then Proved
+  else
+    let diff = xor_ a b in
+    match diff with
+    | B0 -> Proved
+    | B1 -> Refuted []
+    | diff ->
+        let vars = Array.of_list (free_vars diff) in
+        let n = Array.length vars in
+        if n > max_blast_vars then Abandoned n
+        else begin
+          let index = Hashtbl.create (2 * n) in
+          Array.iteri (fun i v -> Hashtbl.replace index v i) vars;
+          let refutation = ref None in
+          let m = ref 0 in
+          while !refutation = None && !m < 1 lsl n do
+            let bits = !m in
+            let env v = bits land (1 lsl Hashtbl.find index v) <> 0 in
+            if eval env diff then
+              refutation :=
+                Some
+                  (Array.to_list
+                     (Array.mapi (fun i v -> (v, bits land (1 lsl i) <> 0)) vars));
+            incr m
+          done;
+          match !refutation with Some asg -> Refuted asg | None -> Proved
+        end
+
+let rec pp ppf = function
+  | B0 -> Format.pp_print_string ppf "0"
+  | B1 -> Format.pp_print_string ppf "1"
+  | Var v -> Format.fprintf ppf "v%d" v
+  | Not e -> Format.fprintf ppf "!%a" pp e
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | Xor (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp a pp b

@@ -1,0 +1,85 @@
+(* Symbolic 64-bit words: one {!Expr.t} per bit position.
+
+   All operations the privileged semantics need (see
+   [Mir_util.Bits_sig.S]) are bit-parallel, so a word is just an array
+   of 64 independent bit terms — no carry chains, which is why the
+   WARL/trap/interrupt transforms stay small when run symbolically. *)
+
+type t = Expr.t array (* length 64; index i = bit i *)
+
+let width = 64
+
+let const v =
+  Array.init width (fun i ->
+      if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then Expr.B1
+      else Expr.B0)
+
+let map2 f a b = Array.init width (fun i -> f a.(i) b.(i))
+let logand = map2 Expr.and_
+let logor = map2 Expr.or_
+let logxor = map2 Expr.xor_
+let lognot a = Array.map Expr.not_ a
+
+let shift_left a n =
+  if n < 0 || n > 63 then invalid_arg "Word.shift_left";
+  Array.init width (fun i -> if i < n then Expr.B0 else a.(i - n))
+
+let shift_right_logical a n =
+  if n < 0 || n > 63 then invalid_arg "Word.shift_right_logical";
+  Array.init width (fun i -> if i + n > 63 then Expr.B0 else a.(i + n))
+
+let extract a ~lo ~hi =
+  if lo < 0 || lo > hi || hi > 63 then invalid_arg "Word.extract";
+  Array.init width (fun i -> if i <= hi - lo then a.(lo + i) else Expr.B0)
+
+let insert a ~lo ~hi ~value =
+  if lo < 0 || lo > hi || hi > 63 then invalid_arg "Word.insert";
+  Array.init width (fun i ->
+      if i >= lo && i <= hi then value.(i - lo) else a.(i))
+
+let test a i = a.(i)
+
+let write a i b =
+  let r = Array.copy a in
+  r.(i) <- b;
+  r
+
+let set a i = write a i Expr.B1
+let clear a i = write a i Expr.B0
+
+let eq_const a c =
+  let acc = ref Expr.B1 in
+  for i = 0 to width - 1 do
+    let want = Int64.logand (Int64.shift_right_logical c i) 1L = 1L in
+    let bit = if want then a.(i) else Expr.not_ a.(i) in
+    acc := Expr.and_ !acc bit
+  done;
+  !acc
+
+let ite c a b = Array.init width (fun i -> Expr.mux c a.(i) b.(i))
+
+let eval env a =
+  let r = ref 0L in
+  for i = width - 1 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 1) (if Expr.eval env a.(i) then 1L else 0L)
+  done;
+  !r
+
+let reduce env a = Array.map (Expr.reduce env) a
+
+(* Equivalence of two words under a partial assignment: every bit must
+   be equivalent. Returns the first refuted bit's assignment, or the
+   worst abandonment. *)
+let equiv ?max_blast_vars env a b =
+  let verdict = ref Expr.Proved in
+  (try
+     for i = 0 to width - 1 do
+       match Expr.equiv ?max_blast_vars env a.(i) b.(i) with
+       | Expr.Proved -> ()
+       | Expr.Refuted _ as r ->
+           verdict := r;
+           raise Exit
+       | Expr.Abandoned _ as r -> verdict := r
+     done
+   with Exit -> ());
+  !verdict

@@ -1,0 +1,89 @@
+(* The abstract bitvector interface the privileged semantics are
+   functorized over.
+
+   The same transform code — WARL legalization, trap entry, mret/sret,
+   virtual-interrupt selection — runs twice: instantiated with {!I64}
+   it is the concrete semantics executed by the reference machine and
+   the VFM emulator; instantiated with the symbolic backend
+   (Mir_sym.Backend) it becomes a symbolic transfer function the
+   prover explores over *all* 2^64 states at once.
+
+   Design rules for code written against [S]:
+
+   - Data flow stays inside [t]/[bit]; a [bit] only becomes an OCaml
+     [bool] through {!S.decide}, which the symbolic backend implements
+     by path-splitting. Transforms should prefer {!S.ite} (a 64-bit
+     mux) over [decide] so that WARL rules stay split-free; [decide]
+     is for genuine control decisions (trap or not, interrupt
+     priority, mret target world).
+   - Shift amounts and bit indices are concrete OCaml ints: the
+     privileged semantics never shift by a data-dependent amount. *)
+
+module type S = sig
+  type t
+  (** a 64-bit word *)
+
+  type bit
+  (** a boolean; concretely [bool], symbolically a bit expression *)
+
+  val const : int64 -> t
+  val logand : t -> t -> t
+  val logor : t -> t -> t
+  val logxor : t -> t -> t
+  val lognot : t -> t
+  val shift_left : t -> int -> t
+  val shift_right_logical : t -> int -> t
+
+  val extract : t -> lo:int -> hi:int -> t
+  (** bits [hi:lo], right-aligned (like {!Bits.extract}) *)
+
+  val insert : t -> lo:int -> hi:int -> value:t -> t
+  val test : t -> int -> bit
+  val set : t -> int -> t
+  val clear : t -> int -> t
+  val write : t -> int -> bit -> t
+
+  val eq_const : t -> int64 -> bit
+  val bit_const : bool -> bit
+  val bit_not : bit -> bit
+  val bit_and : bit -> bit -> bit
+  val bit_or : bit -> bit -> bit
+
+  val ite : bit -> t -> t -> t
+  (** word-level mux: [ite c a b] is [a] where [c], else [b] *)
+
+  val decide : bit -> bool
+  (** Concretize a control decision. The concrete instance is the
+      identity; the symbolic backend evaluates the bit under the
+      current path assignment and forks the path when it is still
+      unknown. *)
+end
+
+(** The concrete instantiation: plain [int64], the exact operations of
+    {!Bits}. Code functorized over {!S} and applied to [I64] compiles
+    to the same computations the pre-functorization modules ran. *)
+module I64 : S with type t = int64 and type bit = bool = struct
+  type t = int64
+  type bit = bool
+
+  let const v = v
+  let logand = Int64.logand
+  let logor = Int64.logor
+  let logxor = Int64.logxor
+  let lognot = Int64.lognot
+  let shift_left = Int64.shift_left
+  let shift_right_logical = Int64.shift_right_logical
+  let extract = Bits.extract
+  let insert = Bits.insert
+  let test = Bits.test
+  let set = Bits.set
+  let clear = Bits.clear
+  let write = Bits.write
+  let eq_const v c = v = c
+  let bit_const b = b
+  let bit_not = not
+  let bit_and = ( && )
+  let bit_or = ( || )
+  let ite c a b = if c then a else b
+  let decide b = b
+end

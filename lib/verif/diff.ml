@@ -148,11 +148,10 @@ let apply_vtrap t cause ~tval =
   Csr_file.write_raw vcsr Csr_addr.mepc t.pc0;
   Csr_file.write_raw vcsr Csr_addr.mcause (Cause.to_xcause cause);
   Csr_file.write_raw vcsr Csr_addr.mtval tval;
-  let m = Csr_file.read_raw vcsr Csr_addr.mstatus in
-  let m = Bits.write m Ms.mpie (Bits.test m Ms.mie) in
-  let m = Bits.clear m Ms.mie in
-  let m = Ms.set_mpp m Priv.M in
-  Csr_file.write_raw vcsr Csr_addr.mstatus m;
+  Csr_file.write_raw vcsr Csr_addr.mstatus
+    (Hart.Xfer_c.trap_entry_m
+       ~mstatus:(Csr_file.read_raw vcsr Csr_addr.mstatus)
+       ~from_priv:Priv.M);
   tvec_target (Csr_file.read_raw vcsr Csr_addr.mtvec) cause
 
 let compare_states t ~vpc ~vpriv ~vwfi instr =

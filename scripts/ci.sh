@@ -7,8 +7,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+scripts/lint.sh
+
 dune build
 dune runtest
+
+# Symbolic faithful-emulation proof, quick corner sweep: every path of
+# every checked subsystem must be proved equivalent (exit 1 otherwise).
+dune exec bin/miralis_sim.exe -- verify --symbolic --quick
 
 trace=$(mktemp /tmp/miralis_smoke.XXXXXX.jsonl)
 trap 'rm -f "$trace"' EXIT

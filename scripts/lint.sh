@@ -1,0 +1,46 @@
+#!/bin/sh
+# Forbidden-pattern lint. Fails (exit 1) when source violates one of
+# the repository invariants that the type system cannot enforce:
+#
+#   1. Obj.magic is banned outright.
+#   2. The stdlib Random module is banned outside Mir_util.Prng: all
+#      randomness must flow from the config-rooted seeded PRNG, or
+#      record/replay and the verification seeds lose determinism.
+#   3. CSR stores may be mutated (Csr_file.write/write_raw/
+#      set_mip_bits) only by the architecture itself (lib/rv), the
+#      monitor's sanctioned install paths (emulator, monitor, world
+#      switch, offload, vPMP install), the policies, and the
+#      verification/test harnesses that construct states. Everything
+#      else must go through those layers.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+  echo "lint: $1" >&2
+  fail=1
+}
+
+src_dirs="lib bin bench examples test"
+
+if grep -rn "Obj\.magic" --include='*.ml' --include='*.mli' $src_dirs; then
+  complain "Obj.magic is forbidden"
+fi
+
+if grep -rn "Random\." --include='*.ml' --include='*.mli' $src_dirs |
+  grep -v "^lib/util/prng\.ml:" | grep -v "Prng\." | grep .; then
+  complain "use the seeded Mir_util.Prng, never stdlib Random"
+fi
+
+csr_write_allow='^(lib/rv/|lib/core/(emulator|monitor|world|offload|vpmp)\.ml|lib/policies/|lib/verif/|test/)'
+if grep -rnE "Csr_file\.(write|write_raw|set_mip_bits)" --include='*.ml' \
+  $src_dirs | grep -vE "$csr_write_allow" | grep .; then
+  complain "direct Csr_file writes outside the sanctioned paths"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: ok"

@@ -3,7 +3,6 @@
 
 module Alu = Mir_rv.Alu
 module Instr = Mir_rv.Instr
-module Bits = Mir_util.Bits
 
 let test_div_corner_cases () =
   Helpers.check_i64 "div by zero" (-1L) (Alu.op Instr.Div 42L 0L);

@@ -3,7 +3,6 @@
 
 module Asm = Mir_asm.Asm
 module Machine = Mir_rv.Machine
-module Hart = Mir_rv.Hart
 open Asm.I
 open Asm.Reg
 

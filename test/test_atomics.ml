@@ -3,7 +3,6 @@
    encoder round-trip for the AMO space. *)
 
 module Machine = Mir_rv.Machine
-module Hart = Mir_rv.Hart
 module Instr = Mir_rv.Instr
 module Asm = Mir_asm.Asm
 open Asm.I

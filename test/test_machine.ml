@@ -6,7 +6,6 @@ module Machine = Mir_rv.Machine
 module Hart = Mir_rv.Hart
 module Csr_file = Mir_rv.Csr_file
 module C = Mir_rv.Csr_addr
-module Priv = Mir_rv.Priv
 module Pmp = Mir_rv.Pmp
 module Clint = Mir_rv.Clint
 module Asm = Mir_asm.Asm

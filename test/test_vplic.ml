@@ -6,10 +6,8 @@ module Plic = Mir_rv.Plic
 module Machine = Mir_rv.Machine
 module Vplic = Miralis.Vplic
 module Monitor = Miralis.Monitor
-module Setup = Mir_harness.Setup
 module Platform = Mir_platform.Platform
 module Asm = Mir_asm.Asm
-module C = Mir_rv.Csr_addr
 open Asm.I
 open Asm.Reg
 
