@@ -7,7 +7,7 @@
      bench/main.exe               run everything
      bench/main.exe <name>...     run selected experiments
    Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
-          fig13 fig14 boottime q1 q4 trace fuzz micro *)
+          fig13 fig14 boottime sstc q1 q4 trace fuzz sym ips micro *)
 
 module T = Mir_experiments.Exp_tables
 module F = Mir_experiments.Exp_figs
@@ -93,6 +93,86 @@ let trace_bench () =
     ips_off ips_on ips_replay overhead nevents ncheckpoints diverged;
   close_out oc;
   print_endline "  wrote BENCH_trace.json"
+
+(* ------------------------------------------------------------------ *)
+(* Memory-system fast path: instrs/sec with paging on (BENCH_ips.json) *)
+(* ------------------------------------------------------------------ *)
+
+(* A Linux-boot-shaped virtualized workload: Sv39 on, then a loop of
+   native compute, timer programming, misaligned accesses (firmware
+   MPRV emulation through the page tables), wfi ticks and console
+   MMIO.  The Loop opcode re-enters the script from the top, so satp
+   is rewritten once per iteration — a context-switch-shaped TLB flush
+   rate rather than an unrealistically static address space.  Run once
+   with the TLB disabled (every access takes the full Sv39 walk) and
+   once with the default TLB; the ratio is the fast-path speedup. *)
+let ips_bench () =
+  print_endline "\nMemory-system fast path (S-mode paging on)";
+  print_endline "==========================================";
+  let module Setup = Mir_harness.Setup in
+  let module Script = Mir_kernel.Script in
+  let budget =
+    match Sys.getenv_opt "MIRALIS_IPS_BUDGET" with
+    | Some s -> Int64.of_string s
+    | None -> 4_000_000L
+  in
+  let platform tlb_entries =
+    let p = Mir_platform.Platform.visionfive2 in
+    {
+      p with
+      Mir_platform.Platform.machine =
+        { p.Mir_platform.Platform.machine with
+          Mir_rv.Machine.tlb_entries; nharts = 1 };
+    }
+  in
+  let script sys =
+    Script.
+      [
+        Enable_paging (Mir_kernel.Paging.identity_satp sys.Setup.machine);
+        Compute 3000L;
+        Rdtime;
+        Set_timer 400L;
+        Misaligned_load;
+        Compute 3000L;
+        Misaligned_store;
+        Tick_wfi 150L;
+        Putchar '.';
+        Loop 1_000_000_000L;
+        End;
+      ]
+  in
+  let measure tlb_entries =
+    let sys = Setup.create (platform tlb_entries) Setup.Virtualized in
+    let t0 = Unix.gettimeofday () in
+    Setup.run_scripts ~max_instrs:budget sys [ script sys ];
+    let dt = Unix.gettimeofday () -. t0 in
+    let instrs = sys.Setup.machine.Mir_rv.Machine.instr_count in
+    (Int64.to_float instrs /. dt, sys)
+  in
+  let ips_walker, _ = measure 0 in
+  let ips_tlb, sys =
+    measure Mir_rv.Machine.default_config.Mir_rv.Machine.tlb_entries
+  in
+  let hits, misses, flushes = Mir_rv.Machine.tlb_totals sys.Setup.machine in
+  let speedup = ips_tlb /. ips_walker in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf "  walker only (tlb=0) %10.0f instrs/sec\n" ips_walker;
+  Printf.printf "  software TLB        %10.0f instrs/sec  (%.2fx)\n" ips_tlb
+    speedup;
+  Printf.printf "  tlb: %d hits / %d misses (%.1f%% hit rate), %d flushes\n"
+    hits misses (100. *. hit_rate) flushes;
+  let oc = open_out "BENCH_ips.json" in
+  Printf.fprintf oc
+    "{\n  \"budget_instrs\": %Ld,\n  \"ips_walker\": %.0f,\n  \
+     \"ips_tlb\": %.0f,\n  \"speedup\": %.3f,\n  \"tlb_hits\": %d,\n  \
+     \"tlb_misses\": %d,\n  \"tlb_hit_rate\": %.4f,\n  \
+     \"tlb_flushes\": %d\n}\n"
+    budget ips_walker ips_tlb speedup hits misses hit_rate flushes;
+  close_out oc;
+  print_endline "  wrote BENCH_ips.json"
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput and coverage (BENCH_fuzz.json)      *)
@@ -214,8 +294,18 @@ let micro () =
   Mir_rv.Machine.load_program machine 0x80000000L image;
   Mir_rv.Hart.reset hart ~pc:0x80000000L;
   let ranges = Mir_rv.Csr_file.pmp_ranges hart.Mir_rv.Hart.csr in
+  (* a TLB with one hot entry: the hit path must stay allocation-free,
+     which the minor-words column below verifies *)
+  let tlb = Mir_rv.Tlb.create ~entries:256 in
+  Mir_rv.Tlb.install tlb ~priv:Mir_rv.Priv.S ~vaddr:0x4000L
+    ~phys:0x80004000L ~pte:0xCFL ~sum:false ~mxr:false ~pmp_r:true
+    ~pmp_w:true ~pmp_x:true;
   let tests =
     [
+      Test.make ~name:"tlb-hit-load" (Staged.stage (fun () ->
+          ignore
+            (Mir_rv.Tlb.lookup tlb ~priv:Mir_rv.Priv.S Mir_rv.Vmem.Load
+               0x4123L)));
       Test.make ~name:"decode" (Staged.stage (fun () ->
           ignore (Mir_rv.Decode.decode decode_word)));
       Test.make ~name:"hart-step" (Staged.stage (fun () ->
@@ -231,22 +321,34 @@ let micro () =
     ]
   in
   let benchmark test =
-    let instances = Instance.[ monotonic_clock ] in
+    let instances = Instance.[ monotonic_clock; minor_allocated ] in
     let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
     Benchmark.all cfg instances test
   in
-  let results =
-    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
-                   ~predictors:[| Measure.run |])
-      Instance.monotonic_clock
-      (benchmark (Test.make_grouped ~name:"sim" tests))
+  let raw = benchmark (Test.make_grouped ~name:"sim" tests) in
+  let analyze instance =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let times = analyze Instance.monotonic_clock in
+  let words = analyze Instance.minor_allocated in
+  let estimate tbl name =
+    match Analyze.OLS.estimates (Hashtbl.find tbl name) with
+    | Some [ est ] -> est
+    | _ | (exception Not_found) -> nan
   in
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-24s %8.1f ns/op\n" name est
+      | Some [ est ] ->
+          let w = estimate words name in
+          Printf.printf "  %-24s %8.1f ns/op  %8.2f minor words/op%s\n" name
+            est w
+            (if w < 1.0 then "  [alloc-free]" else "")
       | _ -> ())
-    results
+    times
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -257,6 +359,7 @@ let () =
       trace_bench ();
       fuzz_bench ();
       sym_bench ();
+      ips_bench ();
       micro ()
   | names ->
       List.iter
@@ -265,12 +368,14 @@ let () =
           else if name = "trace" then trace_bench ()
           else if name = "fuzz" then fuzz_bench ()
           else if name = "sym" then sym_bench ()
+          else if name = "ips" then ips_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
                 Printf.eprintf
-                  "unknown experiment %S; known: %s trace fuzz sym micro\n"
+                  "unknown experiment %S; known: %s trace fuzz sym ips \
+                   micro\n"
                   name
                   (String.concat " " (List.map fst experiments)))
         names);

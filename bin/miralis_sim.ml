@@ -382,8 +382,28 @@ let fuzz_replay ~inject_bug ~seed path =
         Printf.printf "bug injection DETECTED (as expected)\n"
       else exit 1
 
-let fuzz_cmd seed max_execs corpus_dir bug replay_path emit_dir =
+let pgfuzz_cmd ~seed ~max_execs =
+  Printf.printf "fuzz --paging: seed=0x%Lx max-execs=%d\n" seed max_execs;
+  let r = Mir_fuzz.Pgfuzz.run ~seed ~max_execs () in
+  Printf.printf "%d execs in %.2fs (%.0f/s), %d (op,outcome) edges\n"
+    r.Mir_fuzz.Pgfuzz.execs r.Mir_fuzz.Pgfuzz.seconds
+    r.Mir_fuzz.Pgfuzz.execs_per_sec r.Mir_fuzz.Pgfuzz.edges;
+  match r.Mir_fuzz.Pgfuzz.divergence with
+  | None -> Printf.printf "no divergence found\n"
+  | Some (at, d) ->
+      Printf.printf
+        "DIVERGENCE at exec %d, op %d:\n  op: %s\n  tlb:    %s\n  \
+         walker: %s\nreproduce with: fuzz --paging --seed 0x%Lx \
+         --max-execs %d\n"
+        at d.Mir_verif.Pgdiff.op_index d.Mir_verif.Pgdiff.op
+        d.Mir_verif.Pgdiff.tlb_outcome d.Mir_verif.Pgdiff.walker_outcome
+        seed max_execs;
+      exit 1
+
+let fuzz_cmd seed max_execs corpus_dir bug replay_path emit_dir paging =
   let inject_bug = parse_bug bug in
+  if paging then pgfuzz_cmd ~seed ~max_execs
+  else
   match (emit_dir, replay_path) with
   | Some dir, _ ->
       let paths = Mir_fuzz.Vectors.emit ~dir in
@@ -455,7 +475,15 @@ let fuzz_term =
         value
         & opt (some string) None
         & info [ "emit-vectors" ] ~docv:"DIR"
-            ~doc:"Write the built-in conformance vectors to $(docv) and exit."))
+            ~doc:"Write the built-in conformance vectors to $(docv) and exit.")
+    $ Arg.(
+        value & flag
+        & info [ "paging" ]
+            ~doc:
+              "Fuzz the paging fast path instead: differential streams of \
+               page-table edits, satp switches, fences, SUM/MXR/MPRV flips \
+               and PMP reconfigurations, TLB machine vs raw-walker machine. \
+               Exits non-zero on divergence."))
 
 (* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)

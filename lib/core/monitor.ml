@@ -597,6 +597,16 @@ let handle t (hart : Hart.t) cause =
    end);
   charge t hart t.config.Config.cost.Cost.trap_exit
 
+(* Mirror the machine's per-hart software-TLB counters into the
+   stats record so experiments report them alongside trap/offload
+   rates.  Derived observability only: not part of the checkpointed
+   architectural state. *)
+let refresh_tlb_stats t =
+  let hits, misses, flushes = Machine.tlb_totals t.machine in
+  t.stats.Vfm_stats.tlb_hits <- hits;
+  t.stats.Vfm_stats.tlb_misses <- misses;
+  t.stats.Vfm_stats.tlb_flushes <- flushes
+
 (* Checkpoint support: capture all monitor-owned state (the machine
    itself is snapshotted separately by [Mir_trace.Snapshot]) and
    return the closure that restores it. *)

@@ -10,6 +10,11 @@ type t = {
   mutable offload_rfence : int;
   mutable offload_misaligned : int;
   mutable vclint_accesses : int;
+  (* simulator memory-system counters, mirrored from the machine's
+     per-hart software TLBs (see Monitor.refresh_tlb_stats) *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
 }
 
 let create () =
@@ -25,6 +30,9 @@ let create () =
     offload_rfence = 0;
     offload_misaligned = 0;
     vclint_accesses = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_flushes = 0;
   }
 
 (* Checkpoint support: every field is a mutable int, so a shallow
@@ -42,7 +50,10 @@ let load_state t s =
   t.offload_ipi <- s.offload_ipi;
   t.offload_rfence <- s.offload_rfence;
   t.offload_misaligned <- s.offload_misaligned;
-  t.vclint_accesses <- s.vclint_accesses
+  t.vclint_accesses <- s.vclint_accesses;
+  t.tlb_hits <- s.tlb_hits;
+  t.tlb_misses <- s.tlb_misses;
+  t.tlb_flushes <- s.tlb_flushes
 
 let offload_hits t =
   t.offload_time_read + t.offload_set_timer + t.offload_ipi + t.offload_rfence
@@ -59,12 +70,17 @@ let reset t =
   t.offload_ipi <- 0;
   t.offload_rfence <- 0;
   t.offload_misaligned <- 0;
-  t.vclint_accesses <- 0
+  t.vclint_accesses <- 0;
+  t.tlb_hits <- 0;
+  t.tlb_misses <- 0;
+  t.tlb_flushes <- 0
 
 let pp fmt t =
   Format.fprintf fmt
     "traps: os=%d fw=%d | world switches=%d | emulated=%d vtraps=%d | \
-     offload: time=%d timer=%d ipi=%d rfence=%d misaligned=%d | vclint=%d"
+     offload: time=%d timer=%d ipi=%d rfence=%d misaligned=%d | vclint=%d | \
+     tlb: hits=%d misses=%d flushes=%d"
     t.traps_from_os t.traps_from_fw t.world_switches t.emulated_instrs
     t.vtraps t.offload_time_read t.offload_set_timer t.offload_ipi
-    t.offload_rfence t.offload_misaligned t.vclint_accesses
+    t.offload_rfence t.offload_misaligned t.vclint_accesses t.tlb_hits
+    t.tlb_misses t.tlb_flushes

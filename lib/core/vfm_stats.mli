@@ -14,6 +14,11 @@ type t = {
   mutable offload_rfence : int;
   mutable offload_misaligned : int;
   mutable vclint_accesses : int;
+  mutable tlb_hits : int;
+      (** simulator software-TLB counters, mirrored from the machine
+          (Monitor.refresh_tlb_stats) *)
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
 }
 
 val create : unit -> t

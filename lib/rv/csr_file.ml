@@ -8,6 +8,13 @@ type t = {
   mutable pmp_ranges_cache : Pmp.ranges option;
       (* decoded PMP entries, invalidated on pmpcfg/pmpaddr writes;
          rebuilding on every memory access dominated simulation time *)
+  mutable vm_epoch : int;
+      (* bumped whenever a CSR write can change virtual-memory or
+         protection behaviour (satp, PMP registers, mstatus
+         MPRV/SUM/MXR) — whichever write path performed it.  The
+         hart's TLB compares this lazily and flushes on mismatch, so
+         even raw installs during a world switch invalidate cached
+         translations. *)
 }
 
 let create config ~hart_id =
@@ -18,7 +25,14 @@ let create config ~hart_id =
       match spec with Some s -> store.(addr) <- s.Csr_spec.reset | None -> ())
     specs;
   store.(Csr_addr.mhartid) <- Int64.of_int hart_id;
-  { config; store; specs; pmp_cache = None; pmp_ranges_cache = None }
+  {
+    config;
+    store;
+    specs;
+    pmp_cache = None;
+    pmp_ranges_cache = None;
+    vm_epoch = 0;
+  }
 
 let config t = t.config
 let spec t addr = if addr >= 0 && addr < 4096 then t.specs.(addr) else None
@@ -27,11 +41,23 @@ let read_raw t addr = t.store.(addr)
 
 let is_pmp_reg addr = Csr_addr.is_pmpcfg addr || Csr_addr.is_pmpaddr addr
 
+let vm_epoch t = t.vm_epoch
+
+(* MPRV | SUM | MXR: the mstatus bits that change how memory accesses
+   translate or are permitted. *)
+let mstatus_vm_mask = 0xE0000L
+
 let write_raw t addr v =
   if is_pmp_reg addr then begin
     t.pmp_cache <- None;
-    t.pmp_ranges_cache <- None
-  end;
+    t.pmp_ranges_cache <- None;
+    t.vm_epoch <- t.vm_epoch + 1
+  end
+  else if addr = Csr_addr.satp then t.vm_epoch <- t.vm_epoch + 1
+  else if
+    addr = Csr_addr.mstatus
+    && Int64.logand (Int64.logxor t.store.(addr) v) mstatus_vm_mask <> 0L
+  then t.vm_epoch <- t.vm_epoch + 1;
   t.store.(addr) <- v
 
 let dump t = Array.copy t.store
@@ -39,7 +65,8 @@ let dump t = Array.copy t.store
 let restore_dump t store =
   Array.blit store 0 t.store 0 (Array.length t.store);
   t.pmp_cache <- None;
-  t.pmp_ranges_cache <- None
+  t.pmp_ranges_cache <- None;
+  t.vm_epoch <- t.vm_epoch + 1
 
 let decode_pmp_entries t =
   Array.init t.config.Csr_spec.pmp_count (fun i ->
@@ -85,36 +112,33 @@ let read t addr =
     | Some s -> Csr_spec.apply_read s t.store.(addr)
     | None -> invalid_arg ("Csr_file.read: " ^ Csr_addr.name addr)
 
+(* Every cooked-write branch funnels its final store through
+   [write_raw] so the PMP caches and the vm-epoch are maintained no
+   matter which alias was written. *)
 let write t addr v =
   if addr = Csr_addr.sstatus then
-    t.store.(Csr_addr.mstatus) <-
-      Csr_spec.C.sstatus_write ~mstatus:t.store.(Csr_addr.mstatus) ~value:v
+    write_raw t Csr_addr.mstatus
+      (Csr_spec.C.sstatus_write ~mstatus:t.store.(Csr_addr.mstatus) ~value:v)
   else if addr = Csr_addr.sie then
-    t.store.(Csr_addr.mie) <-
-      Csr_spec.C.sie_write ~mie:t.store.(Csr_addr.mie) ~mideleg:(mideleg t)
-        ~value:v
+    write_raw t Csr_addr.mie
+      (Csr_spec.C.sie_write ~mie:t.store.(Csr_addr.mie) ~mideleg:(mideleg t)
+         ~value:v)
   else if addr = Csr_addr.sip then
-    t.store.(Csr_addr.mip) <-
-      Csr_spec.C.sip_write ~mip:t.store.(Csr_addr.mip) ~mideleg:(mideleg t)
-        ~value:v
+    write_raw t Csr_addr.mip
+      (Csr_spec.C.sip_write ~mip:t.store.(Csr_addr.mip) ~mideleg:(mideleg t)
+         ~value:v)
   else if Csr_addr.is_pmpaddr addr then begin
     let i = addr - 0x3B0 in
     if not (Pmp.locked (pmp_entries t) i) then
       match spec t addr with
       | Some s ->
-          t.pmp_cache <- None;
-          t.pmp_ranges_cache <- None;
-          t.store.(addr) <- Csr_spec.apply_write s ~old:t.store.(addr) ~value:v
+          write_raw t addr (Csr_spec.apply_write s ~old:t.store.(addr) ~value:v)
       | None -> invalid_arg "Csr_file.write: pmpaddr"
   end
   else
     match spec t addr with
     | Some s ->
-        if is_pmp_reg addr then begin
-          t.pmp_cache <- None;
-          t.pmp_ranges_cache <- None
-        end;
-        t.store.(addr) <- Csr_spec.apply_write s ~old:t.store.(addr) ~value:v
+        write_raw t addr (Csr_spec.apply_write s ~old:t.store.(addr) ~value:v)
     | None -> invalid_arg ("Csr_file.write: " ^ Csr_addr.name addr)
 
 let set_mip_bits t bits on =

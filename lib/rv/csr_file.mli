@@ -43,3 +43,10 @@ val pmp_ranges : t -> Pmp.ranges
 
 val set_mip_bits : t -> int64 -> bool -> unit
 (** Drive interrupt lines: set or clear the given mip bits. *)
+
+val vm_epoch : t -> int
+(** Monotone counter bumped by every write — raw or architectural —
+    that can change address translation or protection: satp, the PMP
+    registers, the mstatus MPRV/SUM/MXR bits, and {!restore_dump}.
+    The hart's TLB compares it lazily and flushes on mismatch, so no
+    CSR-install path can leave stale translations behind. *)

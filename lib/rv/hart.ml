@@ -3,6 +3,7 @@ type t = {
   mutable pc : int64;
   regs : int64 array;
   csr : Csr_file.t;
+  tlb : Tlb.t;
   mutable priv : Priv.t;
   mutable wfi : bool;
   mutable halted : bool;
@@ -12,12 +13,13 @@ type t = {
   mutable reservation : int64 option;
 }
 
-let create config ~id =
+let create ?(tlb_entries = 256) config ~id =
   {
     id;
     pc = 0L;
     regs = Array.make 32 0L;
     csr = Csr_file.create config ~hart_id:id;
+    tlb = Tlb.create ~entries:tlb_entries;
     priv = Priv.M;
     wfi = false;
     halted = false;
@@ -36,7 +38,8 @@ let reset t ~pc =
   Array.fill t.regs 0 32 0L;
   t.priv <- Priv.M;
   t.wfi <- false;
-  t.halted <- false
+  t.halted <- false;
+  Tlb.flush t.tlb
 
 (* ------------------------------------------------------------------ *)
 (* Privilege-transfer transforms over an abstract bitvector domain.    *)

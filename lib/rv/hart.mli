@@ -10,6 +10,7 @@ type t = {
   mutable pc : int64;
   regs : int64 array;  (** 32 entries; x0 is forced to zero on read *)
   csr : Csr_file.t;
+  tlb : Tlb.t;  (** per-hart software TLB + fetch-page cache *)
   mutable priv : Priv.t;
   mutable wfi : bool;  (** stalled in [wfi] *)
   mutable halted : bool;  (** stopped (HSM or test-finish) *)
@@ -22,7 +23,10 @@ type t = {
           traps *)
 }
 
-val create : Csr_spec.config -> id:int -> t
+val create : ?tlb_entries:int -> Csr_spec.config -> id:int -> t
+(** [tlb_entries] sizes the software TLB (default 256; 0 disables
+    it). *)
+
 val get : t -> int -> int64
 (** Read a register; x0 reads zero. *)
 
@@ -30,7 +34,8 @@ val set : t -> int -> int64 -> unit
 (** Write a register; writes to x0 are discarded. *)
 
 val reset : t -> pc:int64 -> unit
-(** Reset to M-mode at the given PC (registers cleared). *)
+(** Reset to M-mode at the given PC (registers cleared, TLB
+    flushed). *)
 
 (** Privilege-transfer transforms (trap entry, mret/sret, interrupt
     selection) over an abstract bitvector domain. The interpreter runs

@@ -11,6 +11,11 @@ type config = {
   trap_penalty : int;
   xret_penalty : int;
   mmio_penalty : int;
+  tlb_entries : int;
+      (* per-hart software-TLB slots (rounded up to a power of two);
+         0 disables the TLB and the fetch-page cache, leaving the raw
+         walker — the configuration the differential fuzzer and the
+         ips benchmark use as oracle/baseline *)
 }
 
 let default_config =
@@ -24,6 +29,7 @@ let default_config =
     trap_penalty = 140;
     xret_penalty = 100;
     mmio_penalty = 60;
+    tlb_entries = 256;
   }
 
 type t = {
@@ -65,7 +71,8 @@ let create config =
       config;
       harts =
         Array.init config.nharts (fun id ->
-            Hart.create config.csr_config ~id);
+            Hart.create ~tlb_entries:config.tlb_entries config.csr_config
+              ~id);
       bus;
       clint;
       plic;
@@ -132,6 +139,25 @@ let icache_invalidate t addr size =
 
 let flush_icache t = Array.fill t.icache 0 (Array.length t.icache) None
 let invalidate_icache t addr size = icache_invalidate t addr size
+
+(* sfence.vma semantics over the software TLBs.  All harts are flushed
+   on any hart's fence: over-invalidation is always architecturally
+   safe, and it makes the counted-but-unfenced SBI remote-fence
+   offload conservative too. *)
+let sfence_vma t ?vaddr () =
+  match vaddr with
+  | None -> Array.iter (fun h -> Tlb.flush h.Hart.tlb) t.harts
+  | Some va -> Array.iter (fun h -> Tlb.flush_page h.Hart.tlb va) t.harts
+
+let flush_tlbs t = Array.iter (fun h -> Tlb.flush h.Hart.tlb) t.harts
+
+(* Aggregate TLB counters over the harts: (hits, misses, flushes). *)
+let tlb_totals t =
+  Array.fold_left
+    (fun (h, m, f) hart ->
+      let tlb = hart.Hart.tlb in
+      (h + Tlb.hits tlb, m + Tlb.misses tlb, f + Tlb.flushes tlb))
+    (0, 0, 0) t.harts
 
 let load_program t addr bytes =
   Memory.store_bytes (Bus.ram t.bus) addr bytes;
@@ -280,37 +306,79 @@ let pmp_access (access : Vmem.access) =
   | Vmem.Load -> Pmp.Read
   | Vmem.Store -> Pmp.Write
 
+let page_mask = Int64.lognot 0xFFFL
+
 (* Translate + PMP-check one access of [size] bytes at [vaddr];
-   raises Cause.Trap on fault. *)
+   raises Cause.Trap on fault.
+
+   Translated accesses go through the per-hart software TLB: a hit
+   answers translation, leaf permission, and PMP in a few integer
+   compares with zero allocation.  A miss runs the bus-backed walker
+   (no per-call closures), PMP-checks the result, and installs the
+   page together with page-wide PMP verdicts so subsequent hits can
+   skip the range scan.  Accesses never straddle a page here: aligned
+   accesses of size <= 8 cannot cross a 4 KiB boundary, and misaligned
+   ones are resolved byte by byte. *)
 let resolve t hart ~priv access vaddr size =
-  let phys =
-    (* fast path: bare addressing / M-mode skips the walker (and the
-       closure allocation in [translate]) *)
-    if
-      priv = Priv.M
-      || Csr_file.read_raw hart.Hart.csr Csr_addr.satp = 0L
-    then vaddr
-    else
-      match translate t hart ~priv access vaddr with
-      | Ok p -> p
+  let csr = hart.Hart.csr in
+  if priv = Priv.M || Csr_file.read_raw csr Csr_addr.satp = 0L then begin
+    (* bare addressing / M-mode: no walk, PMP only *)
+    if not (pmp_check t hart ~priv (pmp_access access) ~addr:vaddr ~size)
+    then raise (Cause.Trap (access_fault access, vaddr));
+    vaddr
+  end
+  else begin
+    let tlb = hart.Hart.tlb in
+    Tlb.sync_epoch tlb (Csr_file.vm_epoch csr);
+    let pbase = Tlb.lookup tlb ~priv access vaddr in
+    if pbase >= 0 then
+      Int64.logor (Int64.of_int pbase) (Int64.logand vaddr 0xFFFL)
+    else begin
+      let satp = Csr_file.read_raw csr Csr_addr.satp in
+      let ms = mstatus hart in
+      let sum = Bits.test ms Ms.sum and mxr = Bits.test ms Ms.mxr in
+      match
+        Vmem.On_bus.translate_leaf t.bus ~satp ~priv ~sum ~mxr access vaddr
+      with
       | Error e -> raise (Cause.Trap (e, vaddr))
-  in
-  if not (pmp_check t hart ~priv (pmp_access access) ~addr:phys ~size) then
-    raise (Cause.Trap (access_fault access, vaddr));
-  phys
+      | Ok leaf ->
+          let phys = leaf.Vmem.phys in
+          if
+            not (pmp_check t hart ~priv (pmp_access access) ~addr:phys ~size)
+          then raise (Cause.Trap (access_fault access, vaddr));
+          let ranges = Csr_file.pmp_ranges csr in
+          let pg = Int64.logand phys page_mask in
+          let pmp_page k =
+            Pmp.check_ranges ranges ~priv k ~addr:pg ~size:4096
+          in
+          Tlb.install tlb ~priv ~vaddr ~phys ~pte:leaf.Vmem.pte ~sum ~mxr
+            ~pmp_r:(pmp_page Pmp.Read) ~pmp_w:(pmp_page Pmp.Write)
+            ~pmp_x:(pmp_page Pmp.Exec);
+          phys
+    end
+  end
 
 let vload t hart vaddr size ~signed =
   let priv = effective_priv hart in
   if not (Bits.is_aligned vaddr ~size) then begin
     if not t.config.hw_misaligned then
       raise (Cause.Trap (Cause.Load_misaligned, vaddr));
-    (* Slow byte-wise path for hardware-handled misaligned loads. *)
+    (* Slow byte-wise path for hardware-handled misaligned loads.
+       MMIO bytes pay the same penalty and fire the same hook as the
+       aligned path, so costs and trace recording agree. *)
     let v = ref 0L in
     for i = size - 1 downto 0 do
       let a = Int64.add vaddr (Int64.of_int i) in
       let phys = resolve t hart ~priv Vmem.Load a 1 in
+      let is_mmio = not (Memory.in_range (Bus.ram t.bus) phys 1) in
+      if is_mmio then charge hart t.config.mmio_penalty;
       match phys_load t phys 1 with
-      | Some b -> v := Int64.logor (Int64.shift_left !v 8) b
+      | Some b ->
+          (if is_mmio then
+             match t.on_mmio with
+             | Some f -> f t hart ~write:false ~addr:phys ~size:1 ~value:b
+             | None -> ());
+          v := Int64.logor (Int64.shift_left !v 8) b
       | None -> raise (Cause.Trap (Cause.Load_access_fault, vaddr))
     done;
     if signed then Bits.sext !v ~width:(8 * size) else !v
@@ -338,8 +406,19 @@ let vstore t hart vaddr size v =
       let a = Int64.add vaddr (Int64.of_int i) in
       let phys = resolve t hart ~priv Vmem.Store a 1 in
       let byte = Bits.extract v ~lo:(8 * i) ~hi:((8 * i) + 7) in
+      let is_mmio = not (Memory.in_range (Bus.ram t.bus) phys 1) in
+      if is_mmio then begin
+        charge hart t.config.mmio_penalty;
+        (* as on the aligned path: a device store may change interrupt
+           lines, so force a refresh on every hart's next step *)
+        Array.iter (fun h -> h.Hart.irq_stale <- 16) t.harts
+      end;
       if not (phys_store t phys 1 byte) then
         raise (Cause.Trap (Cause.Store_access_fault, vaddr));
+      (if is_mmio then
+         match t.on_mmio with
+         | Some f -> f t hart ~write:true ~addr:phys ~size:1 ~value:byte
+         | None -> ());
       icache_invalidate t phys 1
     done
   end
@@ -371,31 +450,57 @@ let vstore t hart vaddr size v =
     icache_invalidate t phys size
   end
 
+(* Fill one icache slot from RAM; [idx] is a word index inside RAM. *)
+let fetch_fill t idx ~pc =
+  let phys = Int64.add t.config.ram_base (Int64.of_int (idx lsl 2)) in
+  match phys_load t phys 4 with
+  | None -> raise (Cause.Trap (Cause.Instr_access_fault, pc))
+  | Some word -> begin
+      let bits = Int64.to_int word in
+      match Decode.decode bits with
+      | Some i ->
+          t.icache.(idx) <- Some (i, bits);
+          (i, bits)
+      | None -> raise (Cause.Trap (Cause.Illegal_instr, word))
+    end
+
 let fetch t hart =
   let pc = hart.Hart.pc in
   if Int64.logand pc 3L <> 0L then
     raise (Cause.Trap (Cause.Instr_misaligned, pc));
-  let phys = resolve t hart ~priv:hart.Hart.priv Vmem.Fetch pc 4 in
-  match icache_index t phys with
-  | Some idx -> begin
-      match t.icache.(idx) with
-      | Some entry -> entry
-      | None -> begin
-          match phys_load t phys 4 with
-          | None -> raise (Cause.Trap (Cause.Instr_access_fault, pc))
-          | Some word -> begin
-              let bits = Int64.to_int word in
-              match Decode.decode bits with
-              | Some i ->
-                  t.icache.(idx) <- Some (i, bits);
-                  (i, bits)
-              | None -> raise (Cause.Trap (Cause.Illegal_instr, word))
-            end
-        end
+  let tlb = hart.Hart.tlb in
+  Tlb.sync_epoch tlb (Csr_file.vm_epoch hart.Hart.csr);
+  (* fetch fast path: the current fetch page's icache base is cached,
+     so straight-line fetches cost two compares and two array reads *)
+  let base = Tlb.fetch_lookup tlb ~priv:hart.Hart.priv pc in
+  let idx =
+    if base >= 0 then base + ((Int64.to_int pc land 0xFFF) lsr 2)
+    else begin
+      let phys = resolve t hart ~priv:hart.Hart.priv Vmem.Fetch pc 4 in
+      match icache_index t phys with
+      | None ->
+          (* Fetches must target RAM. *)
+          raise (Cause.Trap (Cause.Instr_access_fault, pc))
+      | Some idx ->
+          (* cache the page when it lies wholly in RAM and PMP grants
+             execute over all of it (so hits can skip the range scan) *)
+          let pg = Int64.logand phys page_mask in
+          let off = Int64.sub pg t.config.ram_base in
+          if
+            off >= 0L
+            && Int64.add off 4096L <= Int64.of_int t.config.ram_size
+            && Pmp.check_ranges
+                 (Csr_file.pmp_ranges hart.Hart.csr)
+                 ~priv:hart.Hart.priv Pmp.Exec ~addr:pg ~size:4096
+          then
+            Tlb.fetch_install tlb ~priv:hart.Hart.priv pc
+              ~base:(Int64.to_int off lsr 2);
+          idx
     end
-  | None ->
-      (* Fetches must target RAM. *)
-      raise (Cause.Trap (Cause.Instr_access_fault, pc))
+  in
+  match t.icache.(idx) with
+  | Some entry -> entry
+  | None -> fetch_fill t idx ~pc
 
 (* ------------------------------------------------------------------ *)
 (* CSR instruction semantics                                           *)
@@ -569,9 +674,14 @@ let exec t hart instr bits =
       if hart.Hart.priv = Priv.S && Bits.test (ms ()) Ms.tw then illegal bits;
       hart.Hart.wfi <- true;
       next ()
-  | Instr.Sfence_vma _ ->
+  | Instr.Sfence_vma (rs1, _) ->
       if hart.Hart.priv = Priv.U then illegal bits;
       if hart.Hart.priv = Priv.S && Bits.test (ms ()) Ms.tvm then illegal bits;
+      (* rs1 = x0: global fence; otherwise fence the named vpage.  ASID
+         (rs2) is ignored: the TLB is not ASID-tagged, so over-flushing
+         is the conservative, correct reading. *)
+      if rs1 = 0 then sfence_vma t ()
+      else sfence_vma t ~vaddr:(Hart.get hart rs1) ();
       next ()
   | Instr.Amo { op; wide; rd; rs1; rs2; _ } -> begin
       let size = if wide then 8 else 4 in

@@ -23,6 +23,9 @@ type config = {
   trap_penalty : int;  (** pipeline cost of taking any trap *)
   xret_penalty : int;  (** pipeline cost of mret/sret *)
   mmio_penalty : int;  (** uncached device access cost *)
+  tlb_entries : int;
+      (** per-hart software-TLB slots (default 256; 0 disables the TLB
+          and the fetch-page cache, leaving the raw walker) *)
 }
 
 val default_config : config
@@ -112,3 +115,27 @@ val flush_icache : t -> unit
 val invalidate_icache : t -> int64 -> int -> unit
 (** Invalidate the decoded-instruction cache for a physical range
     (used by the verifier, which patches instructions directly). *)
+
+val sfence_vma : t -> ?vaddr:int64 -> unit -> unit
+(** Architectural [sfence.vma] over the software TLBs of all harts:
+    global without [vaddr], per-vpage with it. *)
+
+val flush_tlbs : t -> unit
+(** Flush every hart's TLB and fetch-page cache (checkpoint restore,
+    external state surgery). *)
+
+val tlb_totals : t -> int * int * int
+(** Aggregate TLB (hits, misses, flushes) over all harts. *)
+
+val resolve : t -> Hart.t -> priv:Priv.t -> Vmem.access -> int64 -> int -> int64
+(** Translate + PMP-check one access, through the TLB; raises
+    [Cause.Trap] on fault. Exposed for the paging differential
+    harness. *)
+
+val vload : t -> Hart.t -> int64 -> int -> signed:bool -> int64
+(** Virtual load at the hart's effective privilege; raises
+    [Cause.Trap] on fault. *)
+
+val vstore : t -> Hart.t -> int64 -> int -> int64 -> unit
+(** Virtual store at the hart's effective privilege; raises
+    [Cause.Trap] on fault. *)

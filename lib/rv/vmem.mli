@@ -6,6 +6,52 @@
 
 type access = Fetch | Load | Store
 
+type leaf = { phys : int64; pte : int64; level : int }
+(** A successful walk: translated physical address, leaf PTE after the
+    hardware A/D update, and the level it was found at (0 = 4 KiB
+    page, -1 = bare/M-mode passthrough with [pte = 0]). Everything a
+    TLB needs to install an entry. *)
+
+(** The walker is functorized over its PTE memory: the interpreter
+    instantiates it at {!Bus_mem} (static calls, no per-access closure
+    allocation); the monitor's MPRV emulation and tests use the
+    closure-backed {!translate} below. *)
+module type MEM = sig
+  type mem
+
+  val read : mem -> int64 -> int64 option
+  (** 8-byte physical load; [None] = bus error. *)
+
+  val write : mem -> int64 -> int64 -> unit
+  (** 8-byte physical store (A/D write-back). *)
+end
+
+module Make (M : MEM) : sig
+  val translate_leaf :
+    M.mem ->
+    satp:int64 ->
+    priv:Priv.t ->
+    sum:bool ->
+    mxr:bool ->
+    access ->
+    int64 ->
+    (leaf, Cause.exc) result
+end
+
+module Bus_mem : MEM with type mem = Bus.t
+
+module On_bus : sig
+  val translate_leaf :
+    Bus.t ->
+    satp:int64 ->
+    priv:Priv.t ->
+    sum:bool ->
+    mxr:bool ->
+    access ->
+    int64 ->
+    (leaf, Cause.exc) result
+end
+
 val translate :
   read:(int64 -> int64 option) ->
   write:(int64 -> int64 -> unit) ->

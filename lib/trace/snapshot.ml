@@ -131,7 +131,12 @@ let restore (m : Machine.t) t =
   (match t.restore_extra with Some f -> f () | None -> ());
   m.Machine.instr_count <- t.instrs;
   m.Machine.poweroff <- false;
-  Machine.flush_icache m
+  (* Both derived caches must drop: restored RAM invalidates decoded
+     instructions, restored satp/PMP/page tables invalidate cached
+     translations (the CSR restore also bumps the vm-epoch, but the
+     explicit flush keeps the invariant independent of that path). *)
+  Machine.flush_icache m;
+  Machine.flush_tlbs m
 
 (* ------------------------------------------------------------------ *)
 (* Architectural state hash                                            *)

@@ -30,4 +30,22 @@ dune exec bin/miralis_sim.exe -- run --platform visionfive2 --mode miralis \
 dune exec bin/miralis_sim.exe -- fuzz --max-execs 2000
 dune exec bin/miralis_sim.exe -- fuzz --replay test/vectors
 
+# Paging fast-path smoke: the TLB machine and the raw-walker machine
+# must agree over 10k generated streams of page-table edits, satp
+# switches, fences, SUM/MXR/MPRV flips and PMP reconfigurations.
+dune exec bin/miralis_sim.exe -- fuzz --paging --max-execs 10000
+
+# Memory-system fast-path benchmark, small budget: the TLB-enabled
+# instrs/sec figure must stay within 20% of the committed baseline.
+MIRALIS_IPS_BUDGET=1000000 dune exec bench/main.exe -- ips
+json_int() { awk -F'[:,]' -v k="\"$2\"" '$1 ~ k { gsub(/[^0-9]/, "", $2); print $2 }' "$1"; }
+ips=$(json_int BENCH_ips.json ips_tlb)
+base=$(json_int scripts/ips_baseline.json ips_tlb)
+floor=$((base * 80 / 100))
+if [ "$ips" -lt "$floor" ]; then
+  echo "ci: ips regression: $ips instrs/sec < 80% of baseline $base" >&2
+  exit 1
+fi
+echo "ci: ips $ips instrs/sec (baseline $base, floor $floor)"
+
 echo "ci: ok"

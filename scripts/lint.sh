@@ -12,6 +12,11 @@
 #      switch, offload, vPMP install), the policies, and the
 #      verification/test harnesses that construct states. Everything
 #      else must go through those layers.
+#   4. Raw satp installs (Csr_file.write_raw of satp) are restricted
+#      further, to the architecture, the world switch / monitor
+#      install paths, and the verification/test harnesses: satp
+#      swaps from anywhere else could bypass review of the TLB
+#      vm-epoch invalidation contract.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -37,6 +42,12 @@ csr_write_allow='^(lib/rv/|lib/core/(emulator|monitor|world|offload|vpmp)\.ml|li
 if grep -rnE "Csr_file\.(write|write_raw|set_mip_bits)" --include='*.ml' \
   $src_dirs | grep -vE "$csr_write_allow" | grep .; then
   complain "direct Csr_file writes outside the sanctioned paths"
+fi
+
+satp_raw_allow='^(lib/rv/|lib/core/(world|monitor)\.ml|lib/verif/|test/)'
+if grep -rnE "Csr_file\.write_raw[^;]*satp" --include='*.ml' $src_dirs |
+  grep -vE "$satp_raw_allow" | grep .; then
+  complain "raw satp installs outside the world-switch/architecture layers"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,228 @@
+(* Software-TLB semantics (lib/rv/tlb.ml + the Machine.resolve fast
+   path).
+
+   Each test builds a minimal Sv39 address space (one root, one L1,
+   one L0 table, a few data pages) on a 1-hart machine with a 16-entry
+   TLB and drives translations through Machine.vload/vstore, checking
+   the hit/miss counters and the invalidation events the ISSUE's
+   matrix requires: sfence.vma (global and per-address), satp writes
+   without a fence, mstatus.SUM changes, D-bit promotion on the first
+   store through a Load-installed entry, and PMP reconfiguration. *)
+
+module Machine = Mir_rv.Machine
+module Hart = Mir_rv.Hart
+module Tlb = Mir_rv.Tlb
+module Csr_file = Mir_rv.Csr_file
+module Csr_addr = Mir_rv.Csr_addr
+module Cause = Mir_rv.Cause
+module Priv = Mir_rv.Priv
+module Vmem = Mir_rv.Vmem
+module Pmp = Mir_rv.Pmp
+module Ms = Mir_rv.Csr_spec.Mstatus
+
+let config =
+  {
+    Machine.default_config with
+    Machine.ram_size = 512 * 1024;
+    nharts = 1;
+    tlb_entries = 16;
+  }
+
+let ram_base = config.Machine.ram_base
+let root_off = 0x20000
+let l1_off = 0x21000
+let l0_off = 0x22000
+let page_off p = 0x10000 + (p lsl 12)
+
+type env = { m : Machine.t; hart : Hart.t }
+
+let abs off = Int64.add ram_base (Int64.of_int off)
+
+let store64 env off v =
+  Alcotest.(check bool) "phys_store in RAM" true
+    (Machine.phys_store env.m (abs off) 8 v)
+
+let load64 env off = Option.get (Machine.phys_load env.m (abs off) 8)
+
+let pte_at off lowbits =
+  Int64.logor
+    (Int64.shift_left (Int64.shift_right_logical (abs off) 12) 10)
+    lowbits
+
+let rwxad =
+  List.fold_left Int64.logor 0L
+    Vmem.[ pte_v; pte_r; pte_w; pte_x; pte_a; pte_d ]
+
+let map env ~vpn ~page ~perms =
+  store64 env (l0_off + (8 * vpn)) (pte_at (page_off page) perms)
+
+let satp_value = Int64.logor (Int64.shift_left 8L 60)
+    (Int64.shift_right_logical (abs root_off) 12)
+
+let setup () =
+  let m = Machine.create config in
+  let hart = m.Machine.harts.(0) in
+  Hart.reset hart ~pc:ram_base;
+  let env = { m; hart } in
+  let csr = hart.Hart.csr in
+  (* PMP slot 7: NAPOT allow-all baseline *)
+  Csr_file.write csr (Csr_addr.pmpaddr 7) (-1L);
+  Csr_file.write csr (Csr_addr.pmpcfg 0)
+    (Int64.shift_left 0b0011111L 56);
+  store64 env root_off (pte_at l1_off Vmem.pte_v);
+  store64 env l1_off (pte_at l0_off Vmem.pte_v);
+  Csr_file.write csr Csr_addr.satp satp_value;
+  hart.Hart.priv <- Priv.S;
+  Machine.sfence_vma m ();
+  (* absorb the epoch bumps from the setup CSR writes so the tests
+     below see clean hit/miss deltas *)
+  Tlb.sync_epoch hart.Hart.tlb (Csr_file.vm_epoch csr);
+  Tlb.reset_counters hart.Hart.tlb;
+  env
+
+let vload env vaddr = Machine.vload env.m env.hart vaddr 8 ~signed:false
+let vstore env vaddr v = Machine.vstore env.m env.hart vaddr 8 v
+
+let check_load_faults name env vaddr exc =
+  match vload env vaddr with
+  | v -> Alcotest.failf "%s: expected fault, got %#Lx" name v
+  | exception Cause.Trap (e, _) ->
+      Alcotest.(check string) name
+        (Cause.to_string (Cause.Exception exc))
+        (Cause.to_string (Cause.Exception e))
+
+(* ------------------------------------------------------------------ *)
+
+let test_hit_after_walk () =
+  let env = setup () in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  store64 env (page_off 0 + 0x18) 0x1122_3344_5566_7788L;
+  let tlb = env.hart.Hart.tlb in
+  Tlb.reset_counters tlb;
+  Helpers.check_i64 "first load walks" 0x1122_3344_5566_7788L
+    (vload env 0x5018L);
+  Helpers.check_int "one miss" 1 (Tlb.misses tlb);
+  Helpers.check_int "no hit yet" 0 (Tlb.hits tlb);
+  Helpers.check_i64 "second load" 0x1122_3344_5566_7788L (vload env 0x5018L);
+  Helpers.check_int "served from the TLB" 1 (Tlb.hits tlb);
+  Helpers.check_int "still one miss" 1 (Tlb.misses tlb);
+  (* fetch shares the entry: rwxad includes X *)
+  let p1 = Machine.resolve env.m env.hart ~priv:Priv.S Vmem.Fetch 0x5000L 4 in
+  Helpers.check_i64 "fetch resolves to the pool page" (abs (page_off 0)) p1;
+  let h = Tlb.hits tlb in
+  ignore (Machine.resolve env.m env.hart ~priv:Priv.S Vmem.Fetch 0x5000L 4);
+  Helpers.check_int "fetch hit" (h + 1) (Tlb.hits tlb)
+
+let test_sfence_invalidation () =
+  let env = setup () in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  map env ~vpn:6 ~page:1 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  let tlb = env.hart.Hart.tlb in
+  ignore (vload env 0x5000L);
+  ignore (vload env 0x6000L);
+  (* global sfence drops everything *)
+  Machine.sfence_vma env.m ();
+  let m0 = Tlb.misses tlb in
+  ignore (vload env 0x5000L);
+  Helpers.check_int "global sfence: re-walk" (m0 + 1) (Tlb.misses tlb);
+  ignore (vload env 0x6000L);
+  (* per-address sfence only drops the named page *)
+  Machine.sfence_vma env.m ~vaddr:0x6000L ();
+  let h0 = Tlb.hits tlb and m1 = Tlb.misses tlb in
+  ignore (vload env 0x5000L);
+  Helpers.check_int "other page still cached" (h0 + 1) (Tlb.hits tlb);
+  ignore (vload env 0x6000L);
+  Helpers.check_int "named page re-walks" (m1 + 1) (Tlb.misses tlb)
+
+let test_satp_write_invalidates_without_sfence () =
+  let env = setup () in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  store64 env (page_off 0) 0xAAAAL;
+  store64 env (page_off 1) 0xBBBBL;
+  Helpers.check_i64 "initial mapping" 0xAAAAL (vload env 0x5000L);
+  (* remap the vpage with no sfence at all; rewriting satp (even with
+     the same value) must flush the stale translation *)
+  map env ~vpn:5 ~page:1 ~perms:rwxad;
+  Csr_file.write env.hart.Hart.csr Csr_addr.satp satp_value;
+  Helpers.check_i64 "stale translation not served" 0xBBBBL
+    (vload env 0x5000L)
+
+let test_sum_toggle_invalidates () =
+  let env = setup () in
+  let csr = env.hart.Hart.csr in
+  map env ~vpn:5 ~page:0 ~perms:(Int64.logor rwxad Vmem.pte_u);
+  Machine.sfence_vma env.m ();
+  (* SUM=1: S-mode may touch the U page; this installs the entry *)
+  Csr_file.write csr Csr_addr.mstatus
+    (Int64.logor
+       (Csr_file.read_raw csr Csr_addr.mstatus)
+       (Int64.shift_left 1L Ms.sum));
+  ignore (vload env 0x5000L);
+  (* clearing SUM, with no fence, must invalidate the cached verdict *)
+  Csr_file.write csr Csr_addr.mstatus
+    (Int64.logand
+       (Csr_file.read_raw csr Csr_addr.mstatus)
+       (Int64.lognot (Int64.shift_left 1L Ms.sum)));
+  check_load_faults "U page without SUM faults" env 0x5000L
+    Cause.Load_page_fault
+
+let test_dbit_promotion () =
+  let env = setup () in
+  let no_d =
+    List.fold_left Int64.logor 0L Vmem.[ pte_v; pte_r; pte_w; pte_a ]
+  in
+  map env ~vpn:5 ~page:0 ~perms:no_d;
+  Machine.sfence_vma env.m ();
+  ignore (vload env 0x5000L) (* installs a load-only entry *);
+  Helpers.check_i64 "D clear after load" 0L
+    (Int64.logand (load64 env (l0_off + 40)) Vmem.pte_d);
+  let tlb = env.hart.Hart.tlb in
+  let m0 = Tlb.misses tlb in
+  vstore env 0x5000L 0x77L;
+  Helpers.check_int "store through load-entry re-walks" (m0 + 1)
+    (Tlb.misses tlb);
+  Helpers.check_i64 "walk set the D bit" Vmem.pte_d
+    (Int64.logand (load64 env (l0_off + 40)) Vmem.pte_d);
+  Helpers.check_i64 "store landed" 0x77L (load64 env (page_off 0));
+  let h0 = Tlb.hits tlb in
+  vstore env 0x5000L 0x78L;
+  Helpers.check_int "second store hits" (h0 + 1) (Tlb.hits tlb)
+
+let test_pmp_reconfig_invalidates () =
+  let env = setup () in
+  let csr = env.hart.Hart.csr in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  ignore (vload env 0x5000L) (* caches the page-wide PMP pass *);
+  (* interpose a no-permission NAPOT entry over the pool page in a
+     higher-priority slot — no fence: the cfg write must invalidate *)
+  Csr_file.write csr (Csr_addr.pmpaddr 0)
+    (Pmp.napot_encode ~base:(abs (page_off 0)) ~size:4096L);
+  Csr_file.write csr (Csr_addr.pmpcfg 0)
+    (Int64.logor
+       (Csr_file.read_raw csr (Csr_addr.pmpcfg 0))
+       0b0011000L);
+  check_load_faults "revoked PMP region faults" env 0x5000L
+    Cause.Load_access_fault
+
+let () =
+  Alcotest.run "tlb"
+    [
+      ( "tlb",
+        [
+          Alcotest.test_case "hit after walk" `Quick test_hit_after_walk;
+          Alcotest.test_case "sfence global + per-address" `Quick
+            test_sfence_invalidation;
+          Alcotest.test_case "satp write invalidates without sfence" `Quick
+            test_satp_write_invalidates_without_sfence;
+          Alcotest.test_case "SUM toggle invalidates" `Quick
+            test_sum_toggle_invalidates;
+          Alcotest.test_case "D-bit promotion on first store" `Quick
+            test_dbit_promotion;
+          Alcotest.test_case "PMP reconfig invalidates" `Quick
+            test_pmp_reconfig_invalidates;
+        ] );
+    ]

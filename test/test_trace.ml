@@ -249,6 +249,51 @@ let test_checkpoint_restore_and_rewind_replay () =
       Alcotest.failf "rewind replay: %s"
         (Format.asprintf "%a" Replay.pp_outcome o)
 
+let test_checkpoint_paging_workload () =
+  (* Checkpoint in the middle of an Sv39 workload, then rewind-replay:
+     restore must drop the TLB and fetch-page cache along with the
+     icache, or the resumed run serves translations for the restored
+     page tables from the pre-restore address space and diverges. *)
+  let paging_scripts sys =
+    [
+      Script.
+        [
+          Enable_paging (Mir_kernel.Paging.identity_satp sys.Setup.machine);
+          Putchar 'p'; Rdtime; Set_timer 300L; Misaligned_load;
+          Misaligned_store; Compute 600L; Tick_wfi 100L; Loop 8L;
+          Putchar '!'; End;
+        ];
+    ]
+  in
+  let sys = Setup.create vf2 Setup.Virtualized in
+  let recorder, tracer = Setup.attach_recorder sys in
+  let mgr =
+    Setup.checkpoint_manager sys ~every:8_000L ~events_seen:(fun () ->
+        Recorder.count recorder)
+  in
+  Setup.run_scripts sys (paging_scripts sys);
+  let h1 = Setup.state_hash sys in
+  let events = Recorder.events recorder in
+  let cps = Snapshot.checkpoints mgr in
+  Alcotest.(check bool) "several checkpoints" true (List.length cps >= 3);
+  let mid = List.nth cps (List.length cps / 2) in
+  Alcotest.(check bool) "mid is mid-run" true (Snapshot.instrs mid > 0L);
+  Snapshot.restore sys.Setup.machine mid;
+  let replay =
+    Replay.create ~machine:sys.Setup.machine
+      ~events:(drop (Snapshot.events_before mid) events)
+      ()
+  in
+  Tracer.set_sink tracer (Replay.feed replay);
+  Machine.run ~max_instrs:500_000_000L sys.Setup.machine;
+  Helpers.check_i64 "paged restored re-run matches straight-line" h1
+    (Setup.state_hash sys);
+  match Replay.finish replay with
+  | Replay.Match _ -> ()
+  | o ->
+      Alcotest.failf "paging rewind replay: %s"
+        (Format.asprintf "%a" Replay.pp_outcome o)
+
 (* ------------------------------------------------------------------ *)
 (* Divergence detection                                                *)
 (* ------------------------------------------------------------------ *)
@@ -340,6 +385,8 @@ let () =
         [
           Alcotest.test_case "restore + rewind-replay converge" `Slow
             test_checkpoint_restore_and_rewind_replay;
+          Alcotest.test_case "checkpoint mid-paging workload" `Quick
+            test_checkpoint_paging_workload;
         ] );
       ( "prng",
         [ Alcotest.test_case "config-rooted determinism" `Quick test_config_prng ] );
