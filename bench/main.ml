@@ -7,7 +7,8 @@
      bench/main.exe               run everything
      bench/main.exe <name>...     run selected experiments
    Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
-          fig13 fig14 boottime sstc q1 q4 trace fuzz sym ips micro *)
+          fig13 fig14 boottime sstc q1 q4 trace fuzz sym ips explore
+          micro *)
 
 module T = Mir_experiments.Exp_tables
 module F = Mir_experiments.Exp_figs
@@ -213,6 +214,70 @@ let fuzz_bench () =
   print_endline "  wrote BENCH_fuzz.json"
 
 (* ------------------------------------------------------------------ *)
+(* Schedule-exploration throughput (BENCH_explore.json)                *)
+(* ------------------------------------------------------------------ *)
+
+let explore_bench () =
+  print_endline "\nSchedule-exploration throughput";
+  print_endline "===============================";
+  let module Explore = Mir_explore.Explore in
+  let module Scenario = Mir_explore.Scenario in
+  let seed = Miralis.Config.default_seed in
+  let budget = 40 in
+  let schedules = ref 0 in
+  let steps = ref 0 in
+  let traps = ref 0 in
+  let counts = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun scn ->
+      List.iter
+        (fun family ->
+          let c =
+            Explore.run_family scn ~family ~seed ~max_schedules:budget
+              ~nharts:2 ()
+          in
+          schedules := !schedules + c.Explore.schedules_run;
+          steps := !steps + c.Explore.steps_total;
+          traps := !traps + c.Explore.trap_points_total;
+          counts := c.Explore.switch_counts @ !counts)
+        [ Explore.Random; Explore.Pct ])
+    Scenario.all;
+  let dt = Unix.gettimeofday () -. t0 in
+  let sched_rate = float_of_int !schedules /. dt in
+  let step_rate = float_of_int !steps /. dt in
+  (* histogram of preemption points per schedule, bucket width 64 *)
+  let bucket_w = 64 in
+  let hist = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let b = (max 0 (n - 1)) / bucket_w * bucket_w in
+      Hashtbl.replace hist b (1 + Option.value (Hashtbl.find_opt hist b) ~default:0))
+    !counts;
+  let buckets =
+    Hashtbl.fold (fun b n acc -> (b, n) :: acc) hist []
+    |> List.sort compare
+  in
+  Printf.printf "  %d schedules, %d steps in %.2fs: %.0f schedules/sec, %.0f steps/sec\n"
+    !schedules !steps dt sched_rate step_rate;
+  Printf.printf "  trap-adjacent preemptions: %d\n" !traps;
+  List.iter
+    (fun (b, n) ->
+      Printf.printf "  preemption points %4d-%4d: %d schedules\n" b
+        (b + bucket_w - 1) n)
+    buckets;
+  let oc = open_out "BENCH_explore.json" in
+  Printf.fprintf oc
+    "{\n  \"schedules\": %d,\n  \"steps\": %d,\n  \"seconds\": %.3f,\n  \
+     \"schedules_per_sec\": %.0f,\n  \"steps_per_sec\": %.0f,\n  \
+     \"trap_adjacent_preemptions\": %d,\n  \"preemption_hist\": [%s]\n}\n"
+    !schedules !steps dt sched_rate step_rate !traps
+    (String.concat ", "
+       (List.map (fun (b, n) -> Printf.sprintf "[%d, %d]" b n) buckets));
+  close_out oc;
+  print_endline "  wrote BENCH_explore.json"
+
+(* ------------------------------------------------------------------ *)
 (* Symbolic prover throughput (BENCH_sym.json)                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -360,6 +425,7 @@ let () =
       fuzz_bench ();
       sym_bench ();
       ips_bench ();
+      explore_bench ();
       micro ()
   | names ->
       List.iter
@@ -369,13 +435,14 @@ let () =
           else if name = "fuzz" then fuzz_bench ()
           else if name = "sym" then sym_bench ()
           else if name = "ips" then ips_bench ()
+          else if name = "explore" then explore_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
                 Printf.eprintf
                   "unknown experiment %S; known: %s trace fuzz sym ips \
-                   micro\n"
+                   explore micro\n"
                   name
                   (String.concat " " (List.map fst experiments)))
         names);

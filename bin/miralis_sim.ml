@@ -486,6 +486,207 @@ let fuzz_term =
                Exits non-zero on divergence."))
 
 (* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Explore = Mir_explore.Explore
+module Scenario = Mir_explore.Scenario
+module Schedule = Mir_trace.Schedule
+
+let explore_scenarios scenario =
+  match scenario with
+  | "" -> Ok Scenario.all
+  | name -> (
+      match Scenario.find name with
+      | Some s -> Ok [ s ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (known: %s)" name
+               (String.concat ", "
+                  (List.map (fun s -> s.Scenario.name) Scenario.all))))
+
+(* Smoke mode: no bug injected; every oracle must stay clean under
+   every scheduler family. *)
+let explore_smoke scenarios ~seed ~max_schedules ~nharts =
+  let clean = ref true in
+  List.iter
+    (fun scn ->
+      List.iter
+        (fun family ->
+          let budget =
+            match family with
+            | Explore.Rr -> 1
+            | _ -> max 1 (max_schedules / 2)
+          in
+          let c =
+            Explore.run_family scn ~family ~seed ~max_schedules:budget ~nharts
+              ()
+          in
+          Printf.printf "%-8s %-11s %4d schedules, %7d steps%s\n"
+            scn.Scenario.name
+            (Explore.family_name family)
+            c.Explore.schedules_run c.Explore.steps_total
+            (match c.Explore.caught with
+            | None -> ""
+            | Some (v, _) ->
+                clean := false;
+                Printf.sprintf "  VIOLATION %s (hart %d): %s" v.oracle v.hart
+                  v.detail))
+        [ Explore.Rr; Explore.Random; Explore.Pct ])
+    scenarios;
+  if !clean then Printf.printf "all oracles clean\n" else exit 1
+
+(* Injection mode: the explorer must catch the armed race with a
+   preemptive scheduler while plain round-robin stays green. *)
+let explore_inject bug ~seed ~max_schedules ~nharts ~emit =
+  let scn = Explore.scenario_for_bug bug in
+  let name = Explore.bug_name bug in
+  Printf.printf "inject-bug %s -> scenario %s (seed 0x%Lx)\n" name
+    scn.Scenario.name seed;
+  let rr =
+    Explore.run_family scn ~bug ~family:Explore.Rr ~seed ~max_schedules:1
+      ~nharts ()
+  in
+  (match rr.Explore.caught with
+  | None -> Printf.printf "round-robin: clean (bug hides from the baseline)\n"
+  | Some (v, _) ->
+      Printf.printf "round-robin: CAUGHT %s — bug visible without preemption\n"
+        v.oracle);
+  let caught = ref None in
+  List.iter
+    (fun family ->
+      if !caught = None then begin
+        let c =
+          Explore.run_family scn ~bug ~family ~seed ~max_schedules ~nharts ()
+        in
+        match c.Explore.caught with
+        | Some (v, sch) ->
+            Printf.printf "%s: caught %s after %d schedules (hart %d: %s)\n"
+              (Explore.family_name family)
+              v.oracle c.Explore.schedules_run v.hart v.detail;
+            caught := Some sch
+        | None ->
+            Printf.printf "%s: not caught in %d schedules\n"
+              (Explore.family_name family)
+              c.Explore.schedules_run
+      end)
+    [ Explore.Random; Explore.Pct; Explore.Dfs ];
+  match !caught with
+  | None ->
+      Printf.printf "bug injection %s NOT caught: explorer gap!\n" name;
+      exit 1
+  | Some sch ->
+      let shrunk = Explore.shrink sch in
+      Printf.printf "shrunk %d -> %d preemption points\n"
+        (Schedule.preemption_points sch)
+        (Schedule.preemption_points shrunk);
+      (match emit with
+      | Some path ->
+          Schedule.save shrunk ~path;
+          Printf.printf "schedule written to %s\n" path
+      | None -> ());
+      if rr.Explore.caught <> None then exit 1
+
+let explore_replay path =
+  let paths =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun p ->
+      match Schedule.load ~path:p with
+      | Error e ->
+          Printf.printf "%s: LOAD ERROR %s\n" p e;
+          failed := true
+      | Ok sch -> (
+          match Explore.replay sch with
+          | Error e ->
+              Printf.printf "%s: %s\n" p e;
+              failed := true
+          | Ok o ->
+              if Explore.reproduces sch o then
+                Printf.printf "%s: reproduced %s (%d preemption points)\n" p
+                  sch.Schedule.oracle
+                  (Schedule.preemption_points sch)
+              else begin
+                Printf.printf "%s: DIVERGED (expected oracle %S, got %s)\n" p
+                  sch.Schedule.oracle
+                  (match o.Explore.violation with
+                  | Some v -> v.Mir_explore.Oracle.oracle
+                  | None -> "no violation");
+                failed := true
+              end))
+    paths;
+  if !failed then exit 1
+
+let explore_cmd scenario seed max_schedules harts bug replay emit =
+  match replay with
+  | Some path -> explore_replay path
+  | None -> (
+      match bug with
+      | "" -> (
+          match explore_scenarios scenario with
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              exit 2
+          | Ok scenarios ->
+              explore_smoke scenarios ~seed ~max_schedules ~nharts:harts)
+      | name -> (
+          match Explore.bug_of_name name with
+          | Ok (Some bug) ->
+              explore_inject bug ~seed ~max_schedules ~nharts:harts ~emit
+          | Ok None | Error _ ->
+              Printf.eprintf
+                "unknown race bug %S (known: vm-epoch, msip-drop, \
+                 pmp-handoff)\n"
+                name;
+              exit 2))
+
+let explore_term =
+  Term.(
+    const explore_cmd
+    $ Arg.(
+        value & opt string ""
+        & info [ "scenario" ] ~docv:"NAME"
+            ~doc:
+              "Restrict to one scenario: $(b,ipi), $(b,sfence), \
+               $(b,keystone). Default: all.")
+    $ seed_arg
+    $ Arg.(
+        value & opt int 200
+        & info [ "max-schedules" ] ~docv:"N"
+            ~doc:"Schedule budget per scheduler family.")
+    $ Arg.(
+        value & opt int 2
+        & info [ "harts" ] ~docv:"N" ~doc:"Number of harts to explore with.")
+    $ Arg.(
+        value & opt string ""
+        & info [ "inject-bug" ] ~docv:"BUG"
+            ~doc:
+              "Arm a seeded cross-hart race: $(b,vm-epoch), $(b,msip-drop), \
+               $(b,pmp-handoff). The explorer must catch it (and plain \
+               round-robin must not) or the command fails.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "replay-schedule" ] ~docv:"PATH"
+            ~doc:
+              "Replay a schedule artifact (or a directory of them) and exit \
+               non-zero unless each reproduces its recorded oracle verdict.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "emit-schedule" ] ~docv:"PATH"
+            ~doc:
+              "With $(b,--inject-bug): write the shrunk failing schedule to \
+               $(docv)."))
+
+(* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -545,6 +746,13 @@ let cmds =
            "Coverage-guided differential fuzzing of the VFM emulator \
             against the reference machine")
       fuzz_term;
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:
+           "Multi-hart schedule exploration: run the interleaving scenarios \
+            under round-robin, random, PCT and bounded-DFS schedulers with \
+            cross-hart isolation oracles checked at every switch point")
+      explore_term;
     Cmd.v
       (Cmd.info "experiments"
          ~doc:"Regenerate the paper's tables and figures")

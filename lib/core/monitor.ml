@@ -81,6 +81,7 @@ let rec policy_ctx t hart =
         Logs.err (fun m -> m "miralis: policy violation: %s" msg);
         t.machine.Machine.poweroff <- true);
     reinstall_pmp = (fun () -> reinstall_pmp t hart);
+    reinstall_pmp_all = (fun () -> reinstall_pmp_all t hart);
     return_to_os = (fun ~pc -> return_to_os t hart ~pc);
   }
 
@@ -90,6 +91,29 @@ and policy_pmp_entries t hart =
 and reinstall_pmp t hart =
   Vpmp.install t.config (vhart t hart) hart ~policy:(policy_pmp_entries t hart);
   emit_event t hart Mir_trace.Event.Pmp_reinstall
+
+(* Policy entries changed for every hart (enclave create/destroy): the
+   current hart reinstalls inline; siblings are reinstalled in the
+   same step — except under the Pmp_handoff_window injected bug,
+   where the sibling reinstalls land [race_window] steps late,
+   reproducing the cross-hart PMP handoff window the schedule
+   explorer's oracles are built to catch. *)
+and reinstall_pmp_all t hart =
+  reinstall_pmp t hart;
+  let siblings m =
+    Array.iter
+      (fun h ->
+        if h.Hart.id <> hart.Hart.id then begin
+          reinstall_pmp t h;
+          t.stats.Vfm_stats.pmp_remote_reinstalls <-
+            t.stats.Vfm_stats.pmp_remote_reinstalls + 1
+        end)
+      m.Machine.harts
+  in
+  match t.machine.Machine.race_bug with
+  | Some Machine.Pmp_handoff_window ->
+      Machine.defer t.machine ~ticks:Machine.race_window siblings
+  | _ -> siblings t.machine
 
 (* ------------------------------------------------------------------ *)
 (* World switches                                                      *)

@@ -38,6 +38,13 @@ val policy_ctx : t -> Mir_rv.Hart.t -> Policy.ctx
     need to act outside a hook, e.g. at boot). *)
 
 val reinstall_pmp : t -> Mir_rv.Hart.t -> unit
+(** Re-derive and install the physical PMP of one hart. *)
+
+val reinstall_pmp_all : t -> Mir_rv.Hart.t -> unit
+(** Re-derive every hart's physical PMP ([hart] is the one acting, and
+    is reinstalled inline; siblings follow in the same step, or
+    {!Mir_rv.Machine.race_window} steps late under the
+    Pmp_handoff_window injected bug). *)
 
 val enter_firmware : t -> Mir_rv.Hart.t -> pc:int64 -> unit
 (** Resume a hart in vM-mode at [pc]. *)

@@ -26,11 +26,28 @@ let hart_targets (m : Machine.t) ~mask ~base =
         if h < n && Bits.test mask i then Some h else None)
       (List.init 64 Fun.id)
 
-let kick_with (m : Machine.t) vclint flag targets =
+(* Post a virtual IPI/rfence to each target: set the vCLINT pending
+   flag and kick the physical MSIP in the same step. Under the
+   Dropped_msip injected bug, a target that was preempted mid-trap
+   (its last step ended in a trap entry and it has not run since) gets
+   its physical kick [race_window] steps late, leaving a window in
+   which the vCLINT says "pending" but the CLINT will not deliver —
+   the delivery-ordering inconsistency the explorer's oracle checks.
+   The posting hart itself is exempt: it is always mid-trap (it is
+   executing the ecall being offloaded). *)
+let kick_with (m : Machine.t) vclint flag ~poster targets =
   List.iter
     (fun h ->
       flag vclint h true;
-      Clint.set_msip m.Machine.clint h true)
+      let dropped =
+        m.Machine.race_bug = Some Machine.Dropped_msip
+        && h <> poster
+        && m.Machine.harts.(h).Hart.just_trapped
+      in
+      if dropped then
+        Machine.defer m ~ticks:Machine.race_window (fun m ->
+            Clint.set_msip m.Machine.clint h true)
+      else Clint.set_msip m.Machine.clint h true)
     targets
 
 let set_timer (config : Config.t) (m : Machine.t) vclint stats hart deadline =
@@ -62,14 +79,14 @@ let try_ecall config (m : Machine.t) vclint stats hart =
     end
     else if ext = Mir_sbi.Sbi.ext_ipi && fid = Mir_sbi.Sbi.fid_ipi_send_ipi
     then begin
-      kick_with m vclint Vclint.set_os_ipi_pending
+      kick_with m vclint Vclint.set_os_ipi_pending ~poster:hart.Hart.id
         (hart_targets m ~mask:a0 ~base:a1);
       stats.Vfm_stats.offload_ipi <- stats.Vfm_stats.offload_ipi + 1;
       charge hart config.Config.cost.Cost.offload_ipi;
       ret ()
     end
     else if ext = Mir_sbi.Sbi.ext_rfence then begin
-      kick_with m vclint Vclint.set_rfence_pending
+      kick_with m vclint Vclint.set_rfence_pending ~poster:hart.Hart.id
         (hart_targets m ~mask:a0 ~base:a1);
       stats.Vfm_stats.offload_rfence <- stats.Vfm_stats.offload_rfence + 1;
       charge hart config.Config.cost.Cost.offload_rfence;

@@ -11,6 +11,7 @@ type ctx = {
   config : Config.t;
   report_violation : string -> unit;
   reinstall_pmp : unit -> unit;
+  reinstall_pmp_all : unit -> unit;
   return_to_os : pc:int64 -> unit;
 }
 

@@ -22,8 +22,14 @@ type ctx = {
   report_violation : string -> unit;
       (** record a policy violation and stop the machine (§5.2) *)
   reinstall_pmp : unit -> unit;
-      (** re-derive the physical PMP (after the policy changed its
-          entries) *)
+      (** re-derive the current hart's physical PMP (after the policy
+          changed entries only this hart observes, e.g. its own
+          enclave entering or leaving execution) *)
+  reinstall_pmp_all : unit -> unit;
+      (** re-derive every hart's physical PMP. Required whenever the
+          policy's entry list changes for sibling harts too (enclave
+          create/destroy): a per-hart reinstall would leave siblings
+          enforcing the stale entries until their own next trap. *)
   return_to_os : pc:int64 -> unit;
       (** resume direct execution at [pc] in the interrupted privilege
           (a physical mret) *)

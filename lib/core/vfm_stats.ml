@@ -10,6 +10,10 @@ type t = {
   mutable offload_rfence : int;
   mutable offload_misaligned : int;
   mutable vclint_accesses : int;
+  (* sibling-hart PMP reinstalls performed by reinstall_pmp_all when a
+     policy changes entries that every hart must observe (enclave
+     create/destroy) *)
+  mutable pmp_remote_reinstalls : int;
   (* simulator memory-system counters, mirrored from the machine's
      per-hart software TLBs (see Monitor.refresh_tlb_stats) *)
   mutable tlb_hits : int;
@@ -30,6 +34,7 @@ let create () =
     offload_rfence = 0;
     offload_misaligned = 0;
     vclint_accesses = 0;
+    pmp_remote_reinstalls = 0;
     tlb_hits = 0;
     tlb_misses = 0;
     tlb_flushes = 0;
@@ -51,6 +56,7 @@ let load_state t s =
   t.offload_rfence <- s.offload_rfence;
   t.offload_misaligned <- s.offload_misaligned;
   t.vclint_accesses <- s.vclint_accesses;
+  t.pmp_remote_reinstalls <- s.pmp_remote_reinstalls;
   t.tlb_hits <- s.tlb_hits;
   t.tlb_misses <- s.tlb_misses;
   t.tlb_flushes <- s.tlb_flushes
@@ -71,6 +77,7 @@ let reset t =
   t.offload_rfence <- 0;
   t.offload_misaligned <- 0;
   t.vclint_accesses <- 0;
+  t.pmp_remote_reinstalls <- 0;
   t.tlb_hits <- 0;
   t.tlb_misses <- 0;
   t.tlb_flushes <- 0
@@ -79,8 +86,8 @@ let pp fmt t =
   Format.fprintf fmt
     "traps: os=%d fw=%d | world switches=%d | emulated=%d vtraps=%d | \
      offload: time=%d timer=%d ipi=%d rfence=%d misaligned=%d | vclint=%d | \
-     tlb: hits=%d misses=%d flushes=%d"
+     pmp remote=%d | tlb: hits=%d misses=%d flushes=%d"
     t.traps_from_os t.traps_from_fw t.world_switches t.emulated_instrs
     t.vtraps t.offload_time_read t.offload_set_timer t.offload_ipi
-    t.offload_rfence t.offload_misaligned t.vclint_accesses t.tlb_hits
-    t.tlb_misses t.tlb_flushes
+    t.offload_rfence t.offload_misaligned t.vclint_accesses
+    t.pmp_remote_reinstalls t.tlb_hits t.tlb_misses t.tlb_flushes

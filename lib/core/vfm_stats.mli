@@ -14,6 +14,9 @@ type t = {
   mutable offload_rfence : int;
   mutable offload_misaligned : int;
   mutable vclint_accesses : int;
+  mutable pmp_remote_reinstalls : int;
+      (** sibling-hart PMP reinstalls (policy entry changes that every
+          hart must observe, e.g. enclave create/destroy) *)
   mutable tlb_hits : int;
       (** simulator software-TLB counters, mirrored from the machine
           (Monitor.refresh_tlb_stats) *)

@@ -1,0 +1,36 @@
+(** Cross-hart isolation oracles, checked at hart-switch points.
+
+    Trap handling is atomic within one [Machine.step], so switch
+    points are exactly the intermediate states a concurrent monitor
+    would expose; an oracle that holds at every switch point of every
+    schedule holds of the interleaving, full stop. *)
+
+type violation = {
+  oracle : string;  (** name of the violated oracle *)
+  hart : int;  (** offending hart, [-1] when not hart-specific *)
+  detail : string;
+}
+
+type t = { name : string; check : unit -> violation option }
+
+val first_violation : t list -> violation option
+
+val policy_flag : Miralis.Monitor.t -> t
+(** The active policy has not flagged a violation. *)
+
+val pmp_owner : Miralis.Monitor.t -> t
+(** Every hart's physical PMP prefix equals [Vpmp.build] of its owning
+    vhart's current view — no hart runs on a stale sibling's PMP. *)
+
+val msip_delivery : Miralis.Monitor.t -> t
+(** A pending offloaded IPI or remote fence for a hart implies that
+    hart's physical msip line is raised: kicks are never dropped. *)
+
+val sfence_coherence : Mir_rv.Machine.t -> t
+(** After syncing each hart's TLB to its vm-epoch, every still-valid
+    entry re-walks to the same physical frame: no hart can see a
+    translation a completed cross-hart sfence should have shot down. *)
+
+val isolation : regions:(unit -> (int64 * int64) list) -> Mir_rv.Machine.t -> t
+(** No hart whose pc is outside a protected [(base, size)] region can
+    read that region under its currently installed PMP. *)

@@ -11,26 +11,35 @@ let replace ops i op = List.mapi (fun j o -> if j = i then op else o) ops
 
 let still_fails exec input = input.Input.ops <> [] && Exec.diverges exec input
 
-(* Remove chunks of decreasing size, restarting the scan after every
-   successful removal (classic ddmin simplified to a greedy pass). *)
-let chunk_pass exec input =
-  let rec at_size input chunk =
-    if chunk = 0 then input
+(* Generic ddmin over a list: remove chunks of decreasing size,
+   restarting the scan after every successful removal (classic ddmin
+   simplified to a greedy pass). Every candidate is validated by
+   [still_fails], so the result is a genuine failing input. The scan
+   starts at index [chunk], so the head element is always retained —
+   for op streams that is the seed of the divergence window, for the
+   schedule explorer it is the initial hart pick. *)
+let ddmin ~still_fails items =
+  let rec at_size items chunk =
+    if chunk = 0 then items
     else
-      let rec scan input i =
-        let n = List.length input.Input.ops in
-        if i >= n then at_size input (chunk / 2)
+      let rec scan items i =
+        let n = List.length items in
+        if i >= n then at_size items (chunk / 2)
         else
-          let cand =
-            { input with Input.ops = remove_span input.Input.ops i chunk }
-          in
-          if still_fails exec cand then scan cand i
-          else scan input (i + chunk)
+          let cand = remove_span items i chunk in
+          if still_fails cand then scan cand i else scan items (i + chunk)
       in
-      scan input chunk
+      scan items chunk
   in
-  let n = List.length input.Input.ops in
-  at_size input (max 1 (n / 2))
+  at_size items (max 1 (List.length items / 2))
+
+let chunk_pass exec input =
+  let ops =
+    ddmin
+      ~still_fails:(fun ops -> still_fails exec { input with Input.ops })
+      input.Input.ops
+  in
+  { input with Input.ops }
 
 (* Candidate simplifications of one op, most aggressive first. *)
 let simpler_ops = function

@@ -1,6 +1,13 @@
 (** Divergence minimization: truncation at the diverging op, greedy
     ddmin-style chunk removal, then per-op simplification. *)
 
+val ddmin : still_fails:('a list -> bool) -> 'a list -> 'a list
+(** Greedy delta-debugging over any list: removes chunks of decreasing
+    size, restarting the scan after every successful removal, keeping
+    a candidate only when [still_fails] holds of it. The head element
+    is always retained. Reused by the schedule explorer to minimize
+    failing schedules over their preemption points. *)
+
 val shrink : Exec.t -> Input.t -> Input.t
 (** Returns a minimal input that still diverges under [exec] (the
     input itself if it does not diverge). Every removal is validated

@@ -172,7 +172,8 @@ let create () =
             incr next_id;
             let c = { id = !next_id; base; size; entry; state = Ready } in
             state.cvms <- c :: state.cvms;
-            ctx.Policy.reinstall_pmp ();
+            (* sibling harts must pick up the new deny entry too *)
+            ctx.Policy.reinstall_pmp_all ();
             Policy.sbi_return ctx ~err:0L ~value:(Int64.of_int c.id)
           end;
           Policy.Handled
@@ -215,7 +216,7 @@ let create () =
                      (Int64.add c.base (Int64.of_int (8 * i)))
                      8 0L)
               done;
-              ctx.Policy.reinstall_pmp ();
+              ctx.Policy.reinstall_pmp_all ();
               Policy.sbi_return ctx ~err:0L ~value:0L);
           Policy.Handled
         end

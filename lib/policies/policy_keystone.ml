@@ -179,7 +179,10 @@ let create () =
               { eid = !next_eid; base; size; entry; state = Created }
             in
             state.enclaves <- e :: state.enclaves;
-            ctx.Policy.reinstall_pmp ();
+            (* every hart must observe the new deny entry: a sibling
+               running with the pre-create PMP could read the enclave
+               before its own next reinstall *)
+            ctx.Policy.reinstall_pmp_all ();
             Policy.sbi_return ctx ~err:0L ~value:(Int64.of_int e.eid)
           end;
           Policy.Handled
@@ -216,7 +219,7 @@ let create () =
                      (Int64.add e.base (Int64.of_int (8 * i)))
                      8 0L)
               done;
-              ctx.Policy.reinstall_pmp ();
+              ctx.Policy.reinstall_pmp_all ();
               Policy.sbi_return ctx ~err:0L ~value:0L);
           Policy.Handled
         end

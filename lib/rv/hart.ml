@@ -11,6 +11,7 @@ type t = {
   mutable instret : int64;
   mutable irq_stale : int;
   mutable reservation : int64 option;
+  mutable just_trapped : bool;
 }
 
 let create ?(tlb_entries = 256) config ~id =
@@ -27,6 +28,7 @@ let create ?(tlb_entries = 256) config ~id =
     instret = 0L;
     irq_stale = 0;
     reservation = None;
+    just_trapped = false;
   }
 
 let get t r = if r = 0 then 0L else t.regs.(r)
@@ -39,6 +41,7 @@ let reset t ~pc =
   t.priv <- Priv.M;
   t.wfi <- false;
   t.halted <- false;
+  t.just_trapped <- false;
   Tlb.flush t.tlb
 
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,13 @@ type t = {
   mutable reservation : int64 option;
       (** LR/SC reservation (physical address), cleared by stores and
           traps *)
+  mutable just_trapped : bool;
+      (** set by trap entry, cleared when the hart next steps: "this
+          hart's last completed step ended in a trap and it has not run
+          since". The schedule explorer reads it to flag trap-entry
+          points as preemption-interesting; the machine uses it to
+          model mid-emulation preemption windows for injected race
+          bugs. *)
 }
 
 val create : ?tlb_entries:int -> Csr_spec.config -> id:int -> t

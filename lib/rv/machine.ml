@@ -32,6 +32,15 @@ let default_config =
     tlb_entries = 256;
   }
 
+(* Injectable cross-hart race windows, driven by the schedule explorer
+   (lib/explore). Each defect delays one cross-hart propagation step
+   (a remote TLB shootdown, a physical MSIP kick, a sibling PMP
+   reinstall) by [race_window] global machine steps, opening a short
+   inconsistency window that only a preemptive schedule can observe:
+   under the stock round-robin [run], the window opens and closes
+   inside one hart's slice, before the next hart-switch point. *)
+type race_bug = Delayed_vm_epoch | Dropped_msip | Pmp_handoff_window
+
 type t = {
   config : config;
   harts : Hart.t array;
@@ -53,7 +62,11 @@ type t = {
   mutable on_chunk : (t -> unit) option;
   mutable poweroff : bool;
   mutable instr_count : int64;
+  mutable race_bug : race_bug option;
+  mutable deferred : deferred list;
 }
+
+and deferred = { mutable ticks : int; action : t -> unit }
 
 let syscon_base = 0x100000L
 
@@ -87,6 +100,8 @@ let create config =
       on_chunk = None;
       poweroff = false;
       instr_count = 0L;
+      race_bug = None;
+      deferred = [];
     }
   in
   (* Test-finisher ("syscon"): a word write of 0x5555 powers off. *)
@@ -140,14 +155,40 @@ let icache_invalidate t addr size =
 let flush_icache t = Array.fill t.icache 0 (Array.length t.icache) None
 let invalidate_icache t addr size = icache_invalidate t addr size
 
+(* Deferred cross-hart actions for the injected race windows: the
+   countdown ticks once per global machine step (any hart), so a
+   deferral of [race_window] models a propagation delay of a few
+   instructions of wall-clock. The queue is almost always empty; the
+   single [deferred <> []] test in [step] is the only cost when no bug
+   is armed. *)
+let race_window = 6
+let defer t ~ticks action = t.deferred <- t.deferred @ [ { ticks; action } ]
+
+let tick_deferred t =
+  List.iter (fun d -> d.ticks <- d.ticks - 1) t.deferred;
+  let due, rest = List.partition (fun d -> d.ticks <= 0) t.deferred in
+  t.deferred <- rest;
+  List.iter (fun d -> d.action t) due
+
 (* sfence.vma semantics over the software TLBs.  All harts are flushed
    on any hart's fence: over-invalidation is always architecturally
    safe, and it makes the counted-but-unfenced SBI remote-fence
-   offload conservative too. *)
-let sfence_vma t ?vaddr () =
-  match vaddr with
-  | None -> Array.iter (fun h -> Tlb.flush h.Hart.tlb) t.harts
-  | Some va -> Array.iter (fun h -> Tlb.flush_page h.Hart.tlb va) t.harts
+   offload conservative too.  [from] names the fencing hart; it only
+   matters under the Delayed_vm_epoch injected bug, where the fencing
+   hart's own TLB stays coherent but the cross-hart shootdown lands
+   [race_window] steps late. *)
+let sfence_vma t ?from ?vaddr () =
+  let flush h =
+    match vaddr with
+    | None -> Tlb.flush h.Hart.tlb
+    | Some va -> Tlb.flush_page h.Hart.tlb va
+  in
+  match (t.race_bug, from) with
+  | Some Delayed_vm_epoch, Some f ->
+      Array.iter (fun h -> if h.Hart.id = f then flush h) t.harts;
+      defer t ~ticks:race_window (fun t ->
+          Array.iter (fun h -> if h.Hart.id <> f then flush h) t.harts)
+  | _ -> Array.iter flush t.harts
 
 let flush_tlbs t = Array.iter (fun h -> Tlb.flush h.Hart.tlb) t.harts
 
@@ -242,6 +283,7 @@ let tvec_target tvec cause =
 
 let take_trap t hart cause ~tval =
   charge hart t.config.trap_penalty;
+  hart.Hart.just_trapped <- true;
   let csr = hart.Hart.csr in
   let from_priv = hart.Hart.priv in
   let delegated =
@@ -680,8 +722,8 @@ let exec t hart instr bits =
       (* rs1 = x0: global fence; otherwise fence the named vpage.  ASID
          (rs2) is ignored: the TLB is not ASID-tagged, so over-flushing
          is the conservative, correct reading. *)
-      if rs1 = 0 then sfence_vma t ()
-      else sfence_vma t ~vaddr:(Hart.get hart rs1) ();
+      if rs1 = 0 then sfence_vma t ~from:hart.Hart.id ()
+      else sfence_vma t ~from:hart.Hart.id ~vaddr:(Hart.get hart rs1) ();
       next ()
   | Instr.Amo { op; wide; rd; rs1; rs2; _ } -> begin
       let size = if wide then 8 else 4 in
@@ -763,6 +805,8 @@ let wfi_quantum = 16
 let step t hart =
   if hart.Hart.halted then ()
   else begin
+    if t.deferred <> [] then tick_deferred t;
+    hart.Hart.just_trapped <- false;
     (* interrupt lines change only with device state (time advances per
        chunk; msip/PLIC on MMIO stores): refreshing every 16th step
        keeps delivery latency tiny without paying the cost per
@@ -842,5 +886,32 @@ let run ?(max_instrs = Int64.max_int) ?(chunk = 32) t =
     sync_time t;
     poll_devices t;
     match t.on_chunk with Some f -> f t | None -> ()
+  done;
+  sync_time t
+
+(* Scheduled execution: [pick] chooses the hart for every single step,
+   so a scheduler (lib/explore) can preempt at arbitrary step
+   boundaries. Device time is synced every [chunk] scheduled steps —
+   pass 32 * nharts to mirror [run]'s cadence. The contract on [pick]
+   is to return a non-halted hart (the explorer remaps halted picks
+   deterministically before recording them); a halted or out-of-range
+   pick steps nothing but still consumes budget, so the loop always
+   terminates. [pick] may raise to abort the run early. *)
+let run_scheduled ?(max_steps = max_int) ?(chunk = 64) ~pick t =
+  let nharts = Array.length t.harts in
+  let n = ref 0 in
+  let total = ref 0 in
+  while (not t.poweroff) && (not (all_halted t)) && !total < max_steps do
+    let h = pick t in
+    if h >= 0 && h < nharts && not t.harts.(h).Hart.halted then
+      step t t.harts.(h);
+    incr n;
+    incr total;
+    if !n >= chunk then begin
+      n := 0;
+      sync_time t;
+      poll_devices t;
+      match t.on_chunk with Some f -> f t | None -> ()
+    end
   done;
   sync_time t

@@ -33,6 +33,14 @@ val default_config : config
     their conventional addresses, misaligned accesses trapping (like
     the VisionFive 2). *)
 
+(** Injectable cross-hart race windows (schedule explorer, lib/explore).
+    Each defect delays one cross-hart propagation step — the remote TLB
+    shootdown of an sfence, the physical MSIP kick behind a vCLINT IPI,
+    the sibling reinstall of a policy PMP handoff — by {!race_window}
+    global steps, opening an inconsistency window that only a
+    preemptive schedule can observe. *)
+type race_bug = Delayed_vm_epoch | Dropped_msip | Pmp_handoff_window
+
 type t = {
   config : config;
   harts : Hart.t array;
@@ -61,7 +69,15 @@ type t = {
           polling — used by the checkpoint layer *)
   mutable poweroff : bool;
   mutable instr_count : int64;
+  mutable race_bug : race_bug option;
+      (** armed race-window injection; [None] (the default) leaves
+          every propagation step atomic as before *)
+  mutable deferred : deferred list;
+      (** pending cross-hart propagation actions; ticked once per
+          global step, empty unless a race bug is armed *)
 }
+
+and deferred = { mutable ticks : int; action : t -> unit }
 
 val create : config -> t
 val attach_blockdev : t -> capacity_sectors:int -> latency_ticks:int64 -> Blockdev.t
@@ -106,6 +122,23 @@ val run : ?max_instrs:int64 -> ?chunk:int -> t -> unit
 (** Run all harts round-robin until power-off, all harts halt, or the
     instruction budget is exhausted. *)
 
+val run_scheduled : ?max_steps:int -> ?chunk:int -> pick:(t -> int) -> t -> unit
+(** Run under an external scheduler: [pick] chooses the hart for every
+    single step, so a schedule explorer can preempt at arbitrary step
+    boundaries. Device time is synced every [chunk] scheduled steps
+    (pass [32 * nharts] to mirror {!run}'s cadence). [pick] should
+    return a non-halted hart; a halted or out-of-range pick steps
+    nothing but still consumes the step budget. [pick] may raise to
+    abort the run. *)
+
+val race_window : int
+(** Width, in global steps, of every injected race window. *)
+
+val defer : t -> ticks:int -> (t -> unit) -> unit
+(** Schedule an action to run at the start of the [ticks]-th next
+    machine step (any hart). Used by the race-bug injections to model
+    delayed cross-hart propagation. *)
+
 val all_halted : t -> bool
 val now_ticks : t -> int64
 (** Current mtime. *)
@@ -116,9 +149,12 @@ val invalidate_icache : t -> int64 -> int -> unit
 (** Invalidate the decoded-instruction cache for a physical range
     (used by the verifier, which patches instructions directly). *)
 
-val sfence_vma : t -> ?vaddr:int64 -> unit -> unit
+val sfence_vma : t -> ?from:int -> ?vaddr:int64 -> unit -> unit
 (** Architectural [sfence.vma] over the software TLBs of all harts:
-    global without [vaddr], per-vpage with it. *)
+    global without [vaddr], per-vpage with it. [from] names the
+    fencing hart; it changes nothing architecturally, but under the
+    Delayed_vm_epoch injected bug the cross-hart shootdown (every hart
+    but [from]) lands {!race_window} steps late. *)
 
 val flush_tlbs : t -> unit
 (** Flush every hart's TLB and fetch-page cache (checkpoint restore,

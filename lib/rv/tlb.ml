@@ -171,6 +171,25 @@ let install t ~priv ~vaddr ~phys ~pte ~sum ~mxr ~pmp_r ~pmp_w ~pmp_x =
     end
   end
 
+(* Enumerate the valid slots (for the schedule explorer's cross-hart
+   sfence-coherence oracle, which re-walks every cached translation
+   and compares page bases). Decoding the packed tag is the inverse of
+   [tag]; priv encoding 2 is unused, so [Priv.of_int] cannot fail on a
+   valid slot. *)
+let iter_valid t f =
+  for i = 0 to Array.length t.tags - 1 do
+    let tg = t.tags.(i) in
+    if tg land 1 = 1 then
+      match Priv.of_int ((tg lsr 1) land 3) with
+      | Some priv ->
+          f ~vpn:(tg lsr 3) ~priv
+            ~loads:(t.flags.(i) land load_bit <> 0)
+            ~stores:(t.flags.(i) land store_bit <> 0)
+            ~fetches:(t.flags.(i) land fetch_bit <> 0)
+            ~pbase:t.pbase.(i)
+      | None -> ()
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Fetch-page cache                                                    *)
 (* ------------------------------------------------------------------ *)

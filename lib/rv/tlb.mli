@@ -60,6 +60,21 @@ val install :
     PMP verdict do not hold are left invalid, so e.g. a store through
     a load-installed entry misses and re-walks once to set D. *)
 
+val iter_valid :
+  t ->
+  (vpn:int ->
+  priv:Priv.t ->
+  loads:bool ->
+  stores:bool ->
+  fetches:bool ->
+  pbase:int ->
+  unit) ->
+  unit
+(** Enumerate the valid slots: virtual page number, the privilege the
+    walk ran under, which access kinds the entry can serve, and the
+    cached physical page base. Used by the schedule explorer's
+    sfence-coherence oracle to re-walk every cached translation. *)
+
 val fetch_lookup : t -> priv:Priv.t -> int64 -> int
 (** icache word-index base for the cached fetch page, or [-1]. *)
 

@@ -45,5 +45,10 @@ val to_json : t -> string
 
 val of_json : string -> (t, string) result
 
+val parse_fields : string -> ((string * string) list, string) result
+(** The flat-object parser behind {!of_json}: ["key":value,...] with
+    string, bool and integer values, returned in order. Shared with
+    the other JSONL artifact formats (schedules). *)
+
 val pp : Format.formatter -> t -> unit
 val pp_kind : Format.formatter -> kind -> unit

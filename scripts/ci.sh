@@ -35,6 +35,14 @@ dune exec bin/miralis_sim.exe -- fuzz --replay test/vectors
 # switches, fences, SUM/MXR/MPRV flips and PMP reconfigurations.
 dune exec bin/miralis_sim.exe -- fuzz --paging --max-execs 10000
 
+# Schedule-exploration smoke: with no injected bug, every scenario's
+# isolation oracles must stay clean under the fixed-seed random and
+# PCT schedules (exit 1 on any violation), and the checked-in shrunk
+# failing schedules must replay to their recorded violations (exit 1
+# on divergence).
+dune exec bin/miralis_sim.exe -- explore --max-schedules 200
+dune exec bin/miralis_sim.exe -- explore --replay-schedule test/schedules
+
 # Memory-system fast-path benchmark, small budget: the TLB-enabled
 # instrs/sec figure must stay within 20% of the committed baseline.
 MIRALIS_IPS_BUDGET=1000000 dune exec bench/main.exe -- ips

@@ -17,6 +17,11 @@
 #      install paths, and the verification/test harnesses: satp
 #      swaps from anywhere else could bypass review of the TLB
 #      vm-epoch invalidation contract.
+#   5. Stepping a hart directly (Machine.step) is restricted to the
+#      machine itself, the lockstep differ, and the microbenchmarks.
+#      Multi-hart execution must go through Machine.run or
+#      Machine.run_scheduled so the interleaving explorer's schedule
+#      control and the run-loop's device/time sync are never bypassed.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -48,6 +53,12 @@ satp_raw_allow='^(lib/rv/|lib/core/(world|monitor)\.ml|lib/verif/|test/)'
 if grep -rnE "Csr_file\.write_raw[^;]*satp" --include='*.ml' $src_dirs |
   grep -vE "$satp_raw_allow" | grep .; then
   complain "raw satp installs outside the world-switch/architecture layers"
+fi
+
+step_allow='^(lib/rv/|lib/verif/|bench/)'
+if grep -rnE "Machine\.step\b" --include='*.ml' $src_dirs |
+  grep -vE "$step_allow" | grep .; then
+  complain "direct hart stepping outside Machine/diff/bench; use Machine.run or Machine.run_scheduled"
 fi
 
 if [ "$fail" -ne 0 ]; then

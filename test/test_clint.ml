@@ -1,0 +1,219 @@
+(* Cross-hart CLINT / virtual-CLINT properties: msip and mtimecmp are
+   strictly per-hart state (a write for one hart never changes a
+   sibling's view), mtime is shared and monotonic, and the checkpoint
+   path restores all of it. These are the invariants the explorer's
+   msip-delivery oracle builds on. *)
+
+module Clint = Mir_rv.Clint
+module Device = Mir_rv.Device
+module Vclint = Miralis.Vclint
+
+let nharts = 4
+
+(* ------------------------------------------------------------------ *)
+(* Physical CLINT                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_msip_independence =
+  Helpers.qcheck_case ~count:300 "msip writes are per-hart"
+    (fun (target, value) ->
+      let target = target mod nharts in
+      let c = Clint.create ~nharts in
+      (* seed every hart with the opposite value, flip one *)
+      for h = 0 to nharts - 1 do
+        Clint.set_msip c h (not value)
+      done;
+      Clint.set_msip c target value;
+      let ok = ref (Clint.msip c target = value) in
+      for h = 0 to nharts - 1 do
+        if h <> target then ok := !ok && Clint.msip c h = not value
+      done;
+      !ok)
+    QCheck.(pair small_int bool)
+
+let test_mtimecmp_independence =
+  Helpers.qcheck_case ~count:300 "mtimecmp writes are per-hart"
+    (fun (target, value) ->
+      let target = target mod nharts in
+      let c = Clint.create ~nharts in
+      for h = 0 to nharts - 1 do
+        Clint.set_mtimecmp c h (Int64.of_int h)
+      done;
+      Clint.set_mtimecmp c target value;
+      let ok = ref (Clint.mtimecmp c target = value) in
+      for h = 0 to nharts - 1 do
+        if h <> target then ok := !ok && Clint.mtimecmp c h = Int64.of_int h
+      done;
+      !ok)
+    QCheck.(pair small_int int64)
+
+let test_mtip_per_hart () =
+  let c = Clint.create ~nharts in
+  Clint.set_mtime c 100L;
+  Clint.set_mtimecmp c 0 50L;
+  Clint.set_mtimecmp c 1 100L;
+  Clint.set_mtimecmp c 2 101L;
+  Clint.set_mtimecmp c 3 Int64.max_int;
+  Alcotest.(check bool) "past deadline" true (Clint.mtip c 0);
+  Alcotest.(check bool) "at deadline" true (Clint.mtip c 1);
+  Alcotest.(check bool) "before deadline" false (Clint.mtip c 2);
+  Alcotest.(check bool) "unarmed" false (Clint.mtip c 3);
+  (* shared clock: one advance moves every hart's line together *)
+  Clint.advance c 1L;
+  Alcotest.(check bool) "fires after advance" true (Clint.mtip c 2)
+
+let test_mtime_monotonic =
+  Helpers.qcheck_case ~count:300 "advance never rewinds mtime"
+    (fun ticks ->
+      let c = Clint.create ~nharts in
+      let ok = ref true in
+      List.iter
+        (fun t ->
+          let before = Clint.mtime c in
+          Clint.advance c (Int64.of_int (abs t));
+          ok := !ok && Int64.unsigned_compare (Clint.mtime c) before >= 0)
+        ticks;
+      !ok)
+    QCheck.(small_list small_int)
+
+let test_mmio_matches_direct () =
+  let c = Clint.create ~nharts in
+  let d = Clint.device c ~base:0L in
+  for h = 0 to nharts - 1 do
+    d.Device.store (Clint.msip_offset h) 4 (if h mod 2 = 0 then 1L else 0L);
+    d.Device.store (Clint.mtimecmp_offset h) 8 (Int64.of_int (1000 + h))
+  done;
+  for h = 0 to nharts - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "msip %d via mmio" h)
+      (h mod 2 = 0) (Clint.msip c h);
+    Helpers.check_i64
+      (Printf.sprintf "mtimecmp %d via mmio" h)
+      (Int64.of_int (1000 + h))
+      (Clint.mtimecmp c h)
+  done
+
+let test_clint_snapshot () =
+  let c = Clint.create ~nharts in
+  Clint.set_mtime c 777L;
+  Clint.set_msip c 1 true;
+  Clint.set_mtimecmp c 2 4242L;
+  let snap = Clint.save_state c in
+  Clint.advance c 100L;
+  Clint.set_msip c 1 false;
+  Clint.set_msip c 3 true;
+  Clint.set_mtimecmp c 2 0L;
+  Clint.load_state c snap;
+  Helpers.check_i64 "mtime restored" 777L (Clint.mtime c);
+  Alcotest.(check bool) "msip 1 restored" true (Clint.msip c 1);
+  Alcotest.(check bool) "msip 3 restored" false (Clint.msip c 3);
+  Helpers.check_i64 "mtimecmp restored" 4242L (Clint.mtimecmp c 2)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual CLINT                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_vmsip_independence =
+  Helpers.qcheck_case ~count:300 "virtual msip/ipi flags are per-hart"
+    (fun (target, value) ->
+      let target = target mod nharts in
+      let vc = Vclint.create ~nharts in
+      Vclint.set_vmsip vc target value;
+      Vclint.set_os_ipi_pending vc target value;
+      let ok = ref (Vclint.vmsip vc target = value) in
+      ok := !ok && Vclint.os_ipi_pending vc target = value;
+      for h = 0 to nharts - 1 do
+        if h <> target then begin
+          ok := !ok && not (Vclint.vmsip vc h);
+          ok := !ok && not (Vclint.os_ipi_pending vc h)
+        end
+      done;
+      !ok)
+    QCheck.(pair small_int bool)
+
+let test_vclint_emulate_per_hart () =
+  let vc = Vclint.create ~nharts in
+  let c = Clint.create ~nharts in
+  Clint.set_mtime c 50L;
+  (* a firmware msip write through the emulation path touches only the
+     virtual state of the addressed hart *)
+  let store off v =
+    ignore (Vclint.emulate_access vc c ~offset:off ~size:4 ~write:(Some v))
+  in
+  store (Clint.msip_offset 2) 1L;
+  Alcotest.(check bool) "vmsip 2 set" true (Vclint.vmsip vc 2);
+  Alcotest.(check bool) "vmsip 1 clear" false (Vclint.vmsip vc 1);
+  Alcotest.(check bool) "physical msip untouched" false (Clint.msip c 2);
+  (* mtimecmp goes to the virtual comparator, mtime reads pass through *)
+  ignore
+    (Vclint.emulate_access vc c
+       ~offset:(Clint.mtimecmp_offset 1)
+       ~size:8 ~write:(Some 9000L));
+  Helpers.check_i64 "vmtimecmp 1" 9000L (Vclint.vmtimecmp vc 1);
+  Helpers.check_i64 "vmtimecmp 0 untouched" Int64.minus_one
+    (Vclint.vmtimecmp vc 0);
+  (match
+     Vclint.emulate_access vc c ~offset:Clint.mtime_offset ~size:8 ~write:None
+   with
+  | Some v -> Helpers.check_i64 "mtime passthrough" 50L v
+  | None -> Alcotest.fail "mtime read not served")
+
+let test_vclint_physical_mux () =
+  let vc = Vclint.create ~nharts in
+  let c = Clint.create ~nharts in
+  (* physical comparator = min(virtual deadline, offload deadline) *)
+  Vclint.set_vmtimecmp vc 0 500L;
+  Vclint.set_offload_deadline vc 0 300L;
+  Vclint.program_physical vc c 0;
+  Helpers.check_i64 "offload wins" 300L (Clint.mtimecmp c 0);
+  Vclint.set_offload_deadline vc 0 800L;
+  Vclint.program_physical vc c 0;
+  Helpers.check_i64 "virtual wins" 500L (Clint.mtimecmp c 0);
+  (* the virtual MTI line follows the virtual deadline, not the muxed
+     physical comparator *)
+  Clint.set_mtime c 400L;
+  Alcotest.(check bool) "vmtip before vdeadline" false (Vclint.vmtip vc c 0);
+  Clint.set_mtime c 500L;
+  Alcotest.(check bool) "vmtip at vdeadline" true (Vclint.vmtip vc c 0)
+
+let test_vclint_snapshot () =
+  let vc = Vclint.create ~nharts in
+  Vclint.set_vmsip vc 0 true;
+  Vclint.set_os_ipi_pending vc 1 true;
+  Vclint.set_rfence_pending vc 2 true;
+  Vclint.set_vmtimecmp vc 3 123L;
+  let snap = Vclint.save_state vc in
+  Vclint.set_vmsip vc 0 false;
+  Vclint.set_os_ipi_pending vc 1 false;
+  Vclint.set_rfence_pending vc 2 false;
+  Vclint.set_vmtimecmp vc 3 0L;
+  Vclint.load_state vc snap;
+  Alcotest.(check bool) "vmsip restored" true (Vclint.vmsip vc 0);
+  Alcotest.(check bool) "ipi restored" true (Vclint.os_ipi_pending vc 1);
+  Alcotest.(check bool) "rfence restored" true (Vclint.rfence_pending vc 2);
+  Helpers.check_i64 "vmtimecmp restored" 123L (Vclint.vmtimecmp vc 3)
+
+let () =
+  Alcotest.run "clint"
+    [
+      ( "clint",
+        [
+          test_msip_independence;
+          test_mtimecmp_independence;
+          Alcotest.test_case "mtip per hart" `Quick test_mtip_per_hart;
+          test_mtime_monotonic;
+          Alcotest.test_case "mmio matches direct" `Quick
+            test_mmio_matches_direct;
+          Alcotest.test_case "snapshot round-trip" `Quick test_clint_snapshot;
+        ] );
+      ( "vclint",
+        [
+          test_vmsip_independence;
+          Alcotest.test_case "emulated access per hart" `Quick
+            test_vclint_emulate_per_hart;
+          Alcotest.test_case "physical comparator mux" `Quick
+            test_vclint_physical_mux;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_vclint_snapshot;
+        ] );
+    ]

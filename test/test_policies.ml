@@ -335,6 +335,124 @@ let test_ace_firmware_cannot_read_cvm () =
     "attack did not succeed" false
     (String.contains (Setup.uart_output sys) 'X')
 
+(* ------------------------------------------------------------------ *)
+(* Schedule independence: an isolation verdict must not depend on how  *)
+(* harts interleave. Honest firmware stays clean and evil firmware is  *)
+(* caught under every seeded random schedule, and the explorer's       *)
+(* keystone oracles hold across schedules when no bug is injected.     *)
+(* ------------------------------------------------------------------ *)
+
+module Explore = Mir_explore.Explore
+module ExpScenario = Mir_explore.Scenario
+module Sched = Mir_explore.Sched
+module Config = Miralis.Config
+
+let schedule_seeds = [ 0; 1; 2 ]
+
+(* Run a system to completion under a seeded random schedule, stopping
+   early once the policy has flagged a violation. Picks of halted
+   harts are remapped to the next runnable one. *)
+let run_random_schedule sys ~label ~max_steps =
+  let m = sys.Setup.machine in
+  let nharts = Array.length m.Machine.harts in
+  let prng = Config.derive Config.default_seed label in
+  let sched = Sched.random ~prng ~nharts () in
+  let mir = Option.get sys.Setup.miralis in
+  let step = ref 0 in
+  let last = ref (-1) in
+  let pick m =
+    if mir.Monitor.violation <> None then raise Exit;
+    let h0 = sched.Sched.pick m ~step:!step ~last:!last in
+    let h = ref (((h0 mod nharts) + nharts) mod nharts) in
+    let tries = ref 0 in
+    while !tries < nharts && m.Machine.harts.(!h).Hart.halted do
+      h := (!h + 1) mod nharts;
+      incr tries
+    done;
+    incr step;
+    last := !h;
+    !h
+  in
+  try Machine.run_scheduled m ~max_steps ~pick with Exit -> ()
+
+let test_sandbox_honest_schedule_independent () =
+  List.iter
+    (fun i ->
+      let sys, _ = create_sandboxed () in
+      Array.iter
+        (fun h ->
+          Script.write sys.Setup.machine ~hart:h.Hart.id
+            (if h.Hart.id = 0 then
+               [
+                 Script.Putchar 'A';
+                 Script.Rdtime;
+                 Script.Set_timer 100L;
+                 Script.Misaligned_load;
+                 Script.Putchar 'Z';
+                 Script.End;
+               ]
+             else [ Script.Halt ]))
+        sys.Setup.machine.Machine.harts;
+      run_random_schedule sys
+        ~label:(Printf.sprintf "policies:sandbox:honest:%d" i)
+        ~max_steps:2_000_000;
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation under schedule %d" i)
+        true
+        ((Option.get sys.Setup.miralis).Monitor.violation = None);
+      Helpers.check_str
+        (Printf.sprintf "uart under schedule %d" i)
+        "AZ" (Setup.uart_output sys))
+    schedule_seeds
+
+let test_sandbox_evil_schedule_independent () =
+  List.iter
+    (fun i ->
+      let sys, _ =
+        create_sandboxed
+          ~firmware:(Mir_firmware.Evil.image Mir_firmware.Evil.Read_os_memory)
+          ()
+      in
+      Array.iter
+        (fun h ->
+          Script.write sys.Setup.machine ~hart:h.Hart.id
+            (if h.Hart.id = 0 then [ Script.Putchar 'A'; Script.End ]
+             else [ Script.Halt ]))
+        sys.Setup.machine.Machine.harts;
+      run_random_schedule sys
+        ~label:(Printf.sprintf "policies:sandbox:evil:%d" i)
+        ~max_steps:2_000_000;
+      Alcotest.(check bool)
+        (Printf.sprintf "attack detected under schedule %d" i)
+        true
+        ((Option.get sys.Setup.miralis).Monitor.violation <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "attack failed under schedule %d" i)
+        false
+        (String.contains (Setup.uart_output sys) 'X'))
+    schedule_seeds
+
+let test_keystone_oracles_schedule_independent () =
+  let scn = Option.get (ExpScenario.find "keystone") in
+  List.iter
+    (fun i ->
+      let inst =
+        scn.ExpScenario.build ~nharts:2 ~seed:Config.default_seed
+      in
+      let prng =
+        Config.derive Config.default_seed
+          (Printf.sprintf "policies:keystone:%d" i)
+      in
+      let o =
+        Explore.run_once inst ~sched:(Sched.random ~prng ~nharts:2 ()) ()
+      in
+      match o.Explore.violation with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "schedule %d: spurious %s violation (%s)" i
+            v.Mir_explore.Oracle.oracle v.Mir_explore.Oracle.detail)
+    schedule_seeds
+
 let () =
   Alcotest.run "policies"
     ([
@@ -362,5 +480,11 @@ let () =
          Alcotest.test_case "ace: cvm lifecycle" `Quick test_ace_cvm_lifecycle;
          Alcotest.test_case "ace: firmware blocked from cvm" `Quick
            test_ace_firmware_cannot_read_cvm;
+         Alcotest.test_case "sandbox honest: schedule independent" `Slow
+           test_sandbox_honest_schedule_independent;
+         Alcotest.test_case "sandbox evil: schedule independent" `Slow
+           test_sandbox_evil_schedule_independent;
+         Alcotest.test_case "keystone oracles: schedule independent" `Slow
+           test_keystone_oracles_schedule_independent;
        ]
     |> fun tests -> [ ("policies", tests) ])

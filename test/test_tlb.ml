@@ -208,6 +208,84 @@ let test_pmp_reconfig_invalidates () =
   check_load_faults "revoked PMP region faults" env 0x5000L
     Cause.Load_access_fault
 
+(* ------------------------------------------------------------------ *)
+(* Multi-hart: a fence issued by one hart must shoot down its          *)
+(* siblings' cached translations.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let setup_mh () =
+  let m = Machine.create { config with Machine.nharts = 2 } in
+  Array.iter
+    (fun hart ->
+      Hart.reset hart ~pc:ram_base;
+      let csr = hart.Hart.csr in
+      Csr_file.write csr (Csr_addr.pmpaddr 7) (-1L);
+      Csr_file.write csr (Csr_addr.pmpcfg 0)
+        (Int64.shift_left 0b0011111L 56))
+    m.Machine.harts;
+  let env = { m; hart = m.Machine.harts.(0) } in
+  store64 env root_off (pte_at l1_off Vmem.pte_v);
+  store64 env l1_off (pte_at l0_off Vmem.pte_v);
+  Array.iter
+    (fun hart ->
+      Csr_file.write hart.Hart.csr Csr_addr.satp satp_value;
+      hart.Hart.priv <- Priv.S)
+    m.Machine.harts;
+  Machine.sfence_vma m ();
+  Array.iter
+    (fun hart ->
+      Tlb.sync_epoch hart.Hart.tlb (Csr_file.vm_epoch hart.Hart.csr);
+      Tlb.reset_counters hart.Hart.tlb)
+    m.Machine.harts;
+  env
+
+let vload_on env hart vaddr =
+  Machine.vload env.m hart vaddr 8 ~signed:false
+
+let test_cross_hart_sfence () =
+  let env = setup_mh () in
+  let h1 = env.m.Machine.harts.(1) in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  store64 env (page_off 0) 0xAAAAL;
+  store64 env (page_off 1) 0xBBBBL;
+  Helpers.check_i64 "hart 1 initial walk" 0xAAAAL (vload_on env h1 0x5000L);
+  (* remap with no fence: hart 1 keeps serving the stale frame *)
+  map env ~vpn:5 ~page:1 ~perms:rwxad;
+  let h0hits = Tlb.hits h1.Hart.tlb in
+  Helpers.check_i64 "stale entry until fenced" 0xAAAAL
+    (vload_on env h1 0x5000L);
+  Helpers.check_int "served from hart 1's TLB" (h0hits + 1)
+    (Tlb.hits h1.Hart.tlb);
+  (* hart 0 fences: hart 1's very next access must re-walk *)
+  let m0 = Tlb.misses h1.Hart.tlb in
+  Machine.sfence_vma env.m ~from:0 ();
+  Helpers.check_i64 "remote fence reaches hart 1" 0xBBBBL
+    (vload_on env h1 0x5000L);
+  Helpers.check_int "hart 1 re-walked" (m0 + 1) (Tlb.misses h1.Hart.tlb)
+
+let test_cross_hart_sfence_per_address () =
+  let env = setup_mh () in
+  let h1 = env.m.Machine.harts.(1) in
+  map env ~vpn:5 ~page:0 ~perms:rwxad;
+  map env ~vpn:6 ~page:2 ~perms:rwxad;
+  Machine.sfence_vma env.m ();
+  store64 env (page_off 0) 0xAAAAL;
+  store64 env (page_off 1) 0xBBBBL;
+  ignore (vload_on env h1 0x5000L);
+  ignore (vload_on env h1 0x6000L);
+  map env ~vpn:5 ~page:1 ~perms:rwxad;
+  (* hart 0 fences only the remapped page *)
+  Machine.sfence_vma env.m ~from:0 ~vaddr:0x5000L ();
+  let hits = Tlb.hits h1.Hart.tlb and misses = Tlb.misses h1.Hart.tlb in
+  Helpers.check_i64 "named page re-walked on hart 1" 0xBBBBL
+    (vload_on env h1 0x5000L);
+  Helpers.check_int "miss on the named page" (misses + 1)
+    (Tlb.misses h1.Hart.tlb);
+  ignore (vload_on env h1 0x6000L);
+  Helpers.check_int "other page still cached on hart 1" (hits + 1)
+    (Tlb.hits h1.Hart.tlb)
+
 let () =
   Alcotest.run "tlb"
     [
@@ -224,5 +302,12 @@ let () =
             test_dbit_promotion;
           Alcotest.test_case "PMP reconfig invalidates" `Quick
             test_pmp_reconfig_invalidates;
+        ] );
+      ( "multi-hart",
+        [
+          Alcotest.test_case "cross-hart sfence (global)" `Quick
+            test_cross_hart_sfence;
+          Alcotest.test_case "cross-hart sfence (per-address)" `Quick
+            test_cross_hart_sfence_per_address;
         ] );
     ]
