@@ -8,7 +8,7 @@
      bench/main.exe <name>...     run selected experiments
    Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
           fig13 fig14 boottime sstc q1 q4 trace fuzz sym ips explore
-          micro *)
+          fleet micro *)
 
 module T = Mir_experiments.Exp_tables
 module F = Mir_experiments.Exp_figs
@@ -338,6 +338,115 @@ let sym_bench () =
   print_endline "  wrote BENCH_sym.json"
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel machine fleet (BENCH_fleet.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the same fleet at several domain counts.  Everything except
+   wall-clock time must be bit-identical across counts (the fleet's
+   determinism contract); the scaling table records how aggregate
+   host-side throughput responds to domains.  On a single-core host
+   the curve is flat — the "deterministic" bit is the part that must
+   hold everywhere. *)
+let fleet_bench () =
+  print_endline "\nDomain-parallel machine fleet";
+  print_endline "=============================";
+  let module Fleet = Mir_fleet.Fleet in
+  let machines =
+    match Sys.getenv_opt "MIRALIS_FLEET_MACHINES" with
+    | Some s -> int_of_string s
+    | None -> 64
+  in
+  let duration_ms =
+    match Sys.getenv_opt "MIRALIS_FLEET_DURATION_MS" with
+    | Some s -> float_of_string s
+    | None -> 1.0
+  in
+  let spec = { Fleet.default_spec with Fleet.machines; duration_ms } in
+  let domain_counts =
+    let recommended = Mir_fleet.Pool.default_domains () in
+    List.sort_uniq compare (1 :: 2 :: 4 :: [ recommended ])
+    |> List.filter (fun d -> d <= max 4 recommended)
+  in
+  Printf.printf "  %d machines, workload %s, seed 0x%Lx, %.2f ms each\n"
+    machines spec.Fleet.workload spec.Fleet.seed duration_ms;
+  let runs =
+    List.map
+      (fun domains ->
+        let r = Fleet.run { spec with Fleet.domains } in
+        let agg = Fleet.aggregate r in
+        (domains, r, agg))
+      domain_counts
+  in
+  let _, base_run, base = List.hd runs in
+  let digests_of r =
+    Array.map (fun m -> m.Fleet.digest) r.Fleet.results
+  in
+  let base_digests = digests_of base_run in
+  let deterministic =
+    List.for_all
+      (fun (_, r, agg) ->
+        digests_of r = base_digests
+        && agg.Fleet.fleet_digest = base.Fleet.fleet_digest
+        && agg.Fleet.requests = base.Fleet.requests
+        && agg.Fleet.traps = base.Fleet.traps)
+      runs
+  in
+  let base_wall = (fun (_, r, _) -> r.Fleet.wall_seconds) (List.hd runs) in
+  let scaling =
+    List.map
+      (fun (domains, r, agg) ->
+        (domains, r.Fleet.wall_seconds, agg.Fleet.traps_per_wall_sec,
+         base_wall /. r.Fleet.wall_seconds))
+      runs
+  in
+  let best_speedup =
+    List.fold_left (fun a (_, _, _, s) -> max a s) 0. scaling
+  in
+  Printf.printf
+    "  aggregate: %d requests, %d traps, %d world switches, %Ld instrs\n"
+    base.Fleet.requests base.Fleet.traps base.Fleet.world_switches
+    base.Fleet.instrs;
+  Printf.printf "  simulated trap rate: %.0f traps/s (consolidated)\n"
+    base.Fleet.sim_trap_rate;
+  Printf.printf "  latency: p50=%.0f p99=%.0f p999=%.0f simulated cycles\n"
+    base.Fleet.p50_cycles base.Fleet.p99_cycles base.Fleet.p999_cycles;
+  List.iter
+    (fun (d, wall, tps, speedup) ->
+      Printf.printf
+        "  domains=%d  wall=%.2fs  %8.0f traps/s host-side  speedup %.2fx\n"
+        d wall tps speedup)
+    scaling;
+  Printf.printf "  deterministic across domain counts: %b\n" deterministic;
+  if not base.Fleet.all_completed then
+    print_endline "  WARNING: some machines hit the instruction budget";
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    "{\n  \"machines\": %d,\n  \"workload\": %S,\n  \"seed\": \"0x%Lx\",\n  \
+     \"duration_ms\": %.3f,\n  \"requests\": %d,\n  \"traps\": %d,\n  \
+     \"world_switches\": %d,\n  \"offload_hits\": %d,\n  \
+     \"instrs\": %Ld,\n  \"all_completed\": %b,\n  \
+     \"sim_trap_rate\": %.0f,\n  \"p50_cycles\": %.0f,\n  \
+     \"p99_cycles\": %.0f,\n  \"p999_cycles\": %.0f,\n  \
+     \"fleet_digest\": \"%016Lx\",\n  \"deterministic\": %b,\n  \
+     \"best_speedup\": %.3f,\n  \"scaling\": [\n%s\n  ]\n}\n"
+    machines spec.Fleet.workload spec.Fleet.seed duration_ms
+    base.Fleet.requests base.Fleet.traps base.Fleet.world_switches
+    base.Fleet.offload_hits base.Fleet.instrs base.Fleet.all_completed
+    base.Fleet.sim_trap_rate base.Fleet.p50_cycles base.Fleet.p99_cycles
+    base.Fleet.p999_cycles base.Fleet.fleet_digest deterministic
+    best_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (d, wall, tps, speedup) ->
+            Printf.sprintf
+              "    {\"domains\": %d, \"wall_seconds\": %.3f, \
+               \"traps_per_sec\": %.0f, \"speedup\": %.3f}"
+              d wall tps speedup)
+          scaling));
+  close_out oc;
+  print_endline "  wrote BENCH_fleet.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's primitives              *)
 (* ------------------------------------------------------------------ *)
 
@@ -426,6 +535,7 @@ let () =
       sym_bench ();
       ips_bench ();
       explore_bench ();
+      fleet_bench ();
       micro ()
   | names ->
       List.iter
@@ -436,13 +546,14 @@ let () =
           else if name = "sym" then sym_bench ()
           else if name = "ips" then ips_bench ()
           else if name = "explore" then explore_bench ()
+          else if name = "fleet" then fleet_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
                 Printf.eprintf
                   "unknown experiment %S; known: %s trace fuzz sym ips \
-                   explore micro\n"
+                   explore fleet micro\n"
                   name
                   (String.concat " " (List.map fst experiments)))
         names);

@@ -687,6 +687,86 @@ let explore_term =
                $(docv)."))
 
 (* ------------------------------------------------------------------ *)
+(* fleet                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Fleet = Mir_fleet.Fleet
+
+let fleet_cmd machines domains workload seed duration_ms quiet =
+  (match Mir_fleet.Load.find workload with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "unknown workload %S (known: %s)\n" workload
+        (String.concat ", " Mir_fleet.Load.known_names);
+      exit 2);
+  if machines < 1 then begin
+    prerr_endline "miralis-sim: --machines must be >= 1";
+    exit 2
+  end;
+  if domains < 1 then begin
+    prerr_endline "miralis-sim: --domains must be >= 1";
+    exit 2
+  end;
+  let spec =
+    { Fleet.default_spec with Fleet.machines; domains; workload; seed;
+      duration_ms }
+  in
+  Printf.printf "fleet: %d machines on %d domains, workload %s, seed 0x%Lx, \
+                 %.2f ms simulated load each\n"
+    machines domains workload seed duration_ms;
+  let r = Fleet.run spec in
+  (* per-machine output was buffered inside each domain; drain it here,
+     in machine-id order, so the transcript is deterministic *)
+  if not quiet then print_string (Fleet.drain_logs r);
+  let a = Fleet.aggregate r in
+  Printf.printf "aggregate: %d requests, %d traps, %d world switches, \
+                 %Ld instrs%s\n"
+    a.Fleet.requests a.Fleet.traps a.Fleet.world_switches a.Fleet.instrs
+    (if a.Fleet.all_completed then "" else "  [SOME MACHINES HIT THE CAP]");
+  Printf.printf "fleet-wide simulated trap rate: %.0f traps/s (consolidated)\n"
+    a.Fleet.sim_trap_rate;
+  Printf.printf "host throughput: %.0f traps/s over %.2fs wall\n"
+    a.Fleet.traps_per_wall_sec r.Fleet.wall_seconds;
+  Printf.printf "request latency (simulated cycles): p50=%.0f p99=%.0f \
+                 p999=%.0f\n"
+    a.Fleet.p50_cycles a.Fleet.p99_cycles a.Fleet.p999_cycles;
+  Printf.printf "fleet digest: %016Lx\n" a.Fleet.fleet_digest;
+  if not a.Fleet.all_completed then exit 1
+
+let fleet_term =
+  Term.(
+    const fleet_cmd
+    $ Arg.(
+        value & opt int Fleet.default_spec.Fleet.machines
+        & info [ "machines" ] ~docv:"N" ~doc:"Number of simulated machines.")
+    $ Arg.(
+        value & opt int 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "OCaml domains to run the fleet on (work-stealing pool). \
+               Results are bit-identical for every value.")
+    $ Arg.(
+        value
+        & opt string Fleet.default_spec.Fleet.workload
+        & info [ "workload" ] ~docv:"NAME"
+            ~doc:
+              "Load profile: $(b,mix), $(b,memcached), $(b,redis), \
+               $(b,mysql) or $(b,gcc).")
+    $ Arg.(
+        value
+        & opt int64 Fleet.default_spec.Fleet.seed
+        & info [ "seed" ] ~docv:"SEED"
+            ~doc:"Fleet root seed; machine $(i,i) derives its own stream.")
+    $ Arg.(
+        value
+        & opt float Fleet.default_spec.Fleet.duration_ms
+        & info [ "duration" ] ~docv:"MS"
+            ~doc:"Simulated load window per machine, in milliseconds.")
+    $ Arg.(
+        value & flag
+        & info [ "quiet" ] ~doc:"Suppress the per-machine lines."))
+
+(* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -753,6 +833,13 @@ let cmds =
             under round-robin, random, PCT and bounded-DFS schedulers with \
             cross-hart isolation oracles checked at every switch point")
       explore_term;
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:
+           "Run a fleet of independent simulated machines across OCaml \
+            domains, fed by the seeded load generator, and report \
+            fleet-wide trap throughput and request-latency percentiles")
+      fleet_term;
     Cmd.v
       (Cmd.info "experiments"
          ~doc:"Regenerate the paper's tables and figures")

@@ -1,0 +1,262 @@
+module Setup = Mir_harness.Setup
+module Machine = Mir_rv.Machine
+module Script = Mir_kernel.Script
+module Platform = Mir_platform.Platform
+module Prng = Mir_util.Prng
+module Stats = Mir_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Fleet specification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  machines : int;
+  domains : int;
+  workload : string;  (* a Load profile name, or "mix" *)
+  seed : int64;
+  duration_ms : float;  (* simulated load window per machine *)
+  max_instrs : int64;  (* per-machine safety budget *)
+  record_machine : int option;
+      (* when set, that machine's run is recorded (trace events are
+         returned in its result) — the replay tests re-execute it
+         serially against the log *)
+}
+
+let default_spec =
+  {
+    machines = 64;
+    domains = 1;
+    workload = "mix";
+    seed = 0x466C656574L (* "Fleet" *);
+    duration_ms = 1.0;
+    max_instrs = 400_000_000L;
+    record_machine = None;
+  }
+
+(* Every fleet machine is a single-hart VisionFive-2-class guest with
+   a quarter of the usual RAM: the fleet scales in machine count, not
+   in per-machine memory. The simulated layout (firmware, kernel,
+   script region) fits comfortably below the monitor's reserved top
+   megabyte. *)
+let platform =
+  let vf2 = Platform.visionfive2 in
+  {
+    vf2 with
+    Platform.name = "fleet-vf2";
+    nharts = 1;
+    machine =
+      { vf2.Platform.machine with Machine.nharts = 1;
+        ram_size = 8 * 1024 * 1024 };
+  }
+
+let workload_of spec =
+  match Load.find spec.workload with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fleet: unknown workload %S (known: %s)" spec.workload
+           (String.concat ", " Load.known_names))
+
+(* The deterministic per-machine plan: seed, profile and request
+   stream are pure functions of (fleet seed, machine id) — never of
+   domain count, scheduling order, or sibling machines. *)
+let plan spec id =
+  let mseed = Prng.stream_seed ~seed:spec.seed ~index:id in
+  let prng = Prng.create ~seed:mseed in
+  let profile = Load.pick (workload_of spec) prng in
+  let stream = Load.machine_stream prng profile ~duration_ms:spec.duration_ms in
+  (mseed, stream)
+
+(* ------------------------------------------------------------------ *)
+(* One machine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type machine_result = {
+  id : int;
+  mseed : int64;
+  profile : string;
+  requests : int;
+  completed : bool;  (* script ran to End (not the instruction cap) *)
+  digest : int64;  (* full architectural state hash after the run *)
+  instrs : int64;
+  sim_seconds : float;
+  traps : int;  (* traps that architecturally targeted M-mode *)
+  world_switches : int;
+  offload_hits : int;
+  latencies : float array;  (* per-request simulated cycles *)
+  log : string;  (* per-machine progress output, drained by the coordinator *)
+  events : Mir_trace.Event.t list;  (* non-empty only when recorded *)
+}
+
+(* All per-machine output goes through this buffer; the coordinator
+   prints buffers in machine-id order after the parallel phase, so
+   fleet output is deterministic and never torn across domains. *)
+let log_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+
+let build_system () = Setup.create platform Setup.Virtualized
+
+let run_one spec id =
+  let mseed, stream = plan spec id in
+  let sys = build_system () in
+  let traps = ref 0 in
+  sys.Setup.machine.Machine.on_trap <-
+    Some (fun _ _ _ ~from_priv:_ ~to_m -> if to_m then incr traps);
+  (* the recorder chains the trap counter installed above *)
+  let recorder =
+    if spec.record_machine = Some id then Some (fst (Setup.attach_recorder sys))
+    else None
+  in
+  Setup.run_scripts ~max_instrs:spec.max_instrs sys [ stream.Load.script ];
+  let completed = sys.Setup.machine.Machine.poweroff in
+  let stamps =
+    Script.stamps sys.Setup.machine ~hart:0 ~count:(stream.Load.requests + 1)
+  in
+  let latencies =
+    if completed then
+      Array.init stream.Load.requests (fun i ->
+          Int64.to_float (Int64.sub stamps.(i + 1) stamps.(i)))
+    else [||]
+  in
+  let world_switches, offload_hits =
+    match Setup.stats sys with
+    | Some s ->
+        (s.Miralis.Vfm_stats.world_switches, Miralis.Vfm_stats.offload_hits s)
+    | None -> (0, 0)
+  in
+  let sim_seconds = Setup.seconds sys in
+  let digest = Setup.state_hash sys in
+  let buf = Buffer.create 128 in
+  log_line buf
+    "machine %3d: %-9s seed=%016Lx requests=%d traps=%d ws=%d sim=%.3fms \
+     digest=%016Lx%s"
+    id stream.Load.profile.Load.name mseed stream.Load.requests !traps
+    world_switches (sim_seconds *. 1e3) digest
+    (if completed then "" else "  [INSTR CAP HIT]");
+  {
+    id;
+    mseed;
+    profile = stream.Load.profile.Load.name;
+    requests = stream.Load.requests;
+    completed;
+    digest;
+    instrs = sys.Setup.machine.Machine.instr_count;
+    sim_seconds;
+    traps = !traps;
+    world_switches;
+    offload_hits;
+    latencies;
+    log = Buffer.contents buf;
+    events =
+      (match recorder with
+      | Some r -> Mir_trace.Recorder.events r
+      | None -> []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The fleet run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  spec : spec;
+  results : machine_result array;  (* indexed by machine id *)
+  wall_seconds : float;
+}
+
+let run spec =
+  if spec.machines < 1 then invalid_arg "Fleet.run: machines < 1";
+  ignore (workload_of spec) (* fail on an unknown workload before spawning *);
+  let slots = Array.make spec.machines None in
+  let t0 = Unix.gettimeofday () in
+  Pool.run ~domains:spec.domains ~tasks:spec.machines (fun id ->
+      slots.(id) <- Some (run_one spec id));
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.map
+      (function Some r -> r | None -> failwith "Fleet.run: missing result")
+      slots
+  in
+  { spec; results; wall_seconds }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-wide metrics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type aggregate = {
+  machines : int;
+  requests : int;
+  traps : int;
+  world_switches : int;
+  offload_hits : int;
+  instrs : int64;
+  all_completed : bool;
+  sim_trap_rate : float;
+      (* fleet-wide consolidated rate: sum over machines of that
+         machine's traps per simulated second *)
+  traps_per_wall_sec : float;  (* host-side aggregate throughput *)
+  p50_cycles : float;
+  p99_cycles : float;
+  p999_cycles : float;
+  fleet_digest : int64;  (* order-fixed fold of per-machine digests *)
+}
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+let mix h v = Int64.mul (Int64.logxor h v) fnv_prime
+
+let aggregate r =
+  let fold f init = Array.fold_left f init r.results in
+  let requests = fold (fun a m -> a + m.requests) 0 in
+  let traps = fold (fun a m -> a + m.traps) 0 in
+  let world_switches = fold (fun a m -> a + m.world_switches) 0 in
+  let offload_hits = fold (fun a m -> a + m.offload_hits) 0 in
+  let instrs = fold (fun a m -> Int64.add a m.instrs) 0L in
+  let all_completed = fold (fun a m -> a && m.completed) true in
+  let sim_trap_rate =
+    fold
+      (fun a m ->
+        if m.sim_seconds > 0. then a +. (float_of_int m.traps /. m.sim_seconds)
+        else a)
+      0.
+  in
+  let st = Stats.create () in
+  Array.iter (fun m -> Array.iter (Stats.add st) m.latencies) r.results;
+  let pct p = if Stats.count st = 0 then 0. else Stats.percentile st p in
+  let fleet_digest =
+    fold (fun h m -> mix (mix h (Int64.of_int m.id)) m.digest) fnv_offset
+  in
+  {
+    machines = Array.length r.results;
+    requests;
+    traps;
+    world_switches;
+    offload_hits;
+    instrs;
+    all_completed;
+    sim_trap_rate;
+    traps_per_wall_sec =
+      (if r.wall_seconds > 0. then float_of_int traps /. r.wall_seconds else 0.);
+    p50_cycles = pct 50.;
+    p99_cycles = pct 99.;
+    p999_cycles = pct 99.9;
+    fleet_digest;
+  }
+
+let drain_logs r =
+  let buf = Buffer.create 4096 in
+  Array.iter (fun m -> Buffer.add_string buf m.log) r.results;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Serial replay of one fleet machine                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild machine [id] of [spec] from scratch — same derived seed,
+   same generated request stream — and re-execute it serially while
+   verifying every trace event against [events] (recorded during a
+   fleet run at any domain count). *)
+let replay_machine spec ~id ~events =
+  let _, stream = plan spec id in
+  let sys = build_system () in
+  let replay, _tracer = Setup.attach_replay sys ~events in
+  Setup.run_scripts ~max_instrs:spec.max_instrs sys [ stream.Load.script ];
+  Mir_trace.Replay.finish replay

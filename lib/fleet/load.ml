@@ -1,0 +1,173 @@
+module Script = Mir_kernel.Script
+module Prng = Mir_util.Prng
+
+(* The load generator replays the paper's per-workload trap-rate mix
+   (§8.3.3 / Fig. 3: memcached/redis/mysql between ~11k and ~389k
+   traps/s per core) as simulated client requests. A profile describes
+   one workload class; a machine's request stream is drawn from its
+   own splitmix-derived PRNG, so the stream is a pure function of
+   (fleet seed, machine id). *)
+
+type profile = {
+  name : string;
+  requests_per_sec : float;
+      (* client request arrival rate in simulated time; with the
+         per-request trap count below this replays the paper's
+         per-core trap rate for the class *)
+  service_mean : int;  (* Compute iterations per request (~4 instrs each) *)
+  service_spread : int;  (* +/- drawn per request shape from the PRNG *)
+  timer_every : int;  (* re-arm the S timer every n requests (0: never) *)
+  disk_every : int;  (* one O_DIRECT sector every n requests (0: never) *)
+  console_every : int;
+      (* one console-SBI putchar every n requests (0: never) — the
+         legacy console is not offloadable, so it forces a world
+         switch into the virtual firmware (logging, slow-query log) *)
+  think_ticks : int;
+      (* timer-tick sleep after each request (0: none) — models
+         batch/compute classes whose trap rate is dominated by the
+         periodic tick rather than by request service *)
+  paper_traps_per_sec : int;  (* the per-core rate this class replays *)
+}
+
+(* Redis: single-threaded KV store, two rdtime timestamps around each
+   service burst — ~272k traps/s per core in the paper. *)
+let redis =
+  {
+    name = "redis";
+    requests_per_sec = 130_000.;
+    service_mean = 2600;
+    service_spread = 1700;
+    timer_every = 0;
+    disk_every = 0;
+    console_every = 64;
+    think_ticks = 0;
+    paper_traps_per_sec = 272_000;
+  }
+
+(* Memcached: smaller values, higher request rate — ~389k traps/s. *)
+let memcached =
+  {
+    name = "memcached";
+    requests_per_sec = 190_000.;
+    service_mean = 1800;
+    service_spread = 1200;
+    timer_every = 0;
+    disk_every = 0;
+    console_every = 0;
+    think_ticks = 0;
+    paper_traps_per_sec = 389_000;
+  }
+
+(* MySQL: OLTP transactions — heavier service, a disk access every few
+   transactions, a timer re-arm per batch. *)
+let mysql =
+  {
+    name = "mysql";
+    requests_per_sec = 45_000.;
+    service_mean = 6000;
+    service_spread = 2500;
+    timer_every = 32;
+    disk_every = 4;
+    console_every = 16;
+    think_ticks = 0;
+    paper_traps_per_sec = 95_000;
+  }
+
+(* GCC-class batch compute: long native stretches, the periodic
+   scheduler tick as almost the only trap source (~11k traps/s). The
+   idle tail of each "request" is modelled as a timer-tick sleep, so
+   simulated time passes at the paper's trap rate without paying host
+   instructions for it. *)
+let gcc =
+  {
+    name = "gcc";
+    requests_per_sec = 2_900.;
+    service_mean = 3000;
+    service_spread = 800;
+    timer_every = 0;
+    disk_every = 0;
+    console_every = 8;
+    think_ticks = 5000;
+    paper_traps_per_sec = 11_000;
+  }
+
+let profiles = [ memcached; redis; mysql; gcc ]
+
+(* The datacenter mix: weights loosely shaped like a consolidation
+   story — mostly KV front-ends, some OLTP, a batch tail. *)
+let mix_weights =
+  [ (memcached, 0.35); (redis, 0.30); (mysql, 0.20); (gcc, 0.15) ]
+
+let find name =
+  if name = "mix" then Some `Mix
+  else
+    Option.map (fun p -> `Profile p)
+      (List.find_opt (fun p -> p.name = name) profiles)
+
+let known_names = "mix" :: List.map (fun p -> p.name) profiles
+
+(* Draw this machine's profile. The PRNG is the machine's own, so the
+   assignment depends only on (fleet seed, machine id). *)
+let pick workload prng =
+  match workload with
+  | `Profile p -> p
+  | `Mix ->
+      let u = Prng.float prng in
+      let rec go acc = function
+        | [] -> fst (List.hd mix_weights)
+        | (p, w) :: rest -> if u < acc +. w then p else go (acc +. w) rest
+      in
+      go 0. mix_weights
+
+(* Requests are generated as a body of [shapes] distinct request
+   shapes executed under the kernel's Loop opcode. Every request is
+   led by a Cycle_stamp, and one trailing stamp closes the last
+   request, so per-request latency in simulated cycles is the delta of
+   consecutive stamps. The stamp buffer bounds the request count. *)
+let shapes = 8
+let max_requests = 12_280  (* stamp buffer: (0x20000-0x8000)/8 slots *)
+
+let request_ops prng profile ~index =
+  let spread = profile.service_spread in
+  let jitter = if spread = 0 then 0 else Prng.int_below prng (2 * spread) in
+  let service = max 100 (profile.service_mean - spread + jitter) in
+  [ Script.Cycle_stamp; Script.Rdtime;
+    Script.Compute (Int64.of_int service); Script.Rdtime ]
+  @ (if profile.disk_every > 0 && index mod profile.disk_every = 0 then
+       [ Script.Disk_io
+           { write = index mod (2 * profile.disk_every) = 0;
+             sector = 64 + (index mod 256) } ]
+     else [])
+  @ (if profile.timer_every > 0 && index mod profile.timer_every = 0 then
+       [ Script.Set_timer 4000L ]
+     else [])
+  @ (if profile.console_every > 0 && index mod profile.console_every = 0 then
+       [ Script.Putchar '.' ]
+     else [])
+  @
+  if profile.think_ticks > 0 then
+    [ Script.Tick_wfi (Int64.of_int profile.think_ticks) ]
+  else []
+
+type stream = {
+  profile : profile;
+  script : Script.op list;
+  requests : int;  (* stamped requests the script will execute *)
+}
+
+let machine_stream prng profile ~duration_ms =
+  if duration_ms <= 0. then invalid_arg "Load.machine_stream: duration <= 0";
+  let target =
+    profile.requests_per_sec *. duration_ms /. 1000.
+    *. (0.9 +. (0.2 *. Prng.float prng))
+  in
+  let loops =
+    max 1 (min (max_requests / shapes) (int_of_float (target /. float_of_int shapes)))
+  in
+  let body =
+    List.concat (List.init shapes (fun i -> request_ops prng profile ~index:i))
+  in
+  let script =
+    body @ [ Script.Loop (Int64.of_int loops); Script.Cycle_stamp; Script.End ]
+  in
+  { profile; script; requests = shapes * loops }

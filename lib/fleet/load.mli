@@ -1,0 +1,52 @@
+(** Seeded load generator for the machine fleet.
+
+    Replays the paper's per-workload trap-rate mix (§8.3.3: memcached,
+    redis, mysql between ~11k and ~389k traps/s per core) as simulated
+    client requests compiled to interpreter-kernel scripts. All
+    randomness is drawn from the machine's own PRNG, so a machine's
+    request stream is a pure function of (fleet seed, machine id). *)
+
+type profile = {
+  name : string;
+  requests_per_sec : float;
+  service_mean : int;
+  service_spread : int;
+  timer_every : int;
+  disk_every : int;
+  console_every : int;
+  think_ticks : int;
+  paper_traps_per_sec : int;
+}
+
+val redis : profile
+val memcached : profile
+val mysql : profile
+val gcc : profile
+val profiles : profile list
+
+val find : string -> [ `Mix | `Profile of profile ] option
+(** Look a workload up by name; ["mix"] is the weighted datacenter
+    blend of all profiles. *)
+
+val known_names : string list
+
+val pick : [ `Mix | `Profile of profile ] -> Mir_util.Prng.t -> profile
+(** The profile one machine runs: fixed for a named workload, drawn
+    from the machine's PRNG for [`Mix]. *)
+
+val max_requests : int
+(** Stamp-buffer bound on requests per machine. *)
+
+type stream = {
+  profile : profile;
+  script : Mir_kernel.Script.op list;
+  requests : int;
+}
+
+val machine_stream :
+  Mir_util.Prng.t -> profile -> duration_ms:float -> stream
+(** Generate one machine's request stream covering [duration_ms] of
+    simulated load at the profile's request rate (with a +/-10% seeded
+    jitter). Every request starts with a cycle stamp and one trailing
+    stamp closes the stream, so per-request latency in simulated
+    cycles is the delta of consecutive stamps. *)

@@ -32,14 +32,15 @@ let allow_napot ~base ~size ~r ~w ~x =
 
 let deny_all = { Pmp.off_entry with a = Pmp.Napot; addr = -1L }
 
-(* Saved OS registers across a scrubbed firmware entry, per hart. *)
-let saved_regs = Hashtbl.create 8
-
 let create ?(allow_uart = true)
     ?(kernel_region = (Layout.kernel_base, 0x1000L)) () =
   let state =
     { locked = false; boot_image_hash = 0L; scrubbed = false; violations = 0 }
   in
+  (* Saved OS registers across a scrubbed firmware entry, per hart.
+     Owned by this policy instance (not the module): two machines — or
+     two fleet domains — must never share mutable monitor state. *)
+  let saved_regs = Hashtbl.create 8 in
   let kbase, klen = kernel_region in
   let pmp_entries (ctx : Policy.ctx) =
     match ctx.Policy.vhart.Vhart.world with

@@ -3,14 +3,26 @@ type t = { mutable state : int64 }
 let create ~seed = { state = seed }
 
 (* splitmix64: fast, well-distributed, trivially seedable. *)
-let next t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
       0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
       0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(* The (index+1)-th output of a splitmix64 generator seeded with
+   [seed], computed in O(1): stream [i] of a fleet of generators is a
+   pure function of (seed, i), independent of the order (or the
+   domain) in which the streams are instantiated. *)
+let stream_seed ~seed ~index =
+  if index < 0 then invalid_arg "Prng.stream_seed: negative index";
+  mix (Int64.add seed (Int64.mul (Int64.of_int (index + 1)) golden))
 
 let int64_below t n =
   assert (n > 0L);

@@ -35,3 +35,11 @@ val choose : t -> 'a array -> 'a
 
 val split : t -> t
 (** A new generator seeded from [t]'s stream, usable independently. *)
+
+val stream_seed : seed:int64 -> index:int -> int64
+(** [stream_seed ~seed ~index] is the [index+1]-th output of a
+    splitmix64 generator seeded with [seed], computed in O(1). Used to
+    derive one independent seed per member of a fleet: the derived
+    stream is a pure function of [(seed, index)], so it does not
+    depend on how many siblings exist or on the order (or OS thread)
+    in which they are created. Requires [index >= 0]. *)

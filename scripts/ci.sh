@@ -56,4 +56,31 @@ if [ "$ips" -lt "$floor" ]; then
 fi
 echo "ci: ips $ips instrs/sec (baseline $base, floor $floor)"
 
+# Fleet smoke: a small fixed-seed fleet on 2 domains must complete
+# (the CLI exits 1 if any machine hits its instruction budget), and a
+# shrunk `bench fleet` must report bit-identical results across
+# domain counts plus sane latency fields in BENCH_fleet.json.
+dune exec bin/miralis_sim.exe -- fleet --machines 8 --domains 2 \
+  --workload mix --duration 0.3 --quiet
+MIRALIS_FLEET_MACHINES=6 MIRALIS_FLEET_DURATION_MS=0.25 \
+  dune exec bench/main.exe -- fleet
+grep -q '"deterministic": true' BENCH_fleet.json || {
+  echo "ci: fleet results vary with domain count" >&2
+  exit 1
+}
+grep -q '"all_completed": true' BENCH_fleet.json || {
+  echo "ci: fleet machines hit the instruction budget" >&2
+  exit 1
+}
+for field in machines sim_trap_rate p50_cycles p99_cycles p999_cycles \
+  fleet_digest scaling; do
+  grep -q "\"$field\"" BENCH_fleet.json || {
+    echo "ci: BENCH_fleet.json missing field $field" >&2
+    exit 1
+  }
+done
+p50=$(json_int BENCH_fleet.json p50_cycles)
+[ "$p50" -gt 0 ] || { echo "ci: fleet p50 latency is zero" >&2; exit 1; }
+echo "ci: fleet ok (p50 ${p50} cycles)"
+
 echo "ci: ok"

@@ -22,6 +22,13 @@
 #      Multi-hart execution must go through Machine.run or
 #      Machine.run_scheduled so the interleaving explorer's schedule
 #      control and the run-loop's device/time sync are never bypassed.
+#   6. Top-level mutable module state (ref / Hashtbl.create / ...) is
+#      banned in the simulator core (lib/rv, lib/core, lib/trace) and
+#      in lib/fleet: the fleet runs machines on multiple OCaml domains
+#      concurrently, so all mutable state must live inside a
+#      per-machine value threaded through constructors. Additions that
+#      are genuinely domain-safe must be listed in the allowlist below
+#      with a justification.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -59,6 +66,18 @@ step_allow='^(lib/rv/|lib/verif/|bench/)'
 if grep -rnE "Machine\.step\b" --include='*.ml' $src_dirs |
   grep -vE "$step_allow" | grep .; then
   complain "direct hart stepping outside Machine/diff/bench; use Machine.run or Machine.run_scheduled"
+fi
+
+# Rule 6: no top-level mutable state in the domain-shared core. The
+# allowlist is currently empty — every mutable structure in these
+# layers is owned by a machine/monitor/tracer instance. Add a line
+# like 'lib/core/foo.ml:12:' (with a comment saying why it is
+# domain-safe) if a justified exception ever appears.
+toplevel_mut_allow='^$'
+if grep -rnE "^let [a-zA-Z_0-9']+( *:[^=]*)? *= *(ref\b|Hashtbl\.create|Queue\.create|Buffer\.create|Stack\.create|Atomic\.make|Array\.make)" \
+  --include='*.ml' lib/rv lib/core lib/trace lib/fleet |
+  grep -vE "$toplevel_mut_allow" | grep .; then
+  complain "top-level mutable state in domain-shared core; thread it through the per-machine context (see lint.sh rule 6)"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,218 @@
+(* Fleet determinism tests.
+
+   The fleet's contract is that every per-machine and aggregate result
+   is a pure function of (fleet seed, machine count, workload) —
+   independent of how many domains run it or which domain steals which
+   machine. These tests pin the splitmix64 seed-derivation vectors,
+   compare a whole fleet run at 1 domain against the same run at 3
+   domains, and replay a machine recorded during a parallel fleet run
+   serially against its event log. *)
+
+module Fleet = Mir_fleet.Fleet
+module Load = Mir_fleet.Load
+module Pool = Mir_fleet.Pool
+module Prng = Mir_util.Prng
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* splitmix64 per-machine seed derivation                              *)
+(* ------------------------------------------------------------------ *)
+
+(* stream_seed with seed 0 walks the canonical splitmix64 output
+   sequence from state 0 (the reference vectors from Vigna's
+   splitmix64.c), because stream i is mix((i+1) * golden). *)
+let test_stream_seed_reference () =
+  List.iter
+    (fun (index, expect) ->
+      check_i64
+        (Printf.sprintf "splitmix64 reference vector %d" index)
+        expect
+        (Prng.stream_seed ~seed:0L ~index))
+    [
+      (0, 0xE220A8397B1DCDAFL);
+      (1, 0x6E789E6AA1B965F4L);
+      (2, 0x06C45D188009454FL);
+      (3, 0xF88BB8A8724C81ECL);
+    ]
+
+let test_stream_seed_fleet_vectors () =
+  let seed = Fleet.default_spec.Fleet.seed in
+  check_i64 "default fleet seed spells \"Fleet\"" 0x466C656574L seed;
+  List.iter
+    (fun (index, expect) ->
+      check_i64
+        (Printf.sprintf "fleet seed, machine %d" index)
+        expect
+        (Prng.stream_seed ~seed ~index))
+    [
+      (0, 0xA8D51C76E498A44FL);
+      (1, 0x1CF0578807916502L);
+      (2, 0xAB45D1CA8EA85600L);
+      (3, 0x5BC303D954732424L);
+      (63, 0xFD6ED411952B65D0L);
+    ]
+
+let test_stream_seed_distinct () =
+  let n = 256 in
+  let seen = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let s = Prng.stream_seed ~seed:0x4D6972616C6973L ~index:i in
+    check_bool "no stream-seed collision" false (Hashtbl.mem seen s);
+    Hashtbl.replace seen s ()
+  done;
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Prng.stream_seed: negative index") (fun () ->
+      ignore (Prng.stream_seed ~seed:0L ~index:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing pool                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_each_task_once () =
+  let tasks = 50 in
+  let counts = Array.init tasks (fun _ -> Atomic.make 0) in
+  Pool.run ~domains:4 ~tasks (fun i -> Atomic.incr counts.(i));
+  Array.iteri
+    (fun i c ->
+      check_int (Printf.sprintf "task %d runs exactly once" i) 1 (Atomic.get c))
+    counts
+
+let test_pool_propagates_failure () =
+  Alcotest.check_raises "worker exception resurfaces" (Failure "task 7")
+    (fun () ->
+      Pool.run ~domains:3 ~tasks:16 (fun i ->
+          if i = 7 then failwith "task 7"))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet determinism across domain counts                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec =
+  {
+    Fleet.default_spec with
+    Fleet.machines = 6;
+    duration_ms = 0.2;
+    workload = "mix";
+  }
+
+let test_fleet_domain_invariance () =
+  let serial = Fleet.run { small_spec with Fleet.domains = 1 } in
+  let parallel = Fleet.run { small_spec with Fleet.domains = 3 } in
+  Array.iteri
+    (fun i (m : Fleet.machine_result) ->
+      let p = parallel.Fleet.results.(i) in
+      check_i64 (Printf.sprintf "machine %d seed" i) m.Fleet.mseed p.Fleet.mseed;
+      Alcotest.(check string)
+        (Printf.sprintf "machine %d profile" i)
+        m.Fleet.profile p.Fleet.profile;
+      check_i64
+        (Printf.sprintf "machine %d digest" i)
+        m.Fleet.digest p.Fleet.digest;
+      check_i64
+        (Printf.sprintf "machine %d instrs" i)
+        m.Fleet.instrs p.Fleet.instrs;
+      check_int (Printf.sprintf "machine %d traps" i) m.Fleet.traps p.Fleet.traps)
+    serial.Fleet.results;
+  let a = Fleet.aggregate serial and b = Fleet.aggregate parallel in
+  check_int "aggregate requests" a.Fleet.requests b.Fleet.requests;
+  check_int "aggregate traps" a.Fleet.traps b.Fleet.traps;
+  check_int "aggregate world switches" a.Fleet.world_switches
+    b.Fleet.world_switches;
+  check_i64 "fleet digest" a.Fleet.fleet_digest b.Fleet.fleet_digest;
+  Alcotest.(check (float 0.))
+    "p99 latency domain-invariant" a.Fleet.p99_cycles b.Fleet.p99_cycles;
+  Alcotest.(check string)
+    "drained logs identical (never torn)"
+    (Fleet.drain_logs serial) (Fleet.drain_logs parallel);
+  check_bool "all machines completed" true a.Fleet.all_completed
+
+let test_fleet_latency_sane () =
+  let agg = Fleet.aggregate (Fleet.run { small_spec with Fleet.domains = 2 }) in
+  check_bool "p50 positive" true (agg.Fleet.p50_cycles > 0.);
+  check_bool "p50 <= p99" true (agg.Fleet.p50_cycles <= agg.Fleet.p99_cycles);
+  check_bool "p99 <= p999" true (agg.Fleet.p99_cycles <= agg.Fleet.p999_cycles);
+  (* every machine's plan is reflected in the aggregate request count *)
+  let planned = ref 0 in
+  for id = 0 to small_spec.Fleet.machines - 1 do
+    let _, stream = Fleet.plan small_spec id in
+    planned := !planned + stream.Load.requests
+  done;
+  check_int "aggregate requests match the pure plan" !planned
+    agg.Fleet.requests
+
+(* The per-machine plan is a pure function: calling it repeatedly, in
+   any order, yields the same seed and the same script. *)
+let test_plan_pure () =
+  let ids = [ 3; 0; 5; 3; 1 ] in
+  List.iter
+    (fun id ->
+      let s1, st1 = Fleet.plan small_spec id in
+      let s2, st2 = Fleet.plan small_spec id in
+      check_i64 "plan seed stable" s1 s2;
+      check_bool "plan script stable" true
+        (st1.Load.script = st2.Load.script))
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Serial replay of a machine recorded during a parallel fleet run     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fleet_record_replay () =
+  let spec =
+    { small_spec with Fleet.machines = 3; domains = 2;
+      record_machine = Some 1 }
+  in
+  let r = Fleet.run spec in
+  let recorded = r.Fleet.results.(1) in
+  check_bool "recorded machine has events" true
+    (recorded.Fleet.events <> []);
+  (match
+     Fleet.replay_machine spec ~id:1 ~events:recorded.Fleet.events
+   with
+  | Mir_trace.Replay.Match _ -> ()
+  | Mir_trace.Replay.Diverged d ->
+      Alcotest.failf "serial replay diverged: %s"
+        (Format.asprintf "%a" Mir_trace.Replay.pp_divergence d)
+  | Mir_trace.Replay.Truncated { verified; remaining } ->
+      Alcotest.failf "serial replay truncated: %d verified, %d remaining"
+        verified remaining);
+  (* the unrecorded machines are byte-identical to a fleet run without
+     any recorder attached *)
+  let plain = Fleet.run { spec with Fleet.record_machine = None } in
+  check_i64 "recording does not perturb other machines"
+    plain.Fleet.results.(0).Fleet.digest r.Fleet.results.(0).Fleet.digest
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "seed-derivation",
+        [
+          Alcotest.test_case "splitmix64 reference vectors" `Quick
+            test_stream_seed_reference;
+          Alcotest.test_case "fleet seed vectors" `Quick
+            test_stream_seed_fleet_vectors;
+          Alcotest.test_case "streams distinct, negatives rejected" `Quick
+            test_stream_seed_distinct;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "each task runs exactly once" `Quick
+            test_pool_runs_each_task_once;
+          Alcotest.test_case "failure propagates" `Quick
+            test_pool_propagates_failure;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "1 vs 3 domains bit-identical" `Slow
+            test_fleet_domain_invariance;
+          Alcotest.test_case "latency percentiles sane" `Quick
+            test_fleet_latency_sane;
+          Alcotest.test_case "per-machine plan is pure" `Quick
+            test_plan_pure;
+          Alcotest.test_case "parallel record, serial replay" `Slow
+            test_fleet_record_replay;
+        ] );
+    ]
