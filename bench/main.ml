@@ -57,7 +57,7 @@ let trace_bench () =
     let t0 = Unix.gettimeofday () in
     Setup.run_scripts sys [ script ];
     let dt = Unix.gettimeofday () -. t0 in
-    let instrs = Int64.to_float sys.Setup.machine.Mir_rv.Machine.instr_count in
+    let instrs = float_of_int sys.Setup.machine.Mir_rv.Machine.instr_count in
     instrs /. dt
   in
   let ips_off = timed (fresh ()) in
@@ -117,13 +117,13 @@ let ips_bench () =
     | Some s -> Int64.of_string s
     | None -> 4_000_000L
   in
-  let platform tlb_entries =
+  let platform tlb_entries block_engine =
     let p = Mir_platform.Platform.visionfive2 in
     {
       p with
       Mir_platform.Platform.machine =
         { p.Mir_platform.Platform.machine with
-          Mir_rv.Machine.tlb_entries; nharts = 1 };
+          Mir_rv.Machine.tlb_entries; nharts = 1; block_engine };
     }
   in
   let script sys =
@@ -142,20 +142,27 @@ let ips_bench () =
         End;
       ]
   in
-  let measure tlb_entries =
-    let sys = Setup.create (platform tlb_entries) Setup.Virtualized in
+  let measure tlb_entries block_engine =
+    let sys =
+      Setup.create (platform tlb_entries block_engine) Setup.Virtualized
+    in
     let t0 = Unix.gettimeofday () in
     Setup.run_scripts ~max_instrs:budget sys [ script sys ];
     let dt = Unix.gettimeofday () -. t0 in
     let instrs = sys.Setup.machine.Mir_rv.Machine.instr_count in
-    (Int64.to_float instrs /. dt, sys)
+    (float_of_int instrs /. dt, sys)
   in
-  let ips_walker, _ = measure 0 in
-  let ips_tlb, sys =
-    measure Mir_rv.Machine.default_config.Mir_rv.Machine.tlb_entries
+  let default_tlb =
+    Mir_rv.Machine.default_config.Mir_rv.Machine.tlb_entries
   in
+  let ips_walker, _ = measure 0 false in
+  let ips_tlb, sys = measure default_tlb false in
+  let ips_blocks, bsys = measure default_tlb true in
   let hits, misses, flushes = Mir_rv.Machine.tlb_totals sys.Setup.machine in
+  let bstats = Mir_rv.Machine.block_stats bsys.Setup.machine in
+  let bhit = Mir_rv.Machine.block_hit_rate bsys.Setup.machine in
   let speedup = ips_tlb /. ips_walker in
+  let speedup_blocks = ips_blocks /. ips_tlb in
   let hit_rate =
     if hits + misses = 0 then 0.
     else float_of_int hits /. float_of_int (hits + misses)
@@ -163,15 +170,27 @@ let ips_bench () =
   Printf.printf "  walker only (tlb=0) %10.0f instrs/sec\n" ips_walker;
   Printf.printf "  software TLB        %10.0f instrs/sec  (%.2fx)\n" ips_tlb
     speedup;
+  Printf.printf "  decoded blocks      %10.0f instrs/sec  (%.2fx vs tlb)\n"
+    ips_blocks speedup_blocks;
   Printf.printf "  tlb: %d hits / %d misses (%.1f%% hit rate), %d flushes\n"
     hits misses (100. *. hit_rate) flushes;
+  Printf.printf
+    "  blocks: %d compiled, %d invalidated, %d dispatches, %.2f%% hit rate\n"
+    bstats.Mir_rv.Block.compiled bstats.Mir_rv.Block.invalidated
+    bstats.Mir_rv.Block.dispatches (100. *. bhit);
   let oc = open_out "BENCH_ips.json" in
   Printf.fprintf oc
     "{\n  \"budget_instrs\": %Ld,\n  \"ips_walker\": %.0f,\n  \
      \"ips_tlb\": %.0f,\n  \"speedup\": %.3f,\n  \"tlb_hits\": %d,\n  \
      \"tlb_misses\": %d,\n  \"tlb_hit_rate\": %.4f,\n  \
-     \"tlb_flushes\": %d\n}\n"
-    budget ips_walker ips_tlb speedup hits misses hit_rate flushes;
+     \"tlb_flushes\": %d,\n  \"ips_blocks\": %.0f,\n  \
+     \"speedup_blocks\": %.3f,\n  \"block_hit_rate\": %.4f,\n  \
+     \"blocks_compiled\": %d,\n  \"block_invalidations\": %d,\n  \
+     \"block_dispatches\": %d,\n  \"block_interp_instrs\": %d\n}\n"
+    budget ips_walker ips_tlb speedup hits misses hit_rate flushes ips_blocks
+    speedup_blocks bhit bstats.Mir_rv.Block.compiled
+    bstats.Mir_rv.Block.invalidated bstats.Mir_rv.Block.dispatches
+    bstats.Mir_rv.Block.interp_instrs;
   close_out oc;
   print_endline "  wrote BENCH_ips.json"
 

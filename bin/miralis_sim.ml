@@ -127,7 +127,7 @@ let smoke_script =
   ]
 
 let run_cmd platform mode fw policy max_instrs trace record_file replay_file
-    checkpoint_every =
+    checkpoint_every no_block_engine =
   let policy, pmp_slots =
     match policy with
     | `None -> (None, 1)
@@ -156,6 +156,7 @@ let run_cmd platform mode fw policy max_instrs trace record_file replay_file
         Miralis.Monitor.boot mir ~fw_entry:Mir_firmware.Layout.fw_base;
         { Setup.platform; mode; machine = m; miralis = Some mir }
   in
+  if no_block_engine then Machine.set_block_engine sys.Setup.machine false;
   if trace then
     sys.Setup.machine.Machine.on_trap <-
       Some
@@ -237,10 +238,23 @@ let run_cmd platform mode fw policy max_instrs trace record_file replay_file
       (match outcome with Mir_trace.Replay.Match _ -> () | _ -> exit 1)
   | None -> ()
 
+let no_block_engine_arg =
+  Arg.(
+    value & flag
+    & info [ "no-block-engine" ]
+        ~doc:
+          "Execute through the per-instruction interpreter instead of the \
+           decoded basic-block engine. Architecturally identical (the \
+           engine is bit-exact against the interpreter; digests and \
+           recorded traces agree either way), just slower — useful for \
+           isolating the engine when debugging, and as the differential \
+           baseline.")
+
 let run_term =
   Term.(
     const run_cmd $ platform_arg $ mode_arg $ firmware_arg $ policy_arg
-    $ max_instrs_arg $ trace_arg $ record_arg $ replay_arg $ checkpoint_arg)
+    $ max_instrs_arg $ trace_arg $ record_arg $ replay_arg $ checkpoint_arg
+    $ no_block_engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -400,9 +414,31 @@ let pgfuzz_cmd ~seed ~max_execs =
         seed max_execs;
       exit 1
 
-let fuzz_cmd seed max_execs corpus_dir bug replay_path emit_dir paging =
+let blockfuzz_cmd ~seed ~max_execs =
+  Printf.printf "fuzz --blocks: seed=0x%Lx max-execs=%d\n" seed max_execs;
+  let r = Mir_fuzz.Blockfuzz.run ~seed ~max_execs () in
+  Printf.printf "%d execs in %.2fs (%.0f/s), %d segment-summary edges\n"
+    r.Mir_fuzz.Blockfuzz.execs r.Mir_fuzz.Blockfuzz.seconds
+    r.Mir_fuzz.Blockfuzz.execs_per_sec r.Mir_fuzz.Blockfuzz.edges;
+  match r.Mir_fuzz.Blockfuzz.divergence with
+  | None -> Printf.printf "no divergence found\n"
+  | Some (at, shrunk, d) ->
+      Format.printf
+        "DIVERGENCE at exec %d, segment %d, field %s:@\n  blocks: %s@\n  \
+         interp: %s@\nshrunk case: %a@\nreproduce with: fuzz --blocks \
+         --seed 0x%Lx --max-execs %d@."
+        at d.Mir_verif.Blockdiff.seg_index d.Mir_verif.Blockdiff.field
+        d.Mir_verif.Blockdiff.blocks_state d.Mir_verif.Blockdiff.interp_state
+        Mir_verif.Blockdiff.pp_case shrunk seed max_execs;
+      let path = Printf.sprintf "blockdiff-%Lx.jsonl" seed in
+      Mir_verif.Blockdiff.save shrunk ~path;
+      Printf.printf "shrunk reproduction written to %s\n" path;
+      exit 1
+
+let fuzz_cmd seed max_execs corpus_dir bug replay_path emit_dir paging blocks =
   let inject_bug = parse_bug bug in
   if paging then pgfuzz_cmd ~seed ~max_execs
+  else if blocks then blockfuzz_cmd ~seed ~max_execs
   else
   match (emit_dir, replay_path) with
   | Some dir, _ ->
@@ -483,7 +519,16 @@ let fuzz_term =
               "Fuzz the paging fast path instead: differential streams of \
                page-table edits, satp switches, fences, SUM/MXR/MPRV flips \
                and PMP reconfigurations, TLB machine vs raw-walker machine. \
-               Exits non-zero on divergence."))
+               Exits non-zero on divergence.")
+    $ Arg.(
+        value & flag
+        & info [ "blocks" ]
+            ~doc:
+              "Fuzz the decoded basic-block engine instead: generated guest \
+               programs (tight loops, mid-block traps, self-modifying code, \
+               vm-epoch-bumping CSR writes) executed through the block \
+               engine against the per-instruction interpreter in lockstep. \
+               Exits non-zero on divergence, after shrinking."))
 
 (* ------------------------------------------------------------------ *)
 (* explore                                                             *)

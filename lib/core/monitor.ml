@@ -237,8 +237,8 @@ let emulator_ctx _t (hart : Hart.t) epc =
     Emulator.read_gpr = Hart.get hart;
     write_gpr = Hart.set hart;
     pc = epc;
-    cycles = hart.Hart.cycles;
-    instret = hart.Hart.instret;
+    cycles = Int64.of_int hart.Hart.cycles;
+    instret = Int64.of_int hart.Hart.instret;
     phys_custom_read = (fun a -> Csr_file.read_raw hart.Hart.csr a);
     phys_custom_write = (fun a v -> Csr_file.write_raw hart.Hart.csr a v);
   }

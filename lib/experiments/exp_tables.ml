@@ -91,7 +91,7 @@ let measure_emulation platform =
   let emulated = stats.Miralis.Vfm_stats.emulated_instrs / nharts in
   if emulated = 0 then 0.
   else
-    Int64.to_float (Setup.hart0_cycles sys) /. float_of_int emulated
+    float_of_int (Setup.hart0_cycles sys) /. float_of_int emulated
 
 let measure_world_switch platform =
   let sys =

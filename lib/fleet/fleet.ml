@@ -20,6 +20,10 @@ type spec = {
       (* when set, that machine's run is recorded (trace events are
          returned in its result) — the replay tests re-execute it
          serially against the log *)
+  block_engine : bool;
+      (* execute each machine through the decoded basic-block engine
+         (the default); digests are bit-identical either way, which
+         the determinism tests assert *)
 }
 
 let default_spec =
@@ -31,6 +35,7 @@ let default_spec =
     duration_ms = 1.0;
     max_instrs = 400_000_000L;
     record_machine = None;
+    block_engine = true;
   }
 
 (* Every fleet machine is a single-hart VisionFive-2-class guest with
@@ -93,11 +98,14 @@ type machine_result = {
    fleet output is deterministic and never torn across domains. *)
 let log_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
 
-let build_system () = Setup.create platform Setup.Virtualized
+let build_system spec =
+  let sys = Setup.create platform Setup.Virtualized in
+  Machine.set_block_engine sys.Setup.machine spec.block_engine;
+  sys
 
 let run_one spec id =
   let mseed, stream = plan spec id in
-  let sys = build_system () in
+  let sys = build_system spec in
   let traps = ref 0 in
   sys.Setup.machine.Machine.on_trap <-
     Some (fun _ _ _ ~from_priv:_ ~to_m -> if to_m then incr traps);
@@ -139,7 +147,7 @@ let run_one spec id =
     requests = stream.Load.requests;
     completed;
     digest;
-    instrs = sys.Setup.machine.Machine.instr_count;
+    instrs = Int64.of_int sys.Setup.machine.Machine.instr_count;
     sim_seconds;
     traps = !traps;
     world_switches;
@@ -256,7 +264,7 @@ let drain_logs r =
    fleet run at any domain count). *)
 let replay_machine spec ~id ~events =
   let _, stream = plan spec id in
-  let sys = build_system () in
+  let sys = build_system spec in
   let replay, _tracer = Setup.attach_replay sys ~events in
   Setup.run_scripts ~max_instrs:spec.max_instrs sys [ stream.Load.script ];
   Mir_trace.Replay.finish replay

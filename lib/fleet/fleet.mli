@@ -23,10 +23,17 @@ type spec = {
   max_instrs : int64;  (** per-machine safety budget *)
   record_machine : int option;
       (** record this machine's trace during the fleet run *)
+  block_engine : bool;
+      (** execute each machine through the decoded basic-block engine
+          (the default). Digests, counters and recorded traces are
+          bit-identical either way — the engine is step-exact against
+          the interpreter — so this knob only trades speed for an
+          independent execution path. *)
 }
 
 val default_spec : spec
-(** 64 machines, 1 domain, ["mix"], seed ["Fleet"], 1 ms. *)
+(** 64 machines, 1 domain, ["mix"], seed ["Fleet"], 1 ms, block
+    engine on. *)
 
 val platform : Mir_platform.Platform.t
 (** The fleet guest: single-hart VisionFive-2-class machine, 8 MiB RAM. *)

@@ -39,12 +39,21 @@ let save_coverage ~dir coverage =
   path
 
 (* Load every vector in a directory, sorted by file name so the order
-   (and thus any replay) is stable across file systems. *)
+   (and thus any replay) is stable across file systems.  Block-engine
+   vectors ([block-*.jsonl] / [blockdiff-*.jsonl], a different JSONL
+   family owned by Mir_verif.Blockdiff) share test/vectors/ and are
+   skipped here; they replay through [fuzz --blocks] and
+   test_blocks.ml instead. *)
+let block_family f =
+  String.length f >= 6 && String.sub f 0 6 = "block-"
+  || String.length f >= 10 && String.sub f 0 10 = "blockdiff-"
+
 let load_dir dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".jsonl" && not (block_family f))
     |> List.sort String.compare
     |> List.map (fun f ->
            let path = Filename.concat dir f in

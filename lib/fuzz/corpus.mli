@@ -12,5 +12,7 @@ val save_min : dir:string -> Input.t -> string
 val save_coverage : dir:string -> Coverage.t -> string
 
 val load_dir : string -> (string * (Input.t, string) result) list
-(** All [*.jsonl] vectors in the directory, sorted by file name.
-    Missing directory loads as the empty list. *)
+(** Every fuzz [*.jsonl] vector in the directory, sorted by file
+    name; a missing directory loads as the empty list.
+    [block-*.jsonl] block-engine vectors (the {!Mir_verif.Blockdiff}
+    family) are skipped — they replay through [fuzz --blocks]. *)

@@ -116,4 +116,5 @@ let stats system =
 let uart_output system = Mir_rv.Uart.output system.machine.Machine.uart
 
 let seconds system =
-  Mir_platform.Platform.seconds_of_cycles system.platform (hart0_cycles system)
+  Mir_platform.Platform.seconds_of_cycles system.platform
+    (Int64.of_int (hart0_cycles system))

@@ -58,7 +58,7 @@ val checkpoint_manager :
 val state_hash : system -> int64
 (** Digest of the full architectural state ({!Mir_trace.Snapshot.hash}). *)
 
-val hart0_cycles : system -> int64
+val hart0_cycles : system -> int
 val stats : system -> Miralis.Vfm_stats.t option
 val uart_output : system -> string
 

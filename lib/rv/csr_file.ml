@@ -143,5 +143,7 @@ let write t addr v =
 
 let set_mip_bits t bits on =
   let m = t.store.(Csr_addr.mip) in
-  t.store.(Csr_addr.mip) <-
-    (if on then Int64.logor m bits else Int64.logand m (Int64.lognot bits))
+  let m' = if on then Int64.logor m bits else Int64.logand m (Int64.lognot bits) in
+  (* skip the no-change case: an int64-array store allocates, and the
+     line refresh calls this every 16 steps with mostly-stable lines *)
+  if m' <> m then t.store.(Csr_addr.mip) <- m'

@@ -1,43 +1,71 @@
 type t = {
   id : int;
   mutable pc : int64;
-  regs : int64 array;
+  regs : Bytes.t;
   csr : Csr_file.t;
   tlb : Tlb.t;
   mutable priv : Priv.t;
   mutable wfi : bool;
   mutable halted : bool;
-  mutable cycles : int64;
-  mutable instret : int64;
+  mutable cycles : int;
+  mutable instret : int;
   mutable irq_stale : int;
   mutable reservation : int64 option;
   mutable just_trapped : bool;
+  mutable bpc : int64;
+      (* block-engine scratch: virtual pc of the executing decoded
+         block's entry, read by closures that need their own pc
+         (auipc, jal/jalr links, branches) while the executor leaves
+         [pc] unwritten across pure runs. Meaningless outside
+         [Machine.exec_block]; never snapshotted or hashed. *)
 }
 
 let create ?(tlb_entries = 256) config ~id =
   {
     id;
     pc = 0L;
-    regs = Array.make 32 0L;
+    regs = Bytes.make 256 '\000';
     csr = Csr_file.create config ~hart_id:id;
     tlb = Tlb.create ~entries:tlb_entries;
     priv = Priv.M;
     wfi = false;
     halted = false;
-    cycles = 0L;
-    instret = 0L;
+    cycles = 0;
+    instret = 0;
     irq_stale = 0;
     reservation = None;
     just_trapped = false;
+    bpc = 0L;
   }
 
-let get t r = if r = 0 then 0L else t.regs.(r)
-let set t r v = if r <> 0 then t.regs.(r) <- v
+(* The register file is a flat byte buffer of 32 little-endian int64
+   slots rather than an [int64 array]: array elements would each be a
+   pointer to a boxed int64, so every register write would allocate
+   and run the write barrier. Accesses compile to raw unboxed
+   loads/stores, which the decoded basic-block engine depends on for
+   its instrs/sec target. The register number is masked to 5 bits
+   instead of bounds-checked — identical for every architecturally
+   possible input (decoders produce 5-bit fields), and memory-safe
+   for any other. *)
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+let get t r =
+  if r = 0 then 0L
+  else
+    let v = unsafe_get_64 t.regs ((r land 31) lsl 3) in
+    if Sys.big_endian then swap64 v else v
+
+let set t r v =
+  if r <> 0 then
+    unsafe_set_64 t.regs ((r land 31) lsl 3)
+      (if Sys.big_endian then swap64 v else v)
 
 let reset t ~pc =
   t.pc <- pc;
   t.reservation <- None;
-  Array.fill t.regs 0 32 0L;
+  Bytes.fill t.regs 0 256 '\000';
   t.priv <- Priv.M;
   t.wfi <- false;
   t.halted <- false;

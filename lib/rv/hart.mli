@@ -8,14 +8,20 @@
 type t = {
   id : int;
   mutable pc : int64;
-  regs : int64 array;  (** 32 entries; x0 is forced to zero on read *)
+  regs : Bytes.t;
+      (** 32 little-endian int64 slots (flat, unboxed); access through
+          {!get}/{!set} — x0 is forced to zero and never stored to *)
   csr : Csr_file.t;
   tlb : Tlb.t;  (** per-hart software TLB + fetch-page cache *)
   mutable priv : Priv.t;
   mutable wfi : bool;  (** stalled in [wfi] *)
   mutable halted : bool;  (** stopped (HSM or test-finish) *)
-  mutable cycles : int64;
-  mutable instret : int64;
+  mutable cycles : int;
+  mutable instret : int;
+      (** plain [int] counters: 63 bits outlast any simulation, and
+          unboxed read-modify-write keeps the per-instruction cost to
+          one store (a boxed [int64] would allocate on every
+          retire) *)
   mutable irq_stale : int;  (** steps since the interrupt lines were
                                 refreshed (machine-internal) *)
   mutable reservation : int64 option;
@@ -28,6 +34,11 @@ type t = {
           points as preemption-interesting; the machine uses it to
           model mid-emulation preemption windows for injected race
           bugs. *)
+  mutable bpc : int64;
+      (** block-engine scratch: entry pc of the decoded block being
+          executed, read by pc-relative closures while [pc] itself
+          stays unwritten across pure runs. Meaningless outside
+          [Machine.exec_block]; never snapshotted or hashed. *)
 }
 
 val create : ?tlb_entries:int -> Csr_spec.config -> id:int -> t

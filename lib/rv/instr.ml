@@ -54,6 +54,27 @@ let is_privileged = function
   | Amo _ ->
       false
 
+(* Block-engine classification (lib/rv/block.ml). A pure instruction
+   touches only the register file and pc: it cannot trap, cannot
+   access memory or CSRs, and fires no observation hook, so the block
+   executor may batch its per-step bookkeeping. Fence is pure here
+   because the interpreter executes it as a no-op. *)
+let is_pure = function
+  | Lui _ | Auipc _ | Op_imm _ | Op_imm32 _ | Op _ | Op32 _ | Fence -> true
+  | Jal _ | Jalr _ | Branch _ | Load _ | Store _ | Fence_i | Ecall | Ebreak
+  | Csr _ | Mret | Sret | Wfi | Sfence_vma _ | Amo _ ->
+      false
+
+(* A terminator ends a decoded block: control flow (the next pc is no
+   longer sequential), anything privileged (it may change the
+   translation/privilege context blocks are dispatched under), and the
+   always-trapping pair. Loads/stores/AMOs do NOT terminate — stores
+   into a cached page are caught by the executor's mid-block
+   invalidation check. *)
+let is_block_terminator = function
+  | Jal _ | Jalr _ | Branch _ | Ecall | Ebreak | Fence_i -> true
+  | i -> is_privileged i
+
 let reg_names =
   [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1";
      "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7";

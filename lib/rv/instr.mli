@@ -78,6 +78,16 @@ val is_privileged : t -> bool
     CSR accesses, [mret], [sret], [wfi], [sfence.vma]. This is the set
     the paper's Table 2 verification tasks cover. *)
 
+val is_pure : t -> bool
+(** True for register-only instructions (ALU forms, [lui]/[auipc],
+    plain [fence]): no memory, no CSRs, no traps, no hooks. The block
+    engine batches the per-step bookkeeping of pure runs. *)
+
+val is_block_terminator : t -> bool
+(** True for instructions that end a decoded basic block: control
+    flow, every privileged instruction, [ecall]/[ebreak], and
+    [fence.i]. *)
+
 val reg_name : reg -> string
 (** ABI register name ("zero", "ra", "sp", ...). *)
 

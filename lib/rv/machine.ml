@@ -16,6 +16,12 @@ type config = {
          0 disables the TLB and the fetch-page cache, leaving the raw
          walker — the configuration the differential fuzzer and the
          ips benchmark use as oracle/baseline *)
+  block_engine : bool;
+      (* execute [run] through the decoded basic-block cache; [step]
+         always remains the per-instruction interpreter (the oracle),
+         and [run_scheduled] always steps the interpreter so schedule
+         exploration preempts at exact step counts. Requires the
+         fetch-page cache (tlb_entries > 0) to ever hit. *)
 }
 
 let default_config =
@@ -30,6 +36,7 @@ let default_config =
     xret_penalty = 100;
     mmio_penalty = 60;
     tlb_entries = 256;
+    block_engine = true;
   }
 
 (* Injectable cross-hart race windows, driven by the schedule explorer
@@ -51,6 +58,8 @@ type t = {
   mutable blockdev : Blockdev.t option;
   mutable nic : Nic.t option;
   icache : (Instr.t * int) option array;
+  blocks : Block.cache;
+  mutable block_engine : bool;
   mutable mmode_hook : (t -> Hart.t -> Cause.t -> unit) option;
   mutable on_trap :
     (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
@@ -61,7 +70,7 @@ type t = {
     option;
   mutable on_chunk : (t -> unit) option;
   mutable poweroff : bool;
-  mutable instr_count : int64;
+  mutable instr_count : int;
   mutable race_bug : race_bug option;
   mutable deferred : deferred list;
 }
@@ -93,13 +102,15 @@ let create config =
       blockdev = None;
       nic = None;
       icache = Array.make (config.ram_size / 4) None;
+      blocks = Block.create ~words:(config.ram_size / 4);
+      block_engine = config.block_engine;
       mmode_hook = None;
       on_trap = None;
       on_csr_write = None;
       on_mmio = None;
       on_chunk = None;
       poweroff = false;
-      instr_count = 0L;
+      instr_count = 0;
       race_bug = None;
       deferred = [];
     }
@@ -146,13 +157,18 @@ let icache_invalidate t addr size =
   match icache_index t addr with
   | Some i ->
       t.icache.(i) <- None;
+      Block.invalidate_word t.blocks i;
       let last = Int64.add addr (Int64.of_int (size - 1)) in
       (match icache_index t last with
-      | Some j when j <> i -> t.icache.(j) <- None
+      | Some j when j <> i ->
+          t.icache.(j) <- None;
+          Block.invalidate_word t.blocks j
       | _ -> ())
   | None -> ()
 
-let flush_icache t = Array.fill t.icache 0 (Array.length t.icache) None
+let flush_icache t =
+  Array.fill t.icache 0 (Array.length t.icache) None;
+  Block.flush t.blocks
 let invalidate_icache t addr size = icache_invalidate t addr size
 
 (* Deferred cross-hart actions for the injected race windows: the
@@ -220,7 +236,7 @@ let translate t hart ~priv access vaddr =
     ~satp ~priv ~sum:(Bits.test ms Ms.sum) ~mxr:(Bits.test ms Ms.mxr) access
     vaddr
 
-let charge hart n = hart.Hart.cycles <- Int64.add hart.Hart.cycles (Int64.of_int n)
+let charge hart n = hart.Hart.cycles <- hart.Hart.cycles + n
 
 let resume hart ~pc ~priv =
   hart.Hart.pc <- pc;
@@ -602,7 +618,7 @@ let exec_csr t hart bits op rd src csr_addr =
   (* Dynamic counters are not backed by CSR storage. *)
   if csr_addr = Csr_addr.cycle then begin
     if not (counter_enabled t hart csr_addr) then illegal bits;
-    finish hart.Hart.cycles
+    finish (Int64.of_int hart.Hart.cycles)
   end
   else if csr_addr = Csr_addr.time then begin
     if not t.config.csr_config.Csr_spec.has_time_csr then illegal bits;
@@ -611,13 +627,13 @@ let exec_csr t hart bits op rd src csr_addr =
   end
   else if csr_addr = Csr_addr.instret then begin
     if not (counter_enabled t hart csr_addr) then illegal bits;
-    finish hart.Hart.instret
+    finish (Int64.of_int hart.Hart.instret)
   end
   else if csr_addr = Csr_addr.mcycle then
     (* counter writes are dropped in this model *)
-    finish ~storage:false hart.Hart.cycles
+    finish ~storage:false (Int64.of_int hart.Hart.cycles)
   else if csr_addr = Csr_addr.minstret then
-    finish ~storage:false hart.Hart.instret
+    finish ~storage:false (Int64.of_int hart.Hart.instret)
   else if not (Csr_file.exists csr csr_addr) then illegal bits
   else finish (Csr_file.read csr csr_addr)
 
@@ -681,7 +697,12 @@ let exec t hart instr bits =
       Hart.set hart rd (Alu.op32 op (Hart.get hart rs1) (Hart.get hart rs2));
       next ()
   | Instr.Fence -> next ()
-  | Instr.Fence_i -> next ()
+  | Instr.Fence_i ->
+      (* synchronize the instruction stream: drop decoded words and
+         blocks so later fetches re-read RAM (required after writes
+         that bypass the store-side invalidation, e.g. device DMA) *)
+      flush_icache t;
+      next ()
   | Instr.Ecall ->
       let cause =
         match hart.Hart.priv with
@@ -802,50 +823,869 @@ let exec t hart instr bits =
 
 let wfi_quantum = 16
 
+(* Per-step preamble shared by the interpreter and the block engine:
+   deferred race actions, interrupt-line refresh, interrupt delivery,
+   wfi wake/idle. Returns true when the step must now fetch and
+   execute one instruction; false when the step was consumed by trap
+   entry, a wfi wake, or an idle wfi quantum. Keeping a single copy
+   of this sequence is what makes the two engines bit-exact: every
+   architectural step runs exactly one [pre_step], whichever engine
+   drives it. *)
+let pre_step t hart =
+  if t.deferred != [] then tick_deferred t;
+  hart.Hart.just_trapped <- false;
+  (* interrupt lines change only with device state (time advances per
+     chunk; msip/PLIC on MMIO stores): refreshing every 16th step
+     keeps delivery latency tiny without paying the cost per
+     instruction *)
+  hart.Hart.irq_stale <- hart.Hart.irq_stale + 1;
+  if hart.Hart.irq_stale >= 16 || hart.Hart.wfi then begin
+    hart.Hart.irq_stale <- 0;
+    update_irq_lines t hart
+  end;
+  match pending_interrupt t hart with
+  | Some i ->
+      hart.Hart.wfi <- false;
+      take_trap t hart (Cause.Interrupt i) ~tval:0L;
+      false
+  | None ->
+      if hart.Hart.wfi then begin
+        (* Wake on any pending-and-enabled interrupt; otherwise idle. *)
+        let csr = hart.Hart.csr in
+        let pending =
+          Int64.logand
+            (Csr_file.read_raw csr Csr_addr.mip)
+            (Csr_file.read_raw csr Csr_addr.mie)
+        in
+        if pending <> 0L then hart.Hart.wfi <- false
+        else charge hart wfi_quantum;
+        false
+      end
+      else true
+
+(* Fetch and execute exactly one instruction ([pre_step] returned
+   true). *)
+let fetch_exec_one t hart =
+  match fetch t hart with
+  | exception Cause.Trap (e, tval) ->
+      take_trap t hart (Cause.Exception e) ~tval
+  | instr, bits -> begin
+      hart.Hart.cycles <- hart.Hart.cycles + 1;
+      hart.Hart.instret <- hart.Hart.instret + 1;
+      t.instr_count <- t.instr_count + 1;
+      try exec t hart instr bits
+      with Cause.Trap (e, tval) -> take_trap t hart (Cause.Exception e) ~tval
+    end
+
 let step t hart =
   if hart.Hart.halted then ()
-  else begin
-    if t.deferred <> [] then tick_deferred t;
-    hart.Hart.just_trapped <- false;
-    (* interrupt lines change only with device state (time advances per
-       chunk; msip/PLIC on MMIO stores): refreshing every 16th step
-       keeps delivery latency tiny without paying the cost per
-       instruction *)
-    hart.Hart.irq_stale <- hart.Hart.irq_stale + 1;
-    if hart.Hart.irq_stale >= 16 || hart.Hart.wfi then begin
-      hart.Hart.irq_stale <- 0;
-      update_irq_lines t hart
-    end;
-    match pending_interrupt t hart with
-    | Some i ->
-        hart.Hart.wfi <- false;
-        take_trap t hart (Cause.Interrupt i) ~tval:0L
-    | None ->
-        if hart.Hart.wfi then begin
-          (* Wake on any pending-and-enabled interrupt; otherwise idle. *)
-          let csr = hart.Hart.csr in
-          let pending =
-            Int64.logand
-              (Csr_file.read_raw csr Csr_addr.mip)
-              (Csr_file.read_raw csr Csr_addr.mie)
-          in
-          if pending <> 0L then hart.Hart.wfi <- false
-          else charge hart wfi_quantum
+  else if pre_step t hart then fetch_exec_one t hart
+
+(* ------------------------------------------------------------------ *)
+(* Decoded basic-block engine                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile one instruction to a closure over the owning machine. The
+   hot unprivileged forms are specialized — operands, immediates,
+   access sizes and the ALU operation itself are split out at compile
+   time, so the closure body is straight-line unboxed int64 arithmetic
+   (ocamlopt's local unboxing applies within one closure; a call into
+   [Alu] would box every operand and the result). Everything else
+   delegates to [exec], keeping a single copy of the tricky
+   semantics. A closure must advance the hart *exactly* as [exec]
+   would, including the order of side effects around a potential trap
+   (e.g. a misaligned jump faults before the link register is
+   written).
+
+   Closure ABI: [op h], with [off] — the instruction's byte offset
+   from its block's entry — baked in at compile time. A closure that
+   needs its own pc (auipc, jal/jalr links, branch targets) computes
+   it as [h.bpc + off], where [h.bpc] is the block entry pc the
+   executor maintains; [h.pc] itself may be stale at that point,
+   because pure closures never write it and the executor only
+   materializes [pc <- bpc + 4 i] when something can observe it (a
+   memory/delegate op, a slow pre-step, a trap, the block boundary).
+   Control closures write the successor pc absolutely; memory and
+   delegate closures run with [pc] accurate and advance it
+   themselves, exactly as the interpreter would. Closures take the
+   hart as their only argument so the executor's calls are direct
+   one-argument indirect calls (a two-argument unknown application
+   would detour through caml_apply2 on every instruction). *)
+let op_of_instr t instr bits ~off =
+  (* relative-to-block-entry constants, folded at compile time *)
+  let off64 = Int64.of_int off in
+  let next_rel = Int64.of_int (off + 4) in
+  match instr with
+  | Instr.Lui (rd, imm) -> fun h -> Hart.set h rd imm
+  | Instr.Auipc (rd, imm) ->
+      let rel = Int64.add off64 imm in
+      fun h -> Hart.set h rd (Int64.add h.Hart.bpc rel)
+  | Instr.Jal (rd, joff) ->
+      let tgt_rel = Int64.add off64 joff in
+      fun h ->
+        let bpc = h.Hart.bpc in
+        let target = Int64.add bpc tgt_rel in
+        let link = Int64.add bpc next_rel in
+        jump t h target;
+        Hart.set h rd link
+  | Instr.Jalr (rd, rs1, joff) ->
+      fun h ->
+        let target =
+          Int64.logand (Int64.add (Hart.get h rs1) joff) (Int64.lognot 1L)
+        in
+        let link = Int64.add h.Hart.bpc next_rel in
+        jump t h target;
+        Hart.set h rd link
+  | Instr.Branch (op, rs1, rs2, boff) -> (
+      let tgt_rel = Int64.add off64 boff in
+      match op with
+      | Instr.Beq ->
+          fun h ->
+            if Hart.get h rs1 = Hart.get h rs2 then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel
+      | Instr.Bne ->
+          fun h ->
+            if Hart.get h rs1 <> Hart.get h rs2 then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel
+      | Instr.Blt ->
+          fun h ->
+            if Hart.get h rs1 < Hart.get h rs2 then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel
+      | Instr.Bge ->
+          fun h ->
+            if Hart.get h rs1 >= Hart.get h rs2 then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel
+      | Instr.Bltu ->
+          fun h ->
+            if Bits.ult (Hart.get h rs1) (Hart.get h rs2) then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel
+      | Instr.Bgeu ->
+          fun h ->
+            if not (Bits.ult (Hart.get h rs1) (Hart.get h rs2)) then
+              jump t h (Int64.add h.Hart.bpc tgt_rel)
+            else h.Hart.pc <- Int64.add h.Hart.bpc next_rel)
+  | Instr.Load { width; unsigned; rd; rs1; imm } ->
+      let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+      let signed = not unsigned in
+      fun h ->
+        let v = vload t h (Int64.add (Hart.get h rs1) imm) size ~signed in
+        Hart.set h rd v;
+        h.Hart.pc <- Int64.add h.Hart.pc 4L
+  | Instr.Store { width; rs2; rs1; imm } ->
+      let size = match width with Instr.B -> 1 | H -> 2 | W -> 4 | D -> 8 in
+      fun h ->
+        vstore t h (Int64.add (Hart.get h rs1) imm) size (Hart.get h rs2);
+        h.Hart.pc <- Int64.add h.Hart.pc 4L
+  | Instr.Op_imm (op, rd, rs1, imm) -> (
+      match op with
+      | Instr.Addi -> fun h -> Hart.set h rd (Int64.add (Hart.get h rs1) imm)
+      | Instr.Xori ->
+          fun h -> Hart.set h rd (Int64.logxor (Hart.get h rs1) imm)
+      | Instr.Ori -> fun h -> Hart.set h rd (Int64.logor (Hart.get h rs1) imm)
+      | Instr.Andi ->
+          fun h -> Hart.set h rd (Int64.logand (Hart.get h rs1) imm)
+      | Instr.Slli ->
+          let sh = Int64.to_int (Int64.logand imm 0x3FL) in
+          fun h -> Hart.set h rd (Int64.shift_left (Hart.get h rs1) sh)
+      | Instr.Srli ->
+          let sh = Int64.to_int (Int64.logand imm 0x3FL) in
+          fun h ->
+            Hart.set h rd (Int64.shift_right_logical (Hart.get h rs1) sh)
+      | Instr.Srai ->
+          let sh = Int64.to_int (Int64.logand imm 0x3FL) in
+          fun h -> Hart.set h rd (Int64.shift_right (Hart.get h rs1) sh)
+      | Instr.Slti | Instr.Sltiu ->
+          fun h -> Hart.set h rd (Alu.op_imm op (Hart.get h rs1) imm))
+  | Instr.Op_imm32 (op, rd, rs1, imm) -> (
+      match op with
+      | Instr.Addiw ->
+          fun h ->
+            Hart.set h rd (Bits.sext32 (Int64.add (Hart.get h rs1) imm))
+      | Instr.Slliw | Instr.Srliw | Instr.Sraiw ->
+          fun h -> Hart.set h rd (Alu.op_imm32 op (Hart.get h rs1) imm))
+  | Instr.Op (op, rd, rs1, rs2) -> (
+      match op with
+      | Instr.Add ->
+          fun h -> Hart.set h rd (Int64.add (Hart.get h rs1) (Hart.get h rs2))
+      | Instr.Sub ->
+          fun h -> Hart.set h rd (Int64.sub (Hart.get h rs1) (Hart.get h rs2))
+      | Instr.Xor ->
+          fun h ->
+            Hart.set h rd (Int64.logxor (Hart.get h rs1) (Hart.get h rs2))
+      | Instr.Or ->
+          fun h ->
+            Hart.set h rd (Int64.logor (Hart.get h rs1) (Hart.get h rs2))
+      | Instr.And ->
+          fun h ->
+            Hart.set h rd (Int64.logand (Hart.get h rs1) (Hart.get h rs2))
+      | Instr.Sltu ->
+          fun h ->
+            Hart.set h rd
+              (if Bits.ult (Hart.get h rs1) (Hart.get h rs2) then 1L else 0L)
+      | Instr.Slt | Instr.Sll | Instr.Srl | Instr.Sra | Instr.Mul | Instr.Mulh
+      | Instr.Mulhsu | Instr.Mulhu | Instr.Div | Instr.Divu | Instr.Rem
+      | Instr.Remu ->
+          fun h ->
+            Hart.set h rd (Alu.op op (Hart.get h rs1) (Hart.get h rs2)))
+  | Instr.Op32 (op, rd, rs1, rs2) -> (
+      match op with
+      | Instr.Addw ->
+          fun h ->
+            Hart.set h rd
+              (Bits.sext32 (Int64.add (Hart.get h rs1) (Hart.get h rs2)))
+      | Instr.Subw ->
+          fun h ->
+            Hart.set h rd
+              (Bits.sext32 (Int64.sub (Hart.get h rs1) (Hart.get h rs2)))
+      | Instr.Sllw | Instr.Srlw | Instr.Sraw | Instr.Mulw | Instr.Divw
+      | Instr.Divuw | Instr.Remw | Instr.Remuw ->
+          fun h ->
+            Hart.set h rd (Alu.op32 op (Hart.get h rs1) (Hart.get h rs2)))
+  | Instr.Fence -> fun _ -> ()
+  | Instr.Fence_i | Instr.Ecall | Instr.Ebreak | Instr.Csr _ | Instr.Mret
+  | Instr.Sret | Instr.Wfi | Instr.Sfence_vma _ | Instr.Amo _ ->
+      fun h -> exec t h instr bits
+
+let max_block_len = 64
+
+(* Executor class (see block.ml): 0 pure, 1 control, 2 memory,
+   3 delegate. Class 0 must coincide exactly with [Instr.is_pure],
+   which also drives [pure_run]. *)
+let class_of_instr instr =
+  if Instr.is_pure instr then 0
+  else
+    match instr with
+    | Instr.Jal _ | Instr.Jalr _ | Instr.Branch _ -> 1
+    | Instr.Load _ | Instr.Store _ | Instr.Amo _ -> 2
+    | _ -> 3
+
+(* Compile a block starting at icache word [idx0], reading only
+   already-warm icache entries: compilation must never touch RAM or
+   the bus, because a cold fill here would change icache fill timing
+   relative to the interpreter (observable through DMA, which
+   bypasses store-side invalidation until the next fence.i). Returns
+   None when the first word is cold — the dispatcher then interprets
+   one step, which warms it. Blocks never cross a 4 KiB page, so the
+   page-granular store invalidation is a complete kill and the
+   dispatch-time fetch-page check covers every instruction. *)
+let compile_block t idx0 =
+  match t.icache.(idx0) with
+  | None -> None
+  | Some _ ->
+      let page_end = ((idx0 lsr 10) + 1) lsl 10 in
+      let limit = min page_end (idx0 + max_block_len) in
+      (* length of the warm prefix, cut after the first terminator *)
+      let n = ref 0 in
+      let scanning = ref true in
+      while !scanning && idx0 + !n < limit do
+        match t.icache.(idx0 + !n) with
+        | None -> scanning := false
+        | Some (i, _) ->
+            incr n;
+            if Instr.is_block_terminator i then scanning := false
+      done;
+      let n = !n in
+      let ops =
+        Array.init n (fun k ->
+            match t.icache.(idx0 + k) with
+            | Some (i, bits) -> op_of_instr t i bits ~off:(k lsl 2)
+            | None -> assert false)
+      in
+      let pure_run = Array.make n 0 in
+      let cls = Bytes.make n '\000' in
+      let run = ref 0 in
+      for k = n - 1 downto 0 do
+        (match t.icache.(idx0 + k) with
+        | Some (i, _) ->
+            if Instr.is_pure i then incr run else run := 0;
+            Bytes.set cls k (Char.chr (class_of_instr i))
+        | None -> assert false);
+        pure_run.(k) <- !run
+      done;
+      let term_inert = Char.code (Bytes.get cls (n - 1)) <= 2 in
+      let whole =
+        n <= 16
+        && pure_run.(0) = n - 1
+        && Char.code (Bytes.get cls (n - 1)) = 1
+      in
+      Some { Block.ops; pure_run; cls; term_inert; whole }
+
+let get_or_compile t idx =
+  match Block.lookup t.blocks idx with
+  | Some _ as b -> b
+  | None -> (
+      match compile_block t idx with
+      | Some b ->
+          Block.insert t.blocks idx b;
+          Some b
+      | None -> None)
+
+(* Execute [blk0] (cached at slot [start_idx0]); the caller has
+   already run [pre_step] for the first instruction and it returned
+   true. Returns the number of machine steps consumed, in
+   [1, budget].
+
+   Per-instruction equivalence with the interpreter: each retired
+   instruction gets exactly one [pre_step] (the elided per-fetch work
+   — alignment check, epoch sync, fetch-page lookup, icache read —
+   cannot change outcome mid-block: pcs stay sequential and aligned,
+   nothing inside a block bumps the vm-epoch before its terminator,
+   and any store that rewrites this page kills the block, which the
+   identity check below catches before the next instruction).
+
+   Pure runs additionally batch the bookkeeping itself: for
+   register-only, non-trapping, hook-free instructions the only
+   observables of the per-step preamble are the irq-stale counter
+   (bounded so no refresh point is skipped), the deferred-action
+   queue (required empty) and interrupt delivery (provably absent
+   while mip land mie = 0, since nothing in a pure run can change
+   either side). Batched closures leave [pc] parked at the batch
+   start (receiving their own position as a byte delta); the single
+   [pc <- pc + 4b] store afterwards is the only boxed-int64 write of
+   the whole batch.
+
+   When a block ends and nothing stopped the hart, execution chains
+   straight into the block at the new pc — same block for a tight
+   loop, successor block across a direct branch — re-establishing
+   virtual validity exactly as the dispatcher would. For a block
+   whose final op is translation-inert (class <= 2), a chain target
+   inside the same virtual page provably still maps to the same
+   physical page as at dispatch, so the epoch sync and fetch-page
+   lookup are skipped; a self-chain back to the block's own entry pc
+   additionally skips the cache lookup (the block cannot have been
+   invalidated: stores were identity-checked as they executed, and
+   nothing else since dispatch writes memory). A chain target that is
+   cold or unmapped falls back to one interpreted step and then tries
+   again, so the loop only returns to [step_blocks] on budget
+   exhaustion, trap, wfi, halt or power-off.
+
+   Counter discipline: cycles/instret/instr_count updates for pure
+   and control ops are accumulated in a local [pend] and flushed
+   before anything that could observe them — a memory or delegate op
+   (MMIO hooks, rdcycle), trap entry, a slow [pre_step], the
+   interpreter fallback, and return. Pure adders ([charge]) commute
+   with the flush, so only readers force one. *)
+let exec_block t hart blk0 start_idx0 ~page_base:page_base0 ~budget =
+  let blk = ref blk0 in
+  let start_idx = ref start_idx0 in
+  let ops = ref blk0.Block.ops in
+  let pure = ref blk0.Block.pure_run in
+  let cls = ref blk0.Block.cls in
+  let n = ref (Array.length blk0.Block.ops) in
+  (* virtual entry pc of the current block and the icache word index
+     of its page, valid while [have_page] (killed by the interpreter
+     fallback, whose instruction may change anything) *)
+  let entry_pc = ref hart.Hart.pc in
+  hart.Hart.bpc <- hart.Hart.pc;
+  let page_base = ref page_base0 in
+  let have_page = ref true in
+  let steps = ref 0 in
+  let retired = ref 0 in
+  (* block-engine-retired instrs, for stats *)
+  let disp = ref 0 in
+  (* chained dispatches, flushed to stats on return *)
+  let pend = ref 0 in
+  let i = ref 0 in
+  let continue_ = ref true in
+  (* [pc_ok] tracks whether [hart.pc] is authoritative. While false,
+     the true pc is [bpc + 4 i]: staleness only arises from pure ops
+     skipping their pc write, and those leave pc parked where the
+     last writer put it. [materialize] restores authority before
+     anything that can observe pc. *)
+  let pc_ok = ref true in
+  let materialize () =
+    if not !pc_ok then begin
+      hart.Hart.pc <- Int64.add hart.Hart.bpc (Int64.of_int (!i lsl 2));
+      pc_ok := true
+    end
+  in
+  let flush () =
+    if !pend > 0 then begin
+      hart.Hart.cycles <- hart.Hart.cycles + !pend;
+      hart.Hart.instret <- hart.Hart.instret + !pend;
+      t.instr_count <- t.instr_count + !pend;
+      pend := 0
+    end
+  in
+  (* cached "mip land mie = 0": pure and control ops cannot change
+     either side, so it is recomputed only after memory/delegate ops,
+     trap entry, a slow pre_step or the interpreter fallback *)
+  let no_irq = ref false in
+  let sync_no_irq () =
+    let csr = hart.Hart.csr in
+    no_irq :=
+      Int64.logand
+        (Csr_file.read_raw csr Csr_addr.mip)
+        (Csr_file.read_raw csr Csr_addr.mie)
+      = 0L
+  in
+  sync_no_irq ();
+  (* [pre_step] for the next instruction, with the common case — not
+     stalled in wfi (possible right after a Wfi terminator), no
+     deferred work, no line refresh due, nothing pending in mip∧mie
+     (so no interrupt can be delivered) — inlined to four compares
+     and one store. [just_trapped] is already false on every path
+     that reaches here. *)
+  let pre_next () =
+    if
+      (not hart.Hart.wfi)
+      && t.deferred == []
+      && hart.Hart.irq_stale < 15
+      && !no_irq
+    then begin
+      hart.Hart.irq_stale <- hart.Hart.irq_stale + 1;
+      true
+    end
+    else begin
+      materialize ();
+      flush ();
+      let r = pre_step t hart in
+      sync_no_irq ();
+      r
+    end
+  in
+  (* Resident loop for a [Block.whole] self-chain — the shape of every
+     tight guest loop (one pure run capped by a control terminator,
+     branching back to its own entry). Entered from the tier-1 chain
+     site when the batch preconditions (mip land mie = 0, no deferred
+     work) hold; keeps all hot state (steps, pending counters, the
+     irq-stale window, the chain count) in parameters so iterating
+     costs no heap traffic beyond the ops' own effects. Bit-exact with
+     the generic batch-with-control-tail path: the window check,
+     counter and stale updates, trap parking and the inter-step
+     [pre_next] are the same decisions in the same order, merely with
+     the block-shape reads constant-folded away. Every uncommon event
+     writes the parameters back to the surrounding state and returns
+     to the generic loop. *)
+  let spin () =
+    let sops = (!blk).Block.ops in
+    let sn = !n in
+    let sentry = !entry_pc in
+    let term_off = Int64.of_int ((sn - 1) lsl 2) in
+    (* [j] = index of the next op (0 at a fresh self-chain, mid-block
+       while resuming after a straddled refresh); [ret]/[dsp] =
+       instructions retired / dispatches begun inside the loop, folded
+       into the surrounding counters on exit. Invariants at every
+       [go]: pc = sentry + 4 j and authoritative, pre_step consumed
+       for op [j], not wfi, deferred empty, mip land mie = 0,
+       just_trapped clear. *)
+    let rec go j steps0 pend0 stale ret dsp =
+      let count = sn - j in
+      if count > budget - steps0 then begin
+        (* budget slice ends mid-run: hand the generic loop the
+           mid-block state, it splits across the budget exactly as it
+           would have without us *)
+        hart.Hart.irq_stale <- stale;
+        steps := steps0;
+        pend := pend0;
+        retired := !retired + ret;
+        disp := !disp + dsp;
+        i := j
+      end
+      else if count > 16 - stale then begin
+        (* the irq-stale window closes mid-run: batch the pure prefix
+           up to the refresh point (ops [j..j+w-1] are pure: the only
+           non-pure op is the terminator, beyond the window), take the
+           slow pre_step, then resume at op [j+w]. Identical decisions
+           to the generic loop's capped batch + slow pre_next. *)
+        let w = 16 - stale in
+        for k = j to j + w - 1 do
+          (Array.unsafe_get sops k) hart
+        done;
+        hart.Hart.pc <- Int64.add sentry (Int64.of_int ((j + w) lsl 2));
+        hart.Hart.irq_stale <- 15 (* = stale + w - 1 *);
+        pend := pend0 + w;
+        flush ();
+        let steps_a = steps0 + w in
+        let ret_a = ret + w in
+        let r = pre_step t hart in
+        sync_no_irq ();
+        if not r then begin
+          (* interrupt delivered mid-block (trap entry consumed the
+             step), or the hart stalled: stop, generic exit path *)
+          steps := steps_a + 1;
+          retired := !retired + ret_a;
+          disp := !disp + dsp;
+          i := j + w;
+          continue_ := false
+        end
+        else if (not !no_irq) || t.deferred != [] then begin
+          (* batch preconditions lapsed: generic loop takes over at
+             op [j+w] with pc materialized *)
+          steps := steps_a;
+          retired := !retired + ret_a;
+          disp := !disp + dsp;
+          i := j + w
+        end
+        else go (j + w) steps_a 0 hart.Hart.irq_stale ret_a dsp
+      end
+      else begin
+        (* the whole remainder fits the window: one batch with the
+           control terminator swallowed *)
+        let stale1 = stale + (count - 1) in
+        let pend1 = pend0 + count in
+        let trapped =
+          try
+            for k = j to sn - 1 do
+              (Array.unsafe_get sops k) hart
+            done;
+            false
+          with Cause.Trap (e, tval) ->
+            (* only the terminator can raise, before writing pc *)
+            hart.Hart.pc <- Int64.add sentry term_off;
+            hart.Hart.irq_stale <- stale1;
+            pend := pend1;
+            flush ();
+            take_trap t hart (Cause.Exception e) ~tval;
+            sync_no_irq ();
+            true
+        in
+        let steps1 = steps0 + count in
+        let ret1 = ret + count in
+        if trapped || steps1 >= budget then begin
+          if not trapped then begin
+            hart.Hart.irq_stale <- stale1;
+            pend := pend1
+          end;
+          steps := steps1;
+          retired := !retired + ret1;
+          disp := !disp + dsp;
+          i := sn;
+          continue_ := false
+        end
+        else if stale1 < 15 then begin
+          (* inline fast pre_next: not-wfi, deferred empty and
+             mip land mie = 0 are spin invariants *)
+          if hart.Hart.pc = sentry then
+            go 0 steps1 pend1 (stale1 + 1) ret1 (dsp + 1)
+          else begin
+            (* fell through: back to the generic chain logic *)
+            hart.Hart.irq_stale <- stale1 + 1;
+            steps := steps1;
+            pend := pend1;
+            retired := !retired + ret1;
+            disp := !disp + dsp;
+            i := sn
+          end
         end
         else begin
-          match fetch t hart with
-          | exception Cause.Trap (e, tval) ->
-              take_trap t hart (Cause.Exception e) ~tval
-          | instr, bits -> begin
-              hart.Hart.cycles <- Int64.add hart.Hart.cycles 1L;
-              hart.Hart.instret <- Int64.add hart.Hart.instret 1L;
-              t.instr_count <- Int64.add t.instr_count 1L;
-              try exec t hart instr bits
-              with Cause.Trap (e, tval) ->
-                take_trap t hart (Cause.Exception e) ~tval
-            end
+          (* line-refresh due between runs: the slow pre_next, pc
+             already authoritative (the terminator wrote it) *)
+          hart.Hart.irq_stale <- stale1;
+          pend := pend1;
+          flush ();
+          let r = pre_step t hart in
+          sync_no_irq ();
+          if not r then begin
+            steps := steps1 + 1;
+            retired := !retired + ret1;
+            disp := !disp + dsp;
+            i := sn;
+            continue_ := false
+          end
+          else if hart.Hart.pc = sentry && !no_irq && t.deferred == [] then
+            go 0 steps1 0 hart.Hart.irq_stale ret1 (dsp + 1)
+          else if hart.Hart.pc = sentry then begin
+            (* chained home but the batch preconditions lapsed: hand
+               the realized self-chain to the generic loop *)
+            steps := steps1;
+            retired := !retired + ret1;
+            disp := !disp + (dsp + 1);
+            i := 0
+          end
+          else begin
+            steps := steps1;
+            retired := !retired + ret1;
+            disp := !disp + dsp;
+            i := sn
+          end
         end
-  end
+      end
+    in
+    go 0 !steps !pend hart.Hart.irq_stale 0 1
+  in
+  while !continue_ do
+    if !i < !n then begin
+      let run = Array.unsafe_get !pure !i in
+      let w =
+        if (not !no_irq) || t.deferred != [] then 1
+        else begin
+          (* explicit int compares: Stdlib.min is polymorphic and
+             would drag caml_lessequal into the per-batch path *)
+          let a = 16 - hart.Hart.irq_stale in
+          let c = budget - !steps in
+          if a < c then a else c
+        end
+      in
+      let bp = if run < w then run else w in
+      (* Swallow the block's control terminator into the batch when
+         the whole pure run fit and the window allows one more step:
+         it cannot store, stall or observe counters, and it writes
+         the successor pc itself (from [pc + delta]), so the batch
+         then needs no pc store at all. *)
+      let tail =
+        bp = run
+        && bp + 1 <= w
+        && !i + run < !n
+        && Char.code (Bytes.unsafe_get !cls (!i + run)) = 1
+      in
+      let b = if tail then bp + 1 else bp in
+      if b >= 2 then begin
+        let ops = !ops in
+        let base = !i in
+        (* the first instruction's pre_step already bumped the
+           counter; the rest of the batch's bumps commute with the
+           ops (none reads irq state) and with the counter flush *)
+        hart.Hart.irq_stale <- hart.Hart.irq_stale + (b - 1);
+        pend := !pend + b;
+        if tail then (
+          try
+            for k = 0 to bp - 1 do
+              (Array.unsafe_get ops (base + k)) hart
+            done;
+            (Array.unsafe_get ops (base + bp)) hart;
+            (* the terminator wrote the successor pc *)
+            pc_ok := true
+          with Cause.Trap (e, tval) ->
+            (* only the terminator can raise (misaligned target),
+               before writing pc — park pc on it so mepc is right *)
+            hart.Hart.pc <-
+              Int64.add hart.Hart.bpc (Int64.of_int ((base + bp) lsl 2));
+            pc_ok := true;
+            flush ();
+            take_trap t hart (Cause.Exception e) ~tval;
+            sync_no_irq ())
+        else begin
+          for k = 0 to b - 1 do
+            (Array.unsafe_get ops (base + k)) hart
+          done;
+          pc_ok := false
+        end;
+        steps := !steps + b;
+        retired := !retired + b;
+        i := !i + b;
+        (* a pure batch cannot trap, halt, power off or invalidate
+           blocks, and its control tail can only trap: the trap, the
+           budget and the next pre_step are the only stop checks *)
+        if hart.Hart.just_trapped || !steps >= budget then continue_ := false
+        else if not (pre_next ()) then begin
+          incr steps;
+          continue_ := false
+        end
+      end
+      else begin
+        let c = Char.code (Bytes.unsafe_get !cls !i) in
+        pend := !pend + 1;
+        if c = 0 then begin
+          (* pure single step: cannot trap; same reasoning as batch *)
+          (Array.unsafe_get !ops !i) hart;
+          pc_ok := false;
+          incr steps;
+          incr retired;
+          incr i;
+          if !steps >= budget then continue_ := false
+          else if not (pre_next ()) then begin
+            incr steps;
+            continue_ := false
+          end
+        end
+        else if c = 1 then begin
+          (* jal/jalr/branch: no store, no halt/poweroff, no
+             translation change — only a misaligned target traps *)
+          (try
+             (Array.unsafe_get !ops !i) hart;
+             pc_ok := true
+           with Cause.Trap (e, tval) ->
+             hart.Hart.pc <- Int64.add hart.Hart.bpc (Int64.of_int (!i lsl 2));
+             pc_ok := true;
+             flush ();
+             take_trap t hart (Cause.Exception e) ~tval;
+             sync_no_irq ());
+          incr steps;
+          incr retired;
+          incr i;
+          if hart.Hart.just_trapped || !steps >= budget then continue_ := false
+          else if not (pre_next ()) then begin
+            incr steps;
+            continue_ := false
+          end
+        end
+        else begin
+          (* memory or delegate: full interpreter ceremony and the
+             full set of stop checks (a store may invalidate this very
+             block; a delegate may do anything) *)
+          materialize ();
+          flush ();
+          (try (Array.unsafe_get !ops !i) hart
+           with Cause.Trap (e, tval) ->
+             take_trap t hart (Cause.Exception e) ~tval);
+          sync_no_irq ();
+          incr steps;
+          incr retired;
+          incr i;
+          if
+            hart.Hart.just_trapped || t.poweroff || hart.Hart.halted
+            || !steps >= budget
+            || (match Block.lookup t.blocks !start_idx with
+               | Some cur -> cur != !blk
+               | None -> true)
+          then continue_ := false
+          else if not (pre_next ()) then begin
+            (* interrupt delivered between two block instructions: the
+               step is consumed by trap entry, exactly as the
+               interpreter's *)
+            incr steps;
+            continue_ := false
+          end
+        end
+      end
+    end
+    else begin
+      (* Block boundary, pre_step already consumed and true: chain to
+         the block at the (post-terminator) pc, or interpret one step
+         to warm it and retry. A pure fallthrough tail (page-cut
+         block) leaves pc stale, so re-establish it first. *)
+      materialize ();
+      let pc = hart.Hart.pc in
+      let chained = ref false in
+      if !have_page && (!blk).Block.term_inert then begin
+        if pc = !entry_pc then begin
+          (* tight loop back to this block's own entry *)
+          if (!blk).Block.whole && !no_irq && t.deferred == [] then spin ()
+          else begin
+            incr disp;
+            i := 0
+          end;
+          chained := true
+        end
+        else if
+          Int64.logand (Int64.logxor pc !entry_pc) (Int64.lognot 0xFFFL) = 0L
+        then begin
+          (* same virtual page: the dispatch-time base still holds
+             (pc is 4-aligned here: a misaligned control target would
+             have trapped, and fallthrough pcs stay aligned) *)
+          let idx = !page_base + ((Int64.to_int pc land 0xFFF) lsr 2) in
+          match get_or_compile t idx with
+          | Some b ->
+              incr disp;
+              blk := b;
+              start_idx := idx;
+              ops := b.Block.ops;
+              pure := b.Block.pure_run;
+              cls := b.Block.cls;
+              n := Array.length b.Block.ops;
+              entry_pc := pc;
+              hart.Hart.bpc <- pc;
+              i := 0;
+              chained := true
+          | None -> ()
+        end
+      end;
+      if not !chained then begin
+        if Int64.logand pc 3L = 0L then begin
+          let tlb = hart.Hart.tlb in
+          Tlb.sync_epoch tlb (Csr_file.vm_epoch hart.Hart.csr);
+          let base = Tlb.fetch_lookup tlb ~priv:hart.Hart.priv pc in
+          if base >= 0 then begin
+            let idx = base + ((Int64.to_int pc land 0xFFF) lsr 2) in
+            match get_or_compile t idx with
+            | Some b ->
+                incr disp;
+                blk := b;
+                start_idx := idx;
+                ops := b.Block.ops;
+                pure := b.Block.pure_run;
+                cls := b.Block.cls;
+                n := Array.length b.Block.ops;
+                entry_pc := pc;
+                hart.Hart.bpc <- pc;
+                page_base := base;
+                have_page := true;
+                i := 0;
+                chained := true
+            | None -> ()
+          end
+        end;
+        if not !chained then begin
+          flush ();
+          fetch_exec_one t hart;
+          Block.note_interp_instr t.blocks;
+          sync_no_irq ();
+          have_page := false;
+          incr steps;
+          if
+            hart.Hart.just_trapped || t.poweroff || hart.Hart.halted
+            || !steps >= budget
+          then continue_ := false
+          else if not (pre_next ()) then begin
+            incr steps;
+            continue_ := false
+          end
+        end
+      end
+    end
+  done;
+  materialize ();
+  flush ();
+  Block.note_block_instrs t.blocks !retired;
+  if !disp > 0 then Block.note_dispatches t.blocks !disp;
+  !steps
+
+(* Block-engine stepping: consume up to [budget] machine steps and
+   return how many were consumed (>= 1 whenever the hart is live).
+   [step] above remains the per-instruction oracle; this entry point
+   must be bit-exact with running [step] the same number of times —
+   record/replay digests and fleet determinism depend on it. Usage is
+   confined to lib/rv, lib/verif and bench by lint rule 7. *)
+let step_blocks t hart ~budget =
+  let steps = ref 0 in
+  while !steps < budget && (not t.poweroff) && not hart.Hart.halted do
+    if not (pre_step t hart) then incr steps
+    else begin
+      let pc = hart.Hart.pc in
+      let base =
+        if Int64.logand pc 3L <> 0L then -1
+        else begin
+          let tlb = hart.Hart.tlb in
+          Tlb.sync_epoch tlb (Csr_file.vm_epoch hart.Hart.csr);
+          Tlb.fetch_lookup tlb ~priv:hart.Hart.priv pc
+        end
+      in
+      if base < 0 then begin
+        (* misaligned pc, cold fetch page, or tlb_entries = 0: one
+           interpreted step (which also installs the fetch page) *)
+        fetch_exec_one t hart;
+        Block.note_interp_instr t.blocks;
+        incr steps
+      end
+      else begin
+        let idx = base + ((Int64.to_int pc land 0xFFF) lsr 2) in
+        match get_or_compile t idx with
+        | None ->
+            (* cold icache word: interpret once to warm it *)
+            fetch_exec_one t hart;
+            Block.note_interp_instr t.blocks;
+            incr steps
+        | Some blk ->
+            Block.note_dispatch t.blocks;
+            steps :=
+              !steps
+              + exec_block t hart blk idx ~page_base:base
+                  ~budget:(budget - !steps)
+      end
+    end
+  done;
+  !steps
+
+let block_stats t = Block.stats t.blocks
+let block_hit_rate t = Block.hit_rate t.blocks
+let set_block_engine t on = t.block_engine <- on
+let block_engine_enabled t = t.block_engine
 
 let all_halted t =
   Array.for_all (fun h -> h.Hart.halted) t.harts
@@ -854,10 +1694,10 @@ let now_ticks t = Clint.mtime t.clint
 
 let sync_time t =
   let max_cycles =
-    Array.fold_left (fun acc h -> max acc h.Hart.cycles) 0L t.harts
+    Array.fold_left (fun acc h -> max acc h.Hart.cycles) 0 t.harts
   in
   Clint.set_mtime t.clint
-    (Int64.div max_cycles (Int64.of_int t.config.cycles_per_tick))
+    (Int64.of_int (max_cycles / t.config.cycles_per_tick))
 
 let poll_devices t =
   (match t.blockdev with
@@ -870,18 +1710,27 @@ let poll_devices t =
   | None -> ()
 
 let run ?(max_instrs = Int64.max_int) ?(chunk = 32) t =
+  let max_instrs =
+    if max_instrs >= Int64.of_int max_int then max_int
+    else Int64.to_int max_instrs
+  in
   let start = t.instr_count in
-  let budget_left () = Int64.sub max_instrs (Int64.sub t.instr_count start) in
-  while (not t.poweroff) && (not (all_halted t)) && budget_left () > 0L do
+  let budget_left () = max_instrs - (t.instr_count - start) in
+  while (not t.poweroff) && (not (all_halted t)) && budget_left () > 0 do
     Array.iter
       (fun hart ->
         let n = ref 0 in
-        while
-          !n < chunk && (not t.poweroff) && not hart.Hart.halted
-        do
-          step t hart;
-          incr n
-        done)
+        if t.block_engine then
+          (* same hart-slice budget; [step_blocks] consumes >= 1 step
+             per call on a live hart, so the slice always terminates *)
+          while !n < chunk && (not t.poweroff) && not hart.Hart.halted do
+            n := !n + step_blocks t hart ~budget:(chunk - !n)
+          done
+        else
+          while !n < chunk && (not t.poweroff) && not hart.Hart.halted do
+            step t hart;
+            incr n
+          done)
       t.harts;
     sync_time t;
     poll_devices t;

@@ -26,6 +26,14 @@ type config = {
   tlb_entries : int;
       (** per-hart software-TLB slots (default 256; 0 disables the TLB
           and the fetch-page cache, leaving the raw walker) *)
+  block_engine : bool;
+      (** execute {!run} through the decoded basic-block cache
+          (default true). {!step} always remains the per-instruction
+          interpreter — the differential oracle — and {!run_scheduled}
+          always steps the interpreter so schedule exploration
+          preempts at exact step counts. The engine requires the
+          fetch-page cache ([tlb_entries > 0]) to ever hit; with it
+          disabled every step falls back to the interpreter. *)
 }
 
 val default_config : config
@@ -52,6 +60,12 @@ type t = {
   mutable nic : Nic.t option;
   icache : (Instr.t * int) option array;
       (** decoded-instruction cache (instruction, raw bits) *)
+  blocks : Block.cache;
+      (** decoded basic blocks over the icache, physically indexed;
+          see DESIGN.md §11 *)
+  mutable block_engine : bool;
+      (** whether {!run} dispatches through {!step_blocks}; initial
+          value comes from {!field:config.block_engine} *)
   mutable mmode_hook : (t -> Hart.t -> Cause.t -> unit) option;
   mutable on_trap :
     (t -> Hart.t -> Cause.t -> from_priv:Priv.t -> to_m:bool -> unit) option;
@@ -68,7 +82,9 @@ type t = {
       (** fired once per scheduler round in {!run}, after device
           polling — used by the checkpoint layer *)
   mutable poweroff : bool;
-  mutable instr_count : int64;
+  mutable instr_count : int;
+      (** total machine steps retired (plain [int]: unboxed updates;
+          63 bits outlast any simulation) *)
   mutable race_bug : race_bug option;
       (** armed race-window injection; [None] (the default) leaves
           every propagation step atomic as before *)
@@ -111,6 +127,29 @@ val pending_interrupt : t -> Hart.t -> Cause.intr option
 val step : t -> Hart.t -> unit
 (** Execute one instruction (or deliver one interrupt / idle one
     quantum in WFI). *)
+
+val step_blocks : t -> Hart.t -> budget:int -> int
+(** Consume up to [budget] machine steps through the decoded
+    basic-block engine and return the number consumed (at least 1 on
+    a live, non-powered-off machine). Bit-exact with calling {!step}
+    the same number of times — architectural state, cycles, instret
+    and the global instruction count all agree at every step
+    boundary; only cache statistics differ. Exposed for the
+    differential harness (lib/verif) and the benchmark; lint rule 7
+    keeps other layers on {!run}/{!step}. *)
+
+val block_stats : t -> Block.stats
+(** Lifetime block-cache counters for this machine. *)
+
+val block_hit_rate : t -> float
+(** Fraction of block-engine-retired instructions that came from
+    compiled blocks (0 when the engine never ran). *)
+
+val set_block_engine : t -> bool -> unit
+(** Toggle the engine used by {!run}; flushing is unnecessary because
+    blocks mirror icache contents either way. *)
+
+val block_engine_enabled : t -> bool
 
 val charge : Hart.t -> int -> unit
 (** Add cost-model cycles to a hart. *)

@@ -6,6 +6,13 @@ type t = {
   enable : int array; (* bitmask of sources, per context *)
   threshold : int array;
   nctx : int;
+  line : bool array; (* cached level per context, see [line_valid] *)
+  mutable line_valid : bool;
+      (* the [line] cache matches the mutable state above. PLIC state
+         only changes through the mutators in this file (MMIO window,
+         raise/lower, claim/complete, state restore), each of which
+         clears this flag — so the every-16-steps line refresh in the
+         machine costs two array reads instead of two source scans. *)
 }
 
 let default_base = 0xC000000L
@@ -22,6 +29,8 @@ let create ~nharts ~nsources =
     enable = Array.make nctx 0;
     threshold = Array.make nctx 0;
     nctx;
+    line = Array.make nctx false;
+    line_valid = false;
   }
 
 type state = {
@@ -46,15 +55,26 @@ let load_state t s =
   Array.blit s.s_pending 0 t.pending 0 (Array.length t.pending);
   Array.blit s.s_claimed 0 t.claimed 0 (Array.length t.claimed);
   Array.blit s.s_enable 0 t.enable 0 t.nctx;
-  Array.blit s.s_threshold 0 t.threshold 0 t.nctx
+  Array.blit s.s_threshold 0 t.threshold 0 t.nctx;
+  t.line_valid <- false
 
-let raise_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- true
-let lower_irq t src = if src > 0 && src <= t.nsources then t.pending.(src) <- false
+let raise_irq t src =
+  if src > 0 && src <= t.nsources then begin
+    t.pending.(src) <- true;
+    t.line_valid <- false
+  end
+
+let lower_irq t src =
+  if src > 0 && src <= t.nsources then begin
+    t.pending.(src) <- false;
+    t.line_valid <- false
+  end
 
 let enable_source t ~ctx src =
   if src > 0 && src <= t.nsources && ctx >= 0 && ctx < t.nctx then begin
     if t.priority.(src) = 0 then t.priority.(src) <- 1;
-    t.enable.(ctx) <- t.enable.(ctx) lor (1 lsl src)
+    t.enable.(ctx) <- t.enable.(ctx) lor (1 lsl src);
+    t.line_valid <- false
   end
 
 let best_candidate t ~ctx =
@@ -71,17 +91,31 @@ let best_candidate t ~ctx =
   done;
   !best
 
-let pending_for t ~ctx = best_candidate t ~ctx <> 0
+let refresh_lines t =
+  for ctx = 0 to t.nctx - 1 do
+    t.line.(ctx) <- best_candidate t ~ctx <> 0
+  done;
+  t.line_valid <- true
+
+let pending_for t ~ctx =
+  if not t.line_valid then refresh_lines t;
+  t.line.(ctx)
 let meip t h = pending_for t ~ctx:(2 * h)
 let seip t h = pending_for t ~ctx:((2 * h) + 1)
 
 let claim t ~ctx =
   let src = best_candidate t ~ctx in
-  if src <> 0 then t.claimed.(src) <- true;
+  if src <> 0 then begin
+    t.claimed.(src) <- true;
+    t.line_valid <- false
+  end;
   src
 
 let complete t ~ctx:_ src =
-  if src > 0 && src <= t.nsources then t.claimed.(src) <- false
+  if src > 0 && src <= t.nsources then begin
+    t.claimed.(src) <- false;
+    t.line_valid <- false
+  end
 
 let load t off size =
   let off = Int64.to_int off in
@@ -118,17 +152,25 @@ let store t off size v =
   if size <> 4 then ()
   else if off < 0x1000 then begin
     let src = off / 4 in
-    if src <= t.nsources then t.priority.(src) <- v land 0x7
+    if src <= t.nsources then begin
+      t.priority.(src) <- v land 0x7;
+      t.line_valid <- false
+    end
   end
   else if off >= 0x2000 && off < 0x2000 + (0x80 * t.nctx) then begin
     let ctx = (off - 0x2000) / 0x80 in
-    if (off - 0x2000) mod 0x80 = 0 then t.enable.(ctx) <- v
+    if (off - 0x2000) mod 0x80 = 0 then begin
+      t.enable.(ctx) <- v;
+      t.line_valid <- false
+    end
   end
   else if off >= 0x200000 then begin
     let ctx = (off - 0x200000) / 0x1000 in
     if ctx < t.nctx then
       match (off - 0x200000) mod 0x1000 with
-      | 0 -> t.threshold.(ctx) <- v land 0x7
+      | 0 ->
+          t.threshold.(ctx) <- v land 0x7;
+          t.line_valid <- false
       | 4 -> complete t ~ctx v
       | _ -> ()
   end

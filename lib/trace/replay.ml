@@ -72,7 +72,7 @@ let update_shadow t (hart : Hart.t) =
   s.valid <- true;
   s.s_pc <- hart.Hart.pc;
   s.s_priv <- hart.Hart.priv;
-  Array.blit hart.Hart.regs 0 s.s_regs 0 32;
+  for i = 0 to 31 do s.s_regs.(i) <- Hart.get hart i done;
   List.iteri
     (fun i (_, addr) ->
       s.s_csrs.(i) <- Csr_file.read_raw hart.Hart.csr addr)
@@ -104,10 +104,10 @@ let compute_deltas t (hart : Hart.t) =
         }
         :: !deltas;
     for i = 31 downto 1 do
-      if hart.Hart.regs.(i) <> s.s_regs.(i) then
+      if Hart.get hart i <> s.s_regs.(i) then
         deltas :=
           { name = reg_names.(i); recorded = s.s_regs.(i);
-            live = hart.Hart.regs.(i) }
+            live = Hart.get hart i }
           :: !deltas
     done;
     List.iteri
@@ -129,7 +129,7 @@ let diverge t (hart : Hart.t) ~expected ~got ~reason =
             | Some (e : Event.t) -> e.Event.seq
             | None -> t.verified);
           hart = hart.Hart.id;
-          instrs = t.machine.Machine.instr_count;
+          instrs = Int64.of_int t.machine.Machine.instr_count;
           pc = hart.Hart.pc;
           expected;
           got;

@@ -55,11 +55,11 @@ let save_hart (h : Hart.t) =
     priv = h.Hart.priv;
     wfi = h.Hart.wfi;
     halted = h.Hart.halted;
-    cycles = h.Hart.cycles;
-    instret = h.Hart.instret;
+    cycles = Int64.of_int h.Hart.cycles;
+    instret = Int64.of_int h.Hart.instret;
     irq_stale = h.Hart.irq_stale;
     reservation = h.Hart.reservation;
-    regs = Array.copy h.Hart.regs;
+    regs = Array.init 32 (Hart.get h);
     csrs = Csr_file.dump h.Hart.csr;
   }
 
@@ -68,11 +68,11 @@ let restore_hart (h : Hart.t) s =
   h.Hart.priv <- s.priv;
   h.Hart.wfi <- s.wfi;
   h.Hart.halted <- s.halted;
-  h.Hart.cycles <- s.cycles;
-  h.Hart.instret <- s.instret;
+  h.Hart.cycles <- Int64.to_int s.cycles;
+  h.Hart.instret <- Int64.to_int s.instret;
   h.Hart.irq_stale <- s.irq_stale;
   h.Hart.reservation <- s.reservation;
-  Array.blit s.regs 0 h.Hart.regs 0 32;
+  for i = 1 to 31 do Hart.set h i s.regs.(i) done;
   Csr_file.restore_dump h.Hart.csr s.csrs
 
 let save_devices (m : Machine.t) =
@@ -107,7 +107,7 @@ let take ?prev ?(events_before = 0) ?restore_extra (m : Machine.t) =
   (* From here on, "dirty" means dirty relative to this checkpoint. *)
   Memory.clear_dirty ram;
   {
-    instrs = m.Machine.instr_count;
+    instrs = Int64.of_int m.Machine.instr_count;
     events_before;
     harts = Array.map save_hart m.Machine.harts;
     devices = save_devices m;
@@ -129,7 +129,7 @@ let restore (m : Machine.t) t =
   Array.iteri (fun i s -> restore_hart m.Machine.harts.(i) s) t.harts;
   restore_devices m t.devices;
   (match t.restore_extra with Some f -> f () | None -> ());
-  m.Machine.instr_count <- t.instrs;
+  m.Machine.instr_count <- Int64.to_int t.instrs;
   m.Machine.poweroff <- false;
   (* Both derived caches must drop: restored RAM invalidates decoded
      instructions, restored satp/PMP/page tables invalidate cached
@@ -156,7 +156,7 @@ let hash (m : Machine.t) =
       add (if hart.Hart.wfi then 1L else 0L);
       add (if hart.Hart.halted then 1L else 0L);
       for i = 1 to 31 do
-        add hart.Hart.regs.(i)
+        add (Hart.get hart i)
       done;
       let csr = hart.Hart.csr in
       for a = 0 to 4095 do
@@ -212,7 +212,7 @@ let manage ?extra_save ?events_seen ~every (machine : Machine.t) =
       every;
       extra_save;
       events_seen;
-      next_at = Int64.add machine.Machine.instr_count every;
+      next_at = Int64.add (Int64.of_int machine.Machine.instr_count) every;
       chain = [];
     }
   in
@@ -223,9 +223,9 @@ let manage ?extra_save ?events_seen ~every (machine : Machine.t) =
     Some
       (fun m ->
         (match prev_chunk with Some f -> f m | None -> ());
-        if m.Machine.instr_count >= mgr.next_at then begin
+        if Int64.of_int m.Machine.instr_count >= mgr.next_at then begin
           ignore (take_now mgr);
-          mgr.next_at <- Int64.add m.Machine.instr_count mgr.every
+          mgr.next_at <- Int64.add (Int64.of_int m.Machine.instr_count) mgr.every
         end);
   mgr
 

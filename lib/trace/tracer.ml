@@ -51,7 +51,7 @@ let digest (hart : Hart.t) =
   digest_values ~pc:hart.Hart.pc
     ~priv:(Priv.to_int hart.Hart.priv)
     ~wfi:hart.Hart.wfi
-    ~regs:(fun i -> hart.Hart.regs.(i))
+    ~regs:(Hart.get hart)
     ~csrs:(List.map snd tracked_csrs)
     ~read_csr:(Csr_file.read_raw hart.Hart.csr)
 
@@ -73,7 +73,7 @@ let emit t (hart : Hart.t) kind =
     {
       Event.seq;
       hart = hart.Hart.id;
-      instrs = t.machine.Machine.instr_count;
+      instrs = Int64.of_int t.machine.Machine.instr_count;
       pc = hart.Hart.pc;
       digest = digest hart;
       kind;

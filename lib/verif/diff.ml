@@ -213,8 +213,8 @@ let check t sample instr =
         Miralis.Emulator.read_gpr = (fun i -> t.vregs.(i));
         write_gpr = (fun i v -> if i <> 0 then t.vregs.(i) <- v);
         pc = t.pc0;
-        cycles = Int64.add pre_cycles 1L;
-        instret = Int64.add pre_instret 1L;
+        cycles = Int64.of_int (pre_cycles + 1);
+        instret = Int64.of_int (pre_instret + 1);
         phys_custom_read = (fun _ -> 0L);
         phys_custom_write = (fun _ _ -> ());
       }
@@ -303,7 +303,7 @@ let ref_digest t =
   Mir_trace.Tracer.digest_values ~pc:t.hart.Hart.pc
     ~priv:(Priv.to_int t.hart.Hart.priv)
     ~wfi:t.hart.Hart.wfi
-    ~regs:(fun i -> t.hart.Hart.regs.(i))
+    ~regs:(Hart.get t.hart)
     ~csrs:t.addresses
     ~read_csr:(Csr_file.read_raw t.hart.Hart.csr)
 
@@ -400,8 +400,8 @@ let stream_step t instr =
             Miralis.Emulator.read_gpr = (fun i -> t.vregs.(i));
             write_gpr = (fun i v -> if i <> 0 then t.vregs.(i) <- v);
             pc = t.pc0;
-            cycles = Int64.add pre_cycles 1L;
-            instret = Int64.add pre_instret 1L;
+            cycles = Int64.of_int (pre_cycles + 1);
+            instret = Int64.of_int (pre_instret + 1);
             phys_custom_read = (fun _ -> 0L);
             phys_custom_write = (fun _ _ -> ());
           }

@@ -122,14 +122,14 @@ let run platform mode ~window_ms =
         if to_m && from_priv = Mir_rv.Priv.S && hart.Hart.id = 0 then begin
           incr traps;
           let w =
-            Int64.to_int (Int64.div hart.Hart.cycles window_cycles)
+            hart.Hart.cycles / Int64.to_int window_cycles
           in
           let c = classify m hart cause in
           Hashtbl.replace tbl (w, c)
             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (w, c)))
         end);
   Setup.run_scripts ~max_instrs:400_000_000L sys (script ());
-  let cycles = Setup.hart0_cycles sys in
+  let cycles = Int64.of_int (Setup.hart0_cycles sys) in
   let nwindows = 1 + Int64.to_int (Int64.div cycles window_cycles) in
   let windows =
     List.init nwindows (fun index ->

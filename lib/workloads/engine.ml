@@ -30,7 +30,7 @@ let run_with_system ?policy ?(max_instrs = 500_000_000L) ?(stage = fun _ -> ())
         if to_m && hart.Hart.id = 0 then incr traps);
   let start_cycles = Setup.hart0_cycles sys in
   Setup.run_scripts ~max_instrs sys scripts;
-  let cycles = Int64.sub (Setup.hart0_cycles sys) start_cycles in
+  let cycles = Int64.of_int (Setup.hart0_cycles sys - start_cycles) in
   let seconds = Platform.seconds_of_cycles platform cycles in
   let world_switches, offload_hits =
     match Setup.stats sys with

@@ -35,6 +35,12 @@ dune exec bin/miralis_sim.exe -- fuzz --replay test/vectors
 # switches, fences, SUM/MXR/MPRV flips and PMP reconfigurations.
 dune exec bin/miralis_sim.exe -- fuzz --paging --max-execs 10000
 
+# Block-engine smoke: the decoded basic-block engine must stay
+# bit-exact with the per-instruction interpreter over 10k generated
+# guest programs (self-modifying stores, mid-block traps, vm-epoch
+# bumps, fence.i; exit 1 on the first divergence, ~7s).
+dune exec bin/miralis_sim.exe -- fuzz --blocks --max-execs 10000
+
 # Schedule-exploration smoke: with no injected bug, every scenario's
 # isolation oracles must stay clean under the fixed-seed random and
 # PCT schedules (exit 1 on any violation), and the checked-in shrunk
@@ -55,6 +61,14 @@ if [ "$ips" -lt "$floor" ]; then
   exit 1
 fi
 echo "ci: ips $ips instrs/sec (baseline $base, floor $floor)"
+bips=$(json_int BENCH_ips.json ips_blocks)
+bbase=$(json_int scripts/ips_baseline.json ips_blocks)
+bfloor=$((bbase * 80 / 100))
+if [ "$bips" -lt "$bfloor" ]; then
+  echo "ci: block-engine ips regression: $bips instrs/sec < 80% of baseline $bbase" >&2
+  exit 1
+fi
+echo "ci: block ips $bips instrs/sec (baseline $bbase, floor $bfloor)"
 
 # Fleet smoke: a small fixed-seed fleet on 2 domains must complete
 # (the CLI exits 1 if any machine hits its instruction budget), and a

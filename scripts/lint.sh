@@ -18,10 +18,12 @@
 #      swaps from anywhere else could bypass review of the TLB
 #      vm-epoch invalidation contract.
 #   5. Stepping a hart directly (Machine.step) is restricted to the
-#      machine itself, the lockstep differ, and the microbenchmarks.
-#      Multi-hart execution must go through Machine.run or
-#      Machine.run_scheduled so the interleaving explorer's schedule
-#      control and the run-loop's device/time sync are never bypassed.
+#      machine itself, the lockstep differ, the microbenchmarks, and
+#      the block-engine tests (which drive the interpreter as the
+#      oracle twin). Multi-hart execution must go through Machine.run
+#      or Machine.run_scheduled so the interleaving explorer's
+#      schedule control and the run-loop's device/time sync are never
+#      bypassed.
 #   6. Top-level mutable module state (ref / Hashtbl.create / ...) is
 #      banned in the simulator core (lib/rv, lib/core, lib/trace) and
 #      in lib/fleet: the fleet runs machines on multiple OCaml domains
@@ -29,6 +31,12 @@
 #      per-machine value threaded through constructors. Additions that
 #      are genuinely domain-safe must be listed in the allowlist below
 #      with a justification.
+#   7. Driving the decoded basic-block engine directly
+#      (Machine.step_blocks) is restricted to the architecture, the
+#      differential harness, the microbenchmarks, and the engine's own
+#      tests. Everything else runs through Machine.run, which owns the
+#      engine/interpreter dispatch — so the block_engine knob (and the
+#      determinism contract behind it) is honored everywhere.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -62,10 +70,17 @@ if grep -rnE "Csr_file\.write_raw[^;]*satp" --include='*.ml' $src_dirs |
   complain "raw satp installs outside the world-switch/architecture layers"
 fi
 
-step_allow='^(lib/rv/|lib/verif/|bench/)'
+step_allow='^(lib/rv/|lib/verif/|bench/|test/test_blocks\.ml:)'
 if grep -rnE "Machine\.step\b" --include='*.ml' $src_dirs |
   grep -vE "$step_allow" | grep .; then
   complain "direct hart stepping outside Machine/diff/bench; use Machine.run or Machine.run_scheduled"
+fi
+
+# Rule 7: the block engine's raw stepper stays behind the same fence.
+blocks_allow='^(lib/rv/|lib/verif/|bench/|test/test_blocks\.ml:)'
+if grep -rnE "Machine\.step_blocks\b" --include='*.ml' $src_dirs |
+  grep -vE "$blocks_allow" | grep .; then
+  complain "direct block-engine stepping outside Machine/diff/bench; use Machine.run with the block_engine knob"
 fi
 
 # Rule 6: no top-level mutable state in the domain-shared core. The
