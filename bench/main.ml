@@ -8,7 +8,7 @@
      bench/main.exe <name>...     run selected experiments
    Names: table1 table2 table3 table4 table5 fig3 fig10 fig11 fig12
           fig13 fig14 boottime sstc q1 q4 trace fuzz sym ips explore
-          fleet micro *)
+          fleet lint micro *)
 
 module T = Mir_experiments.Exp_tables
 module F = Mir_experiments.Exp_figs
@@ -466,6 +466,53 @@ let fleet_bench () =
   print_endline "  wrote BENCH_fleet.json"
 
 (* ------------------------------------------------------------------ *)
+(* Static analyzer cost (BENCH_lint.json)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The invariant analyzer runs on every CI cycle and is meant to grow a
+   rule per PR, so its cost stays on the dashboard: parse + rule-engine
+   throughput in files/sec over the real tree. *)
+let lint_bench () =
+  print_endline "\nStatic analyzer throughput (lib/analysis)";
+  print_endline "=========================================";
+  let module Lint = Mir_analysis.Lint in
+  let module Rules = Mir_analysis.Rules in
+  let rec find_root dir depth =
+    if depth > 8 then None
+    else if Sys.file_exists (Filename.concat dir "lib/rv") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent (depth + 1)
+  in
+  match find_root (Sys.getcwd ()) 0 with
+  | None -> print_endline "  repository sources not found; skipped"
+  | Some root ->
+      (* one warm-up pass faults the sources into the page cache *)
+      let warm = Lint.run ~root ~dirs:Lint.default_dirs () in
+      let passes = 5 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to passes do
+        ignore (Lint.run ~root ~dirs:Lint.default_dirs ())
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let files_per_sec = float_of_int (warm.Lint.files * passes) /. dt in
+      let nrules = List.length Rules.all in
+      Printf.printf
+        "  %d files × %d rules × %d passes in %.2fs  →  %8.0f files/sec\n"
+        warm.Lint.files nrules passes dt files_per_sec;
+      Printf.printf "  diagnostics on the tree: %d\n"
+        (List.length warm.Lint.diagnostics);
+      let oc = open_out "BENCH_lint.json" in
+      Printf.fprintf oc
+        "{\n  \"files\": %d,\n  \"rules\": %d,\n  \"passes\": %d,\n  \
+         \"seconds\": %.3f,\n  \"files_per_sec\": %.0f,\n  \
+         \"diagnostics\": %d\n}\n"
+        warm.Lint.files nrules passes dt files_per_sec
+        (List.length warm.Lint.diagnostics);
+      close_out oc;
+      print_endline "  wrote BENCH_lint.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's primitives              *)
 (* ------------------------------------------------------------------ *)
 
@@ -555,6 +602,7 @@ let () =
       ips_bench ();
       explore_bench ();
       fleet_bench ();
+      lint_bench ();
       micro ()
   | names ->
       List.iter
@@ -566,13 +614,14 @@ let () =
           else if name = "ips" then ips_bench ()
           else if name = "explore" then explore_bench ()
           else if name = "fleet" then fleet_bench ()
+          else if name = "lint" then lint_bench ()
           else
             match List.assoc_opt name experiments with
             | Some f -> f ()
             | None ->
                 Printf.eprintf
                   "unknown experiment %S; known: %s trace fuzz sym ips \
-                   explore fleet micro\n"
+                   explore fleet lint micro\n"
                   name
                   (String.concat " " (List.map fst experiments)))
         names);

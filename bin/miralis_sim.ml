@@ -812,6 +812,85 @@ let fleet_term =
         & info [ "quiet" ] ~doc:"Suppress the per-machine lines."))
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Mir_analysis.Lint
+module Lint_rules = Mir_analysis.Rules
+
+let lint_cmd format disabled only list_rules root dirs =
+  if list_rules then
+    List.iter
+      (fun r ->
+        Printf.printf "%-18s %s\n    %s\n" r.Lint_rules.id r.Lint_rules.title
+          r.Lint_rules.rationale)
+      Lint_rules.all
+  else begin
+    let unknown =
+      List.filter (fun id -> Lint_rules.by_id id = None) (disabled @ only)
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "lint: unknown rule id(s): %s\nknown: %s\n"
+        (String.concat ", " unknown)
+        (String.concat ", " Lint_rules.ids);
+      exit 2
+    end;
+    let rules =
+      match only with
+      | [] -> Lint_rules.except disabled
+      | only ->
+          List.filter (fun r -> List.mem r.Lint_rules.id only) Lint_rules.all
+    in
+    let dirs = match dirs with [] -> Lint.default_dirs | ds -> ds in
+    let report = Lint.run ~rules ~root ~dirs () in
+    print_string (Lint.render ~format report);
+    if format = `Text then begin
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "lint: note: unused allowlist entry %s (%s) — remove it\n"
+            e.Mir_analysis.Allowlist.path e.Mir_analysis.Allowlist.rule)
+        report.Lint.unused_allowlist;
+      if report.Lint.diagnostics = [] then
+        Printf.printf "lint: ok (%d files, %d rules)\n" report.Lint.files
+          (List.length rules)
+      else
+        Printf.eprintf "lint: FAILED (%d diagnostics)\n"
+          (List.length report.Lint.diagnostics)
+    end;
+    if report.Lint.diagnostics <> [] then exit 1
+  end
+
+let lint_term =
+  Term.(
+    const lint_cmd
+    $ Arg.(
+        value
+        & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+        & info [ "format" ] ~docv:"FMT"
+            ~doc:"Output format: $(b,text) or $(b,json).")
+    $ Arg.(
+        value & opt_all string []
+        & info [ "disable" ] ~docv:"RULE"
+            ~doc:"Disable rule $(docv) (repeatable).")
+    $ Arg.(
+        value & opt_all string []
+        & info [ "rule" ] ~docv:"RULE"
+            ~doc:"Run only rule $(docv) (repeatable).")
+    $ Arg.(
+        value & flag
+        & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
+    $ Arg.(
+        value & opt string "."
+        & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan.")
+    $ Arg.(
+        value & pos_all string []
+        & info [] ~docv:"DIR"
+            ~doc:
+              "Directories to scan (default: lib bin bench examples \
+               test)."))
+
+(* ------------------------------------------------------------------ *)
 (* experiments / platforms                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -885,6 +964,13 @@ let cmds =
             domains, fed by the seeded load generator, and report \
             fleet-wide trap throughput and request-latency percentiles")
       fleet_term;
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Run the AST-driven invariant analyzer (lib/analysis) over the \
+            source tree: the repository invariants the type system cannot \
+            express, checked on the Parsetree with structured allowlists")
+      lint_term;
     Cmd.v
       (Cmd.info "experiments"
          ~doc:"Regenerate the paper's tables and figures")

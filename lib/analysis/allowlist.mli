@@ -1,0 +1,23 @@
+(** The structured allowlist: individually justified exceptions to the
+    rule catalog. Every entry names the rule it suppresses, the file
+    (or directory prefix ending in ['/']) it applies to, an optional
+    line pin, and a written justification — entries without a reason
+    are rejected by the test suite. Sanctioned *layers* (the monitor's
+    install paths, the verification harnesses) live in the rule
+    definitions themselves; this list is only for point exceptions. *)
+
+type entry = {
+  rule : string;
+  path : string;  (** exact file, or a directory prefix ending in '/' *)
+  line : int option;  (** pin to one line, or the whole file *)
+  reason : string;  (** mandatory written justification *)
+}
+
+val entries : entry list
+
+val suppresses : entry -> Diagnostic.t -> bool
+
+val apply : Diagnostic.t list -> Diagnostic.t list * entry list
+(** [apply ds] is [(kept, unused)]: the diagnostics no entry suppresses,
+    and the entries that suppressed nothing (candidates for removal —
+    the CLI reports them so the list cannot rot). *)

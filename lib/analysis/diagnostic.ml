@@ -1,0 +1,68 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~loc ~message ~file =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* Minimal JSON string escaping: the analyzer only emits paths, rule
+   ids and fixed message text, but escape defensively anyway. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"message\": \"%s\"}"
+    (json_escape d.rule) (json_escape d.file) d.line d.col
+    (json_escape d.message)
+
+let list_to_json ds =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      Buffer.add_string b (to_json d))
+    ds;
+  if ds <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n";
+  Buffer.add_string b (Printf.sprintf "  \"count\": %d\n}" (List.length ds));
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** A single analyzer finding: a stable rule id anchored to a
+    [file:line:col] source position. Diagnostics are the only output of
+    the rule engine — the CLI renders them as text or JSON, CI fails on
+    any, and the allowlist suppresses individually justified ones. *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["toplevel-mutable"] *)
+  file : string;  (** repo-relative path, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  message : string;
+}
+
+val make : rule:string -> loc:Location.t -> message:string -> file:string -> t
+(** Build a diagnostic from a parsetree location (start position). *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule id. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — one line, editor-clickable. *)
+
+val to_json : t -> string
+(** One JSON object with [rule], [file], [line], [col], [message]. *)
+
+val list_to_json : t list -> string
+(** A JSON report: [{"diagnostics": [...], "count": n}]. *)

@@ -1,0 +1,115 @@
+let default_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ]
+
+(* ------------------------------------------------------------------ *)
+(* Source discovery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let scan ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs then
+      if Sys.is_directory abs then
+        Array.iter
+          (fun name -> walk (rel ^ "/" ^ name))
+          (Sys.readdir abs)
+      else if is_source rel then acc := rel :: !acc
+  in
+  List.iter
+    (fun d ->
+      let abs = Filename.concat root d in
+      if Sys.file_exists abs && Sys.is_directory abs then
+        Array.iter (fun name -> walk (d ^ "/" ^ name)) (Sys.readdir abs))
+    dirs;
+  List.sort String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+  | Failed of Diagnostic.t
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Location.input_name := file;
+  try
+    if Filename.check_suffix file ".mli" then
+      Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with exn ->
+    let loc, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok { Location.main = { loc; txt }; _ }) ->
+          (loc, Format.asprintf "%t" txt)
+      | _ -> (Location.in_file file, Printexc.to_string exn)
+    in
+    Failed
+      (Diagnostic.make ~rule:"parse-error" ~loc ~file
+         ~message:("source does not parse: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_parsed ~rules ~file parsed =
+  match parsed with
+  | Failed d -> [ d ]
+  | Intf _ ->
+      (* Signatures carry no expressions, so no rule fires there; they
+         are still parsed so a broken interface cannot hide. *)
+      []
+  | Impl str ->
+      List.concat_map
+        (fun r ->
+          if r.Rules.applies file && not (r.Rules.sanctioned file) then
+            r.Rules.check ~file str
+          else [])
+        rules
+
+let check_source ?(rules = Rules.all) ~file source =
+  List.sort Diagnostic.compare (check_parsed ~rules ~file (parse ~file source))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file ?(rules = Rules.all) ~root rel =
+  check_source ~rules ~file:rel (read_file (Filename.concat root rel))
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  files : int;
+  unused_allowlist : Allowlist.entry list;
+}
+
+let run ?(rules = Rules.all) ~root ~dirs () =
+  let files = scan ~root dirs in
+  let raw = List.concat_map (fun rel -> check_file ~rules ~root rel) files in
+  let kept, unused = Allowlist.apply raw in
+  {
+    diagnostics = List.sort Diagnostic.compare kept;
+    files = List.length files;
+    unused_allowlist = unused;
+  }
+
+let render ~format report =
+  match format with
+  | `Text ->
+      String.concat ""
+        (List.map
+           (fun d -> Diagnostic.to_string d ^ "\n")
+           report.diagnostics)
+  | `Json -> Diagnostic.list_to_json report.diagnostics ^ "\n"

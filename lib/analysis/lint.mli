@@ -1,0 +1,40 @@
+(** The analyzer driver: find sources, parse with compiler-libs, run
+    the rule engine, apply the allowlist, render diagnostics.
+
+    File paths handed to rules are repo-relative and ['/']-separated,
+    because the sanctioned-path predicates and the allowlist are
+    written against that form. *)
+
+val default_dirs : string list
+(** [lib bin bench examples test] — the directories CI gates on. *)
+
+val scan : root:string -> string list -> string list
+(** Every [.ml]/[.mli] under the given directories (repo-relative,
+    sorted); directories that do not exist are skipped. *)
+
+val check_source :
+  ?rules:Rules.t list -> file:string -> string -> Diagnostic.t list
+(** Analyze one compilation unit given as a string. [file] is the
+    repo-relative path the rules' scope/sanction predicates see — the
+    test fixtures use this to place a snippet in any layer. A syntax
+    error yields a single ["parse-error"] diagnostic. No allowlist is
+    applied. *)
+
+val check_file :
+  ?rules:Rules.t list -> root:string -> string -> Diagnostic.t list
+(** [check_file ~root rel] reads [root/rel] and analyzes it. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** after the allowlist, sorted *)
+  files : int;  (** compilation units scanned *)
+  unused_allowlist : Allowlist.entry list;
+}
+
+val run :
+  ?rules:Rules.t list -> root:string -> dirs:string list -> unit -> report
+(** Scan, analyze every file, apply the allowlist. *)
+
+val render :
+  format:[ `Text | `Json ] -> report -> string
+(** Render a report: one [Diagnostic.to_string] line each (text), or a
+    [{"diagnostics": [...], "count": n}] object (json). *)

@@ -7,9 +7,22 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-scripts/lint.sh
-
 dune build
+
+# AST-driven invariant analyzer (lib/analysis, DESIGN.md §12): all nine
+# rules over lib/ bin/ bench/ examples/ test/, JSON report, zero
+# diagnostics required (the CLI exits 1 on any). scripts/lint.sh wraps
+# the same engine for interactive use.
+dune exec bin/miralis_sim.exe -- lint --format json
+
+# Analyzer cost stays visible: a files/sec timing line per CI cycle
+# (BENCH_lint.json), so rule growth that slows the gate shows up here.
+dune exec bench/main.exe -- lint
+grep -q '"files_per_sec"' BENCH_lint.json || {
+  echo "ci: BENCH_lint.json missing files_per_sec" >&2
+  exit 1
+}
+
 dune runtest
 
 # Symbolic faithful-emulation proof, quick corner sweep: every path of

@@ -1,102 +1,20 @@
 #!/bin/sh
-# Forbidden-pattern lint. Fails (exit 1) when source violates one of
-# the repository invariants that the type system cannot enforce:
+# Thin wrapper over the AST-driven invariant analyzer (lib/analysis).
 #
-#   1. Obj.magic is banned outright.
-#   2. The stdlib Random module is banned outside Mir_util.Prng: all
-#      randomness must flow from the config-rooted seeded PRNG, or
-#      record/replay and the verification seeds lose determinism.
-#   3. CSR stores may be mutated (Csr_file.write/write_raw/
-#      set_mip_bits) only by the architecture itself (lib/rv), the
-#      monitor's sanctioned install paths (emulator, monitor, world
-#      switch, offload, vPMP install), the policies, and the
-#      verification/test harnesses that construct states. Everything
-#      else must go through those layers.
-#   4. Raw satp installs (Csr_file.write_raw of satp) are restricted
-#      further, to the architecture, the world switch / monitor
-#      install paths, and the verification/test harnesses: satp
-#      swaps from anywhere else could bypass review of the TLB
-#      vm-epoch invalidation contract.
-#   5. Stepping a hart directly (Machine.step) is restricted to the
-#      machine itself, the lockstep differ, the microbenchmarks, and
-#      the block-engine tests (which drive the interpreter as the
-#      oracle twin). Multi-hart execution must go through Machine.run
-#      or Machine.run_scheduled so the interleaving explorer's
-#      schedule control and the run-loop's device/time sync are never
-#      bypassed.
-#   6. Top-level mutable module state (ref / Hashtbl.create / ...) is
-#      banned in the simulator core (lib/rv, lib/core, lib/trace) and
-#      in lib/fleet: the fleet runs machines on multiple OCaml domains
-#      concurrently, so all mutable state must live inside a
-#      per-machine value threaded through constructors. Additions that
-#      are genuinely domain-safe must be listed in the allowlist below
-#      with a justification.
-#   7. Driving the decoded basic-block engine directly
-#      (Machine.step_blocks) is restricted to the architecture, the
-#      differential harness, the microbenchmarks, and the engine's own
-#      tests. Everything else runs through Machine.run, which owns the
-#      engine/interpreter dispatch — so the block_engine knob (and the
-#      determinism contract behind it) is honored everywhere.
-set -u
+# The rules themselves — Obj.magic, stdlib Random, the sanctioned
+# Csr_file write paths, raw satp installs, the Machine.step /
+# step_blocks fences, module-top-level mutable state under lib/, the
+# Domain.spawn/Pool.run closure-capture race detector, and the
+# wall-clock/entropy determinism rule — live in lib/analysis/rules.ml
+# with their rationale and sanctioned paths; point exceptions live in
+# lib/analysis/allowlist.ml with written justifications. See DESIGN.md
+# §12 for the catalog.
+#
+# Usage: scripts/lint.sh [lint args]
+#   scripts/lint.sh --list-rules
+#   scripts/lint.sh --format json
+set -eu
 
 cd "$(dirname "$0")/.."
 
-fail=0
-complain() {
-  echo "lint: $1" >&2
-  fail=1
-}
-
-src_dirs="lib bin bench examples test"
-
-if grep -rn "Obj\.magic" --include='*.ml' --include='*.mli' $src_dirs; then
-  complain "Obj.magic is forbidden"
-fi
-
-if grep -rn "Random\." --include='*.ml' --include='*.mli' $src_dirs |
-  grep -v "^lib/util/prng\.ml:" | grep -v "Prng\." | grep .; then
-  complain "use the seeded Mir_util.Prng, never stdlib Random"
-fi
-
-csr_write_allow='^(lib/rv/|lib/core/(emulator|monitor|world|offload|vpmp)\.ml|lib/policies/|lib/verif/|test/)'
-if grep -rnE "Csr_file\.(write|write_raw|set_mip_bits)" --include='*.ml' \
-  $src_dirs | grep -vE "$csr_write_allow" | grep .; then
-  complain "direct Csr_file writes outside the sanctioned paths"
-fi
-
-satp_raw_allow='^(lib/rv/|lib/core/(world|monitor)\.ml|lib/verif/|test/)'
-if grep -rnE "Csr_file\.write_raw[^;]*satp" --include='*.ml' $src_dirs |
-  grep -vE "$satp_raw_allow" | grep .; then
-  complain "raw satp installs outside the world-switch/architecture layers"
-fi
-
-step_allow='^(lib/rv/|lib/verif/|bench/|test/test_blocks\.ml:)'
-if grep -rnE "Machine\.step\b" --include='*.ml' $src_dirs |
-  grep -vE "$step_allow" | grep .; then
-  complain "direct hart stepping outside Machine/diff/bench; use Machine.run or Machine.run_scheduled"
-fi
-
-# Rule 7: the block engine's raw stepper stays behind the same fence.
-blocks_allow='^(lib/rv/|lib/verif/|bench/|test/test_blocks\.ml:)'
-if grep -rnE "Machine\.step_blocks\b" --include='*.ml' $src_dirs |
-  grep -vE "$blocks_allow" | grep .; then
-  complain "direct block-engine stepping outside Machine/diff/bench; use Machine.run with the block_engine knob"
-fi
-
-# Rule 6: no top-level mutable state in the domain-shared core. The
-# allowlist is currently empty — every mutable structure in these
-# layers is owned by a machine/monitor/tracer instance. Add a line
-# like 'lib/core/foo.ml:12:' (with a comment saying why it is
-# domain-safe) if a justified exception ever appears.
-toplevel_mut_allow='^$'
-if grep -rnE "^let [a-zA-Z_0-9']+( *:[^=]*)? *= *(ref\b|Hashtbl\.create|Queue\.create|Buffer\.create|Stack\.create|Atomic\.make|Array\.make)" \
-  --include='*.ml' lib/rv lib/core lib/trace lib/fleet |
-  grep -vE "$toplevel_mut_allow" | grep .; then
-  complain "top-level mutable state in domain-shared core; thread it through the per-machine context (see lint.sh rule 6)"
-fi
-
-if [ "$fail" -ne 0 ]; then
-  echo "lint: FAILED" >&2
-  exit 1
-fi
-echo "lint: ok"
+exec dune exec bin/miralis_sim.exe -- lint "$@"
